@@ -1,0 +1,138 @@
+// Ablation A1: how much does the Taylor linearization of the batch compute
+// time (Eq. 24, expanded at (1,1)) cost against the exact power-law curve?
+//
+// Two measurements:
+//  1. Pointwise error of h(b) = gamma[(1-eta)b + eta] against the exact
+//     f(b) = gamma b^(1-eta) across batch sizes and exponents — the
+//     constraint-tightening the scheduler pays every slot.
+//  2. Decision-level gap: tiny instances (1 app, 2 variants, 2 edges) where
+//     exhaustive search over (variant, batch) splits with EXACT batch times
+//     is tractable; compare the exact optimum's loss to the loss of the
+//     linearized MILP's plan evaluated under the same exact semantics.
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "birp/core/problem.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/solver/branch_and_bound.hpp"
+#include "birp/util/rng.hpp"
+#include "birp/util/table.hpp"
+
+namespace {
+
+using birp::device::TirParams;
+
+/// Exact optimum by brute force: one app, two variants, one edge, demand D;
+/// choose (z0, z1), z0 + z1 + drops == D, exact compute f0(z0) + f1(z1) <=
+/// tau; minimize loss0*z0 + loss1*z1 + penalty*drops.
+struct ExactResult {
+  double loss = std::numeric_limits<double>::infinity();
+  int z0 = 0;
+  int z1 = 0;
+};
+
+ExactResult exact_optimum(double gamma0, double gamma1, const TirParams& t0,
+                          const TirParams& t1, double loss0, double loss1,
+                          double penalty, int demand, double tau) {
+  ExactResult best;
+  for (int z0 = 0; z0 <= std::min(demand, t0.beta); ++z0) {
+    for (int z1 = 0; z1 + z0 <= demand && z1 <= t1.beta; ++z1) {
+      const double time = t0.batch_time(gamma0, z0) + t1.batch_time(gamma1, z1);
+      if (time > tau) continue;
+      const int drops = demand - z0 - z1;
+      const double loss = loss0 * z0 + loss1 * z1 + penalty * drops;
+      if (loss < best.loss) best = {loss, z0, z1};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Pointwise linearization error. ----
+  birp::util::TextTable pointwise({"eta", "b=4", "b=8", "b=12", "b=16"});
+  for (const double eta : {0.10, 0.20, 0.30, 0.35}) {
+    std::vector<std::string> row{birp::util::fixed(eta, 2)};
+    for (const int b : {4, 8, 12, 16}) {
+      const double exact = std::pow(static_cast<double>(b), 1.0 - eta);
+      const double linear = (1.0 - eta) * b + eta;
+      row.push_back(birp::util::fixed(100.0 * (linear - exact) / exact, 1) +
+                    "%");
+    }
+    pointwise.add_row(std::move(row));
+  }
+  pointwise.print(std::cout,
+                  "A1.1 — Taylor (Eq. 24) overestimate of batch compute time "
+                  "h(b)/f(b) - 1");
+  std::cout << "\nThe linearization is exact at b = 1 and conservative "
+               "beyond: BIRP under-books capacity rather than violating "
+               "tau, trading some loss for SLO safety.\n\n";
+
+  // ---- 2. Decision-level gap on enumerable instances. ----
+  birp::util::TextTable decisions({"instance", "exact loss", "linearized loss",
+                                   "gap %"});
+  birp::util::Xoshiro256StarStar rng(0xab1a);
+  double worst_gap = 0.0;
+  double mean_gap = 0.0;
+  constexpr int kInstances = 12;
+  for (int inst = 0; inst < kInstances; ++inst) {
+    const double tau = 2.0;
+    const double gamma0 = rng.uniform(0.01, 0.05);
+    const double gamma1 = rng.uniform(0.05, 0.25);
+    TirParams t0{rng.uniform(0.2, 0.35),
+                 static_cast<int>(rng.uniform_int(8, 14)), 0.0};
+    TirParams t1{rng.uniform(0.1, 0.25),
+                 static_cast<int>(rng.uniform_int(4, 10)), 0.0};
+    t0.c = std::pow(static_cast<double>(t0.beta), t0.eta);
+    t1.c = std::pow(static_cast<double>(t1.beta), t1.eta);
+    const double loss0 = 0.45;
+    const double loss1 = 0.20;
+    const double penalty = 0.98;
+    const int demand = static_cast<int>(rng.uniform_int(6, 18));
+
+    const auto exact = exact_optimum(gamma0, gamma1, t0, t1, loss0, loss1,
+                                     penalty, demand, tau);
+
+    // Linearized plan: greedy on h(b) exactly as BIRP's constraint sees it.
+    // Enumerate (z0, z1) under the LINEARIZED budget, then evaluate the
+    // chosen plan under the exact semantics (always feasible: h >= f).
+    double best_linear_obj = std::numeric_limits<double>::infinity();
+    int lz0 = 0;
+    int lz1 = 0;
+    for (int z0 = 0; z0 <= std::min(demand, t0.beta); ++z0) {
+      for (int z1 = 0; z1 + z0 <= demand && z1 <= t1.beta; ++z1) {
+        const double h = (z0 > 0 ? gamma0 * ((1 - t0.eta) * z0 + t0.eta) : 0) +
+                         (z1 > 0 ? gamma1 * ((1 - t1.eta) * z1 + t1.eta) : 0);
+        if (h > tau) continue;
+        const double obj =
+            loss0 * z0 + loss1 * z1 + penalty * (demand - z0 - z1);
+        if (obj < best_linear_obj) {
+          best_linear_obj = obj;
+          lz0 = z0;
+          lz1 = z1;
+        }
+      }
+    }
+    const double linear_real_loss =
+        loss0 * lz0 + loss1 * lz1 + penalty * (demand - lz0 - lz1);
+    const double gap =
+        100.0 * (linear_real_loss - exact.loss) / std::max(1e-9, exact.loss);
+    worst_gap = std::max(worst_gap, gap);
+    mean_gap += gap / kInstances;
+    decisions.add_row({std::to_string(inst), birp::util::fixed(exact.loss, 2),
+                       birp::util::fixed(linear_real_loss, 2),
+                       birp::util::fixed(gap, 1)});
+  }
+  decisions.print(std::cout,
+                  "A1.2 — exact piecewise optimum vs linearized plan "
+                  "(enumerable single-edge instances)");
+  std::cout << "\nmean gap = " << birp::util::fixed(mean_gap, 2)
+            << "%, worst gap = " << birp::util::fixed(worst_gap, 2)
+            << "%. The linearization never violates the real budget and the "
+               "induced loss gap stays modest — the property BIRP's Eq. 24 "
+               "step relies on.\n";
+  return 0;
+}

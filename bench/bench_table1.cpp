@@ -1,0 +1,77 @@
+// Table 1: Inference Resource Usage and Performance upon Heterogeneous
+// Edges — serial (batch-1) execution of four representative models on a
+// Jetson Nano and an Atlas 200DK.
+//
+// The paper profiles Yolov4-tiny, Yolov4-normal, ResNet-18, and BERT; this
+// reproduction maps each onto the zoo variant with the matching footprint
+// (small detector, large detector, small classifier, large NLU model) and
+// reports the simulator's serial pipeline measurements. GPU devices report
+// GPU usage; the Atlas reports NPU core usage (the AI-core duty metric the
+// paper's last NPU column captures).
+#include <iostream>
+
+#include "birp/device/cluster.hpp"
+#include "birp/util/table.hpp"
+
+namespace {
+
+struct ReferenceModel {
+  const char* name;
+  int app;
+  int variant;
+};
+
+}  // namespace
+
+int main() {
+  const auto cluster = birp::device::ClusterSpec::paper_large();
+
+  // Representative (application, variant) mapping for the paper's models:
+  // app 0 = object_detection, app 2 = image_recognition, app 3 = nlu.
+  const ReferenceModel models[] = {
+      {"Yolov4-t (object_detection/v0)", 0, 0},
+      {"Yolov4-n (object_detection/v4)", 0, 4},
+      {"ResNet-18 (image_recognition/v1)", 2, 1},
+      {"BERT (nlu/v4)", 3, 4},
+  };
+
+  // One Jetson Nano and one Atlas 200DK from the testbed.
+  int nano = -1;
+  int atlas = -1;
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    if (cluster.device(k).type == birp::device::DeviceType::JetsonNano &&
+        nano < 0) {
+      nano = k;
+    }
+    if (cluster.device(k).type == birp::device::DeviceType::Atlas200DK &&
+        atlas < 0) {
+      atlas = k;
+    }
+  }
+
+  birp::util::TextTable table({"Inference", "Edge Type", "CPU Usage (%)",
+                               "GPU Usage (%)", "NPU Core Usage (%)",
+                               "Average FPS"});
+  for (const auto& model : models) {
+    for (const int k : {nano, atlas}) {
+      const auto& device = cluster.device(k);
+      const auto point =
+          cluster.truth().serial_pipeline(k, model.app, model.variant);
+      const bool gpu =
+          device.accelerator == birp::device::AcceleratorKind::Gpu;
+      table.add_row({model.name, birp::device::to_string(device.type),
+                     birp::util::fixed(100.0 * point.cpu_util, 1),
+                     gpu ? birp::util::fixed(100.0 * point.accel_util, 1) : "/",
+                     gpu ? "/" : birp::util::fixed(100.0 * point.accel_util, 1),
+                     birp::util::fixed(point.fps, 1)});
+    }
+  }
+  table.print(std::cout,
+              "Table 1 — serial inference resource usage and FPS "
+              "(simulated heterogeneous edges)");
+  std::cout << "\nReading: small models leave the accelerator under-utilized"
+               " (the batching headroom BIRP exploits); large models saturate"
+               " it. Utilization ~ duty_cycle / C where C is the saturated"
+               " TIR level of Eq. 2.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Smart-city scenario: a district with camera-heavy intersections (object
+// detection + semantic segmentation dominant), strong rush-hour diurnality,
+// and one chronically hot downtown edge. Demonstrates building a custom
+// application zoo and workload against the public API and comparing BIRP
+// with the serial baseline.
+//
+//   ./examples/smart_city [slots]
+#include <cstdlib>
+#include <iostream>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/sched/oaei.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/util/rng.hpp"
+#include "birp/util/table.hpp"
+#include "birp/workload/generator.hpp"
+
+namespace {
+
+/// A zoo tailored to city infrastructure workloads: three applications,
+/// each with a small/medium/large ladder. Parameters stay within the
+/// calibrated ranges of the standard zoo.
+birp::model::Zoo city_zoo() {
+  birp::util::Xoshiro256StarStar rng(0xC17E);
+  std::vector<birp::model::Application> apps;
+  const struct {
+    const char* name;
+    double request_mb;  // camera crops are heavier than metadata events
+  } specs[] = {{"intersection_detection", 1.3},
+               {"pedestrian_segmentation", 1.8},
+               {"license_plate_ocr", 0.5}};
+  for (int i = 0; i < 3; ++i) {
+    birp::model::Application app;
+    app.id = i;
+    app.name = specs[i].name;
+    app.request_mb = specs[i].request_mb;
+    app.slo_fraction = 1.0;
+    const double loss_ladder[] = {0.46, 0.36, 0.26, 0.17};
+    const double latency_ladder[] = {25.0, 75.0, 200.0, 520.0};
+    const double weights_ladder[] = {40.0, 100.0, 220.0, 480.0};
+    const double inter_ladder[] = {60.0, 120.0, 230.0, 430.0};
+    for (int j = 0; j < 4; ++j) {
+      birp::model::ModelVariant v;
+      v.app = i;
+      v.variant = j;
+      v.name = std::string(specs[i].name) + "/v" + std::to_string(j);
+      const double jitter = rng.uniform(0.95, 1.05);
+      v.loss = loss_ladder[j] * jitter;
+      v.base_latency_ms = latency_ladder[j] * jitter;
+      v.weights_mb = weights_ladder[j] * jitter;
+      v.compressed_mb = std::clamp(v.weights_mb * 0.18, 7.0, 98.0);
+      v.intermediate_mb = inter_ladder[j] * jitter;
+      app.variants.push_back(std::move(v));
+    }
+    apps.push_back(std::move(app));
+  }
+  return birp::model::Zoo(std::move(apps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int slots = argc > 1 ? std::atoi(argv[1]) : 96;  // one simulated day
+
+  // Six roadside cabinets of mixed hardware.
+  birp::device::ClusterSpec cluster(birp::device::paper_testbed(), city_zoo(),
+                                    /*tau_s=*/6.0, /*truth_seed=*/0xC17E);
+
+  // Rush-hour heavy workload: pronounced diurnal swing, one hot downtown
+  // edge, camera bursts around incidents.
+  birp::workload::GeneratorConfig wl;
+  wl.slots = slots;
+  wl.slots_per_day = 96;
+  wl.mean_per_edge = birp::workload::suggested_mean_per_edge(cluster, 0.62);
+  wl.diurnal_amplitude = 0.45;
+  wl.hot_edge_factor = 1.6;
+  wl.burst_probability = 0.08;
+  wl.burst_scale = 1.5;
+  const auto trace = birp::workload::generate(cluster, wl);
+  std::cout << "smart-city day: " << trace.total() << " inference requests, "
+            << slots << " slots of " << cluster.tau_s() << "s\n";
+
+  birp::core::BirpScheduler birp(cluster);
+  birp::sched::OaeiScheduler oaei(cluster);
+  birp::sim::Simulator sim_birp(cluster, trace);
+  birp::sim::Simulator sim_oaei(cluster, trace);
+  const auto m_birp = sim_birp.run(birp);
+  const auto m_oaei = sim_oaei.run(oaei);
+
+  birp::util::TextTable table(
+      {"scheduler", "loss", "SLO failure p%", "dropped", "median tau"});
+  for (const auto& [name, m] :
+       {std::pair{"BIRP (batch-aware)", &m_birp},
+        std::pair{"OAEI (serial)", &m_oaei}}) {
+    table.add_row({name, birp::util::fixed(m->total_loss(), 1),
+                   birp::util::fixed(m->failure_percent(), 2),
+                   std::to_string(m->dropped()),
+                   birp::util::fixed(m->completion().quantile(0.5), 3)});
+  }
+  table.print(std::cout, "smart-city results");
+
+  const double saved = 100.0 * (m_oaei.total_loss() - m_birp.total_loss()) /
+                       m_oaei.total_loss();
+  std::cout << "batch-aware redistribution reduced inference loss by "
+            << birp::util::fixed(saved, 1) << "% over the day\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "birp/core/birp_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "birp/util/check.hpp"
+
+namespace birp::core {
+
+BirpScheduler::BirpScheduler(const device::ClusterSpec& cluster,
+                             BirpConfig config)
+    : cluster_(cluster), config_(config) {
+  if (config_.online) {
+    const std::size_t total =
+        static_cast<std::size_t>(cluster.num_devices()) *
+        static_cast<std::size_t>(cluster.num_apps()) *
+        static_cast<std::size_t>(cluster.zoo().max_variants());
+    estimators_.assign(total, TirEstimator(config_.tuner));
+  }
+}
+
+BirpScheduler BirpScheduler::offline(const device::ClusterSpec& cluster,
+                                     BirpConfig config) {
+  config.online = false;
+  return BirpScheduler(cluster, config);
+}
+
+std::size_t BirpScheduler::estimator_index(int device, int app,
+                                           int variant) const {
+  return (static_cast<std::size_t>(device) *
+              static_cast<std::size_t>(cluster_.num_apps()) +
+          static_cast<std::size_t>(app)) *
+             static_cast<std::size_t>(cluster_.zoo().max_variants()) +
+         static_cast<std::size_t>(variant);
+}
+
+device::TirParams BirpScheduler::believed_tir(int device, int app,
+                                              int variant) const {
+  if (!config_.online) return cluster_.oracle_tir(device, app, variant);
+  return estimators_[estimator_index(device, app, variant)].lower_confidence(
+      slot_);
+}
+
+sim::SlotDecision BirpScheduler::decide(const sim::SlotState& state) {
+  slot_ = state.slot;
+  const TirLookup lookup = [this](int k, int i, int j) {
+    return believed_tir(k, i, j);
+  };
+
+  const BuiltProblem problem = build_slot_problem(
+      cluster_, state.demand, state.previous, lookup, config_.problem);
+
+  // The BIRP-aware round-and-repair heuristic seeds branch-and-bound with
+  // feasible incumbents, keeping the per-slot solve real-time.
+  solver::BranchAndBoundOptions solver_options = config_.solver;
+  solver_options.incumbent_heuristic =
+      [&](std::span<const double> lp_values) {
+        return heuristic_incumbent(problem, lp_values, cluster_, state.demand,
+                                   state.previous, lookup, config_.problem);
+      };
+  const solver::Solution solution =
+      solver::solve_milp(problem.model, solver_options);
+  total_nodes_ += solution.nodes_explored;
+
+  if (!solution.usable()) {
+    ++fallbacks_;
+    return greedy_fallback(state);
+  }
+  return extract_decision(problem, solution, cluster_, state.demand);
+}
+
+void BirpScheduler::observe(const sim::SlotFeedback& feedback) {
+  if (!config_.online) return;
+  for (const auto& obs : feedback.observations) {
+    estimators_[estimator_index(obs.device, obs.app, obs.variant)].update(
+        obs.observed_tir, obs.batch, feedback.slot);
+  }
+}
+
+sim::SlotDecision BirpScheduler::greedy_fallback(
+    const sim::SlotState& state) const {
+  // Serve every region locally: fill variants smallest-first at the believed
+  // saturated batch size while the believed compute budget lasts; the rest
+  // is dropped. Deliberately simple — this is a liveness net, not a policy.
+  const int I = cluster_.num_apps();
+  const int K = cluster_.num_devices();
+  sim::SlotDecision decision(I, cluster_.zoo().max_variants(), K);
+
+  for (int k = 0; k < K; ++k) {
+    double compute_left = cluster_.tau_s();
+    double weights_used = 0.0;
+    double peak_mu = 0.0;
+    const double memory_mb = cluster_.memory_mb(k);
+    for (int i = 0; i < I; ++i) {
+      std::int64_t remaining = state.demand(i, k);
+      const int J = cluster_.zoo().num_variants(i);
+      for (int j = 0; j < J && remaining > 0; ++j) {
+        const auto believed = believed_tir(k, i, j);
+        const auto& variant = cluster_.zoo().variant(i, j);
+        const int mem_cap = std::max(
+            1, static_cast<int>(std::floor(
+                   config_.problem.max_reservation_fraction * memory_mb /
+                   variant.intermediate_mb)));
+        const int kernel_cap =
+            std::min({config_.problem.max_batch, believed.beta, mem_cap});
+        const int cap =
+            kernel_cap * std::max(1, config_.problem.launch_multiplier);
+        const double gamma = config_.problem.gamma_lookup
+                                 ? config_.problem.gamma_lookup(k, i, j)
+                                 : cluster_.gamma_s(k, i, j);
+
+        // Largest batch fitting the believed compute budget and the
+        // time-sliced memory model (weights sum + peak in-flight batch).
+        const double weights_after = weights_used + variant.weights_mb;
+        if (weights_after + peak_mu > memory_mb) continue;
+        const auto memory_allowed = static_cast<std::int64_t>(std::floor(
+            (memory_mb - weights_after) / variant.intermediate_mb));
+        const auto compute_allowed = static_cast<std::int64_t>(std::floor(
+            (compute_left / gamma - believed.eta) / (1.0 - believed.eta)));
+        const auto take =
+            std::min({remaining, static_cast<std::int64_t>(cap),
+                      memory_allowed, compute_allowed});
+        if (take <= 0) continue;
+
+        compute_left -=
+            gamma * ((1.0 - believed.eta) * static_cast<double>(take) +
+                     believed.eta);
+        weights_used = weights_after;
+        peak_mu = std::max(
+            peak_mu, variant.intermediate_mb * static_cast<double>(take));
+        decision.served(i, j, k) = take;
+        decision.kernel(i, j, k) = static_cast<int>(
+            std::min<std::int64_t>(take, kernel_cap));
+        remaining -= take;
+      }
+      decision.drops(i, k) = remaining;
+    }
+  }
+  return decision;
+}
+
+}  // namespace birp::core

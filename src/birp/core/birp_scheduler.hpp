@@ -1,0 +1,86 @@
+// The BIRP scheduler (the paper's contribution) and its BIRP-OFF oracle
+// variant.
+//
+// Per slot: look up believed TIR parameters (online: MAB lower-confidence
+// estimates refreshed from execution feedback; offline: ground-truth curves
+// profiled ahead of time), build the linearized slot problem, solve it with
+// branch-and-bound, and extract an executable decision. If the solver fails
+// to produce a usable incumbent within budget, a greedy fallback keeps the
+// system live (serve locally, smallest models first, drop the overflow).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "birp/core/problem.hpp"
+#include "birp/core/tir_estimator.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/sim/scheduler.hpp"
+#include "birp/solver/branch_and_bound.hpp"
+
+namespace birp::core {
+
+struct BirpConfig {
+  TirEstimatorConfig tuner;
+  ProblemOptions problem;
+  solver::BranchAndBoundOptions solver;
+  /// Online mode tunes TIR hyperparameters from feedback; offline mode
+  /// (BIRP-OFF) reads the cluster's oracle curves and ignores feedback.
+  bool online = true;
+  /// Optional display-name override (used by ablation variants).
+  std::string name_override;
+
+  BirpConfig() {
+    // Per-slot scheduling must be real-time: a small node budget, a 2%
+    // optimality gap, and the round-and-repair incumbent heuristic return
+    // near-optimal plans quickly; the linearization ablation bench measures
+    // the residual gap against exhaustive search on small instances.
+    solver.max_nodes = 4;
+    solver.relative_gap = 0.02;
+  }
+};
+
+class BirpScheduler : public sim::Scheduler {
+ public:
+  BirpScheduler(const device::ClusterSpec& cluster, BirpConfig config = {});
+
+  /// BIRP-OFF: offline-profiled TIR, no online tuning.
+  [[nodiscard]] static BirpScheduler offline(const device::ClusterSpec& cluster,
+                                             BirpConfig config = {});
+
+  [[nodiscard]] std::string name() const override {
+    if (!config_.name_override.empty()) return config_.name_override;
+    return config_.online ? "BIRP" : "BIRP-OFF";
+  }
+
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState& state) override;
+  void observe(const sim::SlotFeedback& feedback) override;
+
+  /// Believed TIR parameters for the upcoming slot (diagnostics / tests).
+  [[nodiscard]] device::TirParams believed_tir(int device, int app,
+                                               int variant) const;
+
+  /// Cumulative solver diagnostics.
+  [[nodiscard]] std::int64_t total_nodes() const noexcept {
+    return total_nodes_;
+  }
+  [[nodiscard]] std::int64_t fallback_count() const noexcept {
+    return fallbacks_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t estimator_index(int device, int app,
+                                            int variant) const;
+  [[nodiscard]] sim::SlotDecision greedy_fallback(
+      const sim::SlotState& state) const;
+
+  const device::ClusterSpec& cluster_;
+  BirpConfig config_;
+  std::vector<TirEstimator> estimators_;  ///< [device][app][variant], online
+  int slot_ = 0;
+  std::int64_t total_nodes_ = 0;
+  std::int64_t fallbacks_ = 0;
+};
+
+}  // namespace birp::core

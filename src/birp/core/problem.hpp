@@ -1,0 +1,115 @@
+// Per-slot optimization problem builder (paper P1ᵗ / P2ᵗ after the Eq. 24
+// linearization).
+//
+// Decision variables per slot t:
+//   x_{ijk} ∈ {0,1}  deploy variant j of app i on edge k
+//   z_{ijk} ∈ [0,β]  requests served by that deployment (z = x·b of the
+//                    paper; the product is captured by z ≤ β·x, and b never
+//                    appears elsewhere, so the bilinear term vanishes —
+//                    the "quadratic" program reduces to a MILP)
+//   e_{ik}, m_{ik}   requests exported from / imported to edge k (aggregated
+//                    y^t_{ikk'}; exact because Eq. 9 charges both endpoints
+//                    per forwarded request, so only row/column sums matter)
+//   d_{ik} ≥ 0       dropped requests, charged a penalty above any model
+//                    loss (engineering slack for infeasible overload)
+//
+// Constraints: conservation (Eq. 3+5), per-app flow balance, memory (Eq. 6),
+// linearized compute (Eq. 25), network (Eq. 13/14 depending on x^{t-1}).
+// Objective: Σ loss_{ij} z_{ijk} + Σ penalty_i d_{ik}   (Eq. 10).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "birp/device/cluster.hpp"
+#include "birp/sim/decision.hpp"
+#include "birp/solver/branch_and_bound.hpp"
+#include "birp/solver/model.hpp"
+#include "birp/util/grid.hpp"
+
+namespace birp::core {
+
+/// Supplies the TIR parameters the optimizer should believe for (k, i, j):
+/// LCB estimates for online BIRP, oracle truth for BIRP-OFF.
+using TirLookup =
+    std::function<device::TirParams(int device, int app, int variant)>;
+
+/// Supplies the serial latency gamma (seconds) the optimizer should believe
+/// for (k, i, j). Empty means the cluster's exact table; supply a
+/// predictor::LatencyPredictor-backed lambda to schedule against predicted
+/// latencies (the nn-Meter role in the paper).
+using GammaLookup = std::function<double(int device, int app, int variant)>;
+
+struct ProblemOptions {
+  /// Drop penalty = factor * worst loss of the app; must exceed 1 so serving
+  /// is always preferred when feasible.
+  double drop_penalty_factor = 2.0;
+  /// Global ceiling on per-launch batch size (min'd with believed beta).
+  int max_batch = 16;
+  /// Multi-launch extension: a deployment may serve up to
+  /// launch_multiplier * min(max_batch, beta) requests per slot, executed
+  /// as back-to-back launches of the per-launch batch size. The paper's
+  /// Eq. 5 merges each app's slot workload into a single batch (fine at
+  /// its testbed's request rates); at realistic rates a runtime simply
+  /// launches again. The linearized compute charge (Eq. 24's slope per
+  /// request) remains a conservative overestimate of the true multi-launch
+  /// cost, so feasibility is preserved. Set to 1 for the strict reading.
+  int launch_multiplier = 3;
+  /// A single deployment's activation reservation (mu * kernel) may claim
+  /// at most this fraction of the edge's memory; the per-launch kernel cap
+  /// shrinks to fit. Keeps large models deployable at small batches instead
+  /// of being locked out by a full-beta reservation.
+  double max_reservation_fraction = 0.5;
+  /// Believed serial latencies; empty = cluster's exact gamma table.
+  GammaLookup gamma_lookup;
+  /// When false, exports/imports are pinned to zero — the NO-REDIST
+  /// ablation that isolates batching benefit from redistribution benefit.
+  bool allow_redistribution = true;
+};
+
+/// A built model plus the variable index maps needed to read a solution.
+struct BuiltProblem {
+  solver::Model model;
+  util::Grid3<int> x;  ///< [app][variant][device] -> binary var index
+  util::Grid3<int> z;  ///< [app][variant][device] -> integer var index
+  util::Grid2<int> e;  ///< [app][device] -> export var index
+  util::Grid2<int> m;  ///< [app][device] -> import var index
+  util::Grid2<int> d;  ///< [app][device] -> drop var index
+  std::vector<int> w;  ///< [device] -> peak working-set var index (Eq. 6')
+  /// Per-launch kernel batch cap min(max_batch, believed beta) used when
+  /// converting served counts into launch sizes.
+  util::Grid3<int> kernel_cap;
+};
+
+/// Builds the slot problem. `previous` may be null (slot 0): all deployments
+/// then pay the model-switch network cost, matching P1ᵗ.
+[[nodiscard]] BuiltProblem build_slot_problem(
+    const device::ClusterSpec& cluster,
+    const util::Grid2<std::int64_t>& demand,
+    const sim::SlotDecision* previous, const TirLookup& tir,
+    const ProblemOptions& options = {});
+
+/// Problem-specific primal heuristic for the branch-and-bound solver: turns
+/// a fractional LP point into a feasible integral candidate by extracting a
+/// decision, then repairing memory, believed-compute, and network overruns
+/// (shedding the least amount of serving necessary). Returns an empty
+/// vector when repair fails. This is what makes the per-slot MILP solvable
+/// in real time at small node budgets.
+[[nodiscard]] std::vector<double> heuristic_incumbent(
+    const BuiltProblem& problem, std::span<const double> lp_values,
+    const device::ClusterSpec& cluster,
+    const util::Grid2<std::int64_t>& demand,
+    const sim::SlotDecision* previous, const TirLookup& tir,
+    const ProblemOptions& options);
+
+/// Converts a MILP solution into an executable SlotDecision: rounds the
+/// integer variables, reconstructs sparse flows from the aggregated
+/// exports/imports (greedy transportation matching), and restores exact
+/// request conservation (residuals become drops).
+[[nodiscard]] sim::SlotDecision extract_decision(
+    const BuiltProblem& problem, const solver::Solution& solution,
+    const device::ClusterSpec& cluster,
+    const util::Grid2<std::int64_t>& demand);
+
+}  // namespace birp::core

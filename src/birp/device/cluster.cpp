@@ -1,0 +1,27 @@
+#include "birp/device/cluster.hpp"
+
+#include "birp/util/check.hpp"
+
+namespace birp::device {
+
+ClusterSpec::ClusterSpec(std::vector<DeviceProfile> devices, model::Zoo zoo,
+                         double tau_s, std::uint64_t truth_seed)
+    : zoo_(std::move(zoo)), tau_s_(tau_s) {
+  util::check(tau_s_ > 0.0, "ClusterSpec: tau must be positive");
+  truth_ = std::make_shared<const GroundTruth>(std::move(devices), zoo_,
+                                               truth_seed);
+}
+
+ClusterSpec ClusterSpec::paper_large(double tau_s) {
+  return ClusterSpec(paper_testbed(), model::Zoo::standard(), tau_s, 0x1a23e);
+}
+
+ClusterSpec ClusterSpec::paper_small(double tau_s) {
+  return ClusterSpec(paper_testbed(), model::Zoo::small_scale(), tau_s, 0x53a11);
+}
+
+ClusterSpec ClusterSpec::sweep(double tau_s) {
+  return ClusterSpec(paper_testbed(), model::Zoo::sweep_scale(), tau_s, 0x5ee9);
+}
+
+}  // namespace birp::device

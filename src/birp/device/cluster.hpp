@@ -1,0 +1,70 @@
+// ClusterSpec: the complete description of one edge collaborative system —
+// devices, applications/models, ground truth, and slot timing. This is the
+// object experiments construct once and share between the simulator and the
+// schedulers.
+//
+// Information split (mirrors the paper):
+//  * schedulers may read loss/delta/xi/mu/zeta, memory and network budgets,
+//    tau, and the serial latencies gamma (the paper obtains gamma from an
+//    nn-Meter-style predictor [36]);
+//  * ground-truth TIR parameters are private to the simulator — only
+//    BIRP-OFF (offline profiling) is allowed to read them, via
+//    `oracle_tir()`, which experiments pass explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "birp/device/profile.hpp"
+#include "birp/device/truth.hpp"
+#include "birp/model/zoo.hpp"
+
+namespace birp::device {
+
+class ClusterSpec {
+ public:
+  ClusterSpec(std::vector<DeviceProfile> devices, model::Zoo zoo,
+              double tau_s, std::uint64_t truth_seed);
+
+  [[nodiscard]] int num_devices() const noexcept {
+    return truth_->num_devices();
+  }
+  [[nodiscard]] int num_apps() const noexcept { return zoo_.num_apps(); }
+  [[nodiscard]] const model::Zoo& zoo() const noexcept { return zoo_; }
+  [[nodiscard]] const DeviceProfile& device(int k) const {
+    return truth_->device(k);
+  }
+  [[nodiscard]] double tau_s() const noexcept { return tau_s_; }
+
+  /// Per-slot network budget N_k of device k in MB.
+  [[nodiscard]] double network_mb(int k) const {
+    return device(k).network_mb_per_slot(tau_s_);
+  }
+  /// Memory budget M_k of device k in MB.
+  [[nodiscard]] double memory_mb(int k) const { return device(k).memory_mb; }
+
+  /// Serial latency gamma (seconds) — known to schedulers per [36].
+  [[nodiscard]] double gamma_s(int k, int app, int variant) const {
+    return truth_->gamma_s(k, app, variant);
+  }
+
+  /// Ground truth (simulator / oracle use only).
+  [[nodiscard]] const GroundTruth& truth() const noexcept { return *truth_; }
+  /// Oracle TIR access for BIRP-OFF (offline-profiled curves).
+  [[nodiscard]] const TirParams& oracle_tir(int k, int app, int variant) const {
+    return truth_->tir(k, app, variant);
+  }
+
+  // Convenience factory methods for the paper's three configurations.
+  static ClusterSpec paper_large(double tau_s = 6.0);   ///< 6 edges, 5x5 models
+  static ClusterSpec paper_small(double tau_s = 6.0);   ///< 6 edges, 1x3 models
+  static ClusterSpec sweep(double tau_s = 6.0);         ///< 6 edges, 3x3 models
+
+ private:
+  model::Zoo zoo_;
+  double tau_s_;
+  std::shared_ptr<const GroundTruth> truth_;
+};
+
+}  // namespace birp::device

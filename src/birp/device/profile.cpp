@@ -1,0 +1,90 @@
+#include "birp/device/profile.hpp"
+
+#include "birp/util/check.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::device {
+
+std::string to_string(DeviceType type) {
+  switch (type) {
+    case DeviceType::JetsonNano: return "JetsonNano";
+    case DeviceType::JetsonNX: return "JetsonNX";
+    case DeviceType::Atlas200DK: return "Atlas200DK";
+  }
+  return "unknown";
+}
+
+AcceleratorKind accelerator_of(DeviceType type) noexcept {
+  return type == DeviceType::Atlas200DK ? AcceleratorKind::Npu
+                                        : AcceleratorKind::Gpu;
+}
+
+DeviceProfile make_device(DeviceType type, int id, int instance) {
+  DeviceProfile profile;
+  profile.id = id;
+  profile.type = type;
+  profile.accelerator = accelerator_of(type);
+  profile.name = to_string(type) + "#" + std::to_string(instance);
+
+  // Per-instance jitter: two physical units of the same SKU never measure
+  // identically (thermals, memory clocks, carrier boards).
+  util::Xoshiro256StarStar rng(0xde71ce00ULL + 131 * static_cast<std::uint64_t>(instance) +
+                               17 * static_cast<std::uint64_t>(type));
+  const double jitter = rng.uniform(0.96, 1.04);
+
+  switch (type) {
+    case DeviceType::JetsonNano:
+      // Entry-level: 128-core Maxwell; the reference (speed 1.0) device.
+      profile.memory_mb = 4600.0 * jitter;
+      profile.accel_speed = 0.8 * jitter;
+      profile.host_speed = 1.0 * jitter;
+      profile.serial_occupancy = 0.72;  // small GPU: one kernel fills most SMs
+      profile.idle_power_w = 2.0;       // 5W/10W-mode module
+      profile.busy_power_w = 10.0;
+      break;
+    case DeviceType::JetsonNX:
+      // 384-core Volta + tensor cores: much faster, much more headroom.
+      profile.memory_mb = 6400.0 * jitter;
+      profile.accel_speed = 2.0 * jitter;
+      profile.host_speed = 1.8 * jitter;
+      profile.serial_occupancy = 0.38;
+      profile.idle_power_w = 5.0;  // 10W/20W-mode module
+      profile.busy_power_w = 20.0;
+      break;
+    case DeviceType::Atlas200DK:
+      // Ascend 310 NPU: strong dense-conv throughput, moderate host CPU.
+      profile.memory_mb = 5600.0 * jitter;
+      profile.accel_speed = 1.4 * jitter;
+      profile.host_speed = 1.2 * jitter;
+      profile.serial_occupancy = 0.45;
+      profile.idle_power_w = 6.0;  // Ascend 310 board
+      profile.busy_power_w = 18.0;
+      break;
+  }
+  profile.bandwidth_mbps = rng.uniform(50.0, 100.0);
+  return profile;
+}
+
+std::vector<DeviceProfile> paper_testbed() {
+  std::vector<DeviceProfile> devices;
+  int id = 0;
+  for (int instance = 0; instance < 2; ++instance) {
+    for (const DeviceType type : {DeviceType::JetsonNX, DeviceType::JetsonNano,
+                                  DeviceType::Atlas200DK}) {
+      devices.push_back(make_device(type, id++, instance));
+    }
+  }
+  return devices;
+}
+
+std::vector<DeviceProfile> one_of_each() {
+  std::vector<DeviceProfile> devices;
+  int id = 0;
+  for (const DeviceType type : {DeviceType::JetsonNX, DeviceType::JetsonNano,
+                                DeviceType::Atlas200DK}) {
+    devices.push_back(make_device(type, id++, 0));
+  }
+  return devices;
+}
+
+}  // namespace birp::device

@@ -1,0 +1,64 @@
+// Edge device profiles for the three accelerator types in the paper's
+// testbed: Jetson Nano, Jetson NX (GPU-accelerated), and Huawei Atlas 200DK
+// (NPU-accelerated). Numbers are calibrated to the paper's §5.1 ranges:
+// memory in [4500, 6500] MB, per-slot network budget from [50, 100] Mbps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace birp::device {
+
+enum class DeviceType { JetsonNano, JetsonNX, Atlas200DK };
+enum class AcceleratorKind { Gpu, Npu };
+
+[[nodiscard]] std::string to_string(DeviceType type);
+[[nodiscard]] AcceleratorKind accelerator_of(DeviceType type) noexcept;
+
+/// Static description of one edge device.
+struct DeviceProfile {
+  int id = 0;
+  DeviceType type = DeviceType::JetsonNano;
+  std::string name;
+  AcceleratorKind accelerator = AcceleratorKind::Gpu;
+  double memory_mb = 0.0;         ///< M_k, usable accelerator+host memory
+  double bandwidth_mbps = 0.0;    ///< wireless bandwidth of the edge
+  double accel_speed = 1.0;       ///< accelerator throughput vs Jetson Nano
+  double host_speed = 1.0;        ///< CPU-side pre/post-processing speed
+  /// Fraction of accelerator lanes a single-request kernel can occupy;
+  /// drives the ground-truth TIR saturation level (low occupancy => high
+  /// batching headroom). See truth.cpp.
+  double serial_occupancy = 0.6;
+  /// Power draw (watts): edge accelerators prioritize energy efficiency
+  /// (paper section 2.1), so the simulator accounts energy per slot as
+  /// busy_power while executing plus idle_power for the remainder.
+  double idle_power_w = 3.0;
+  double busy_power_w = 12.0;
+
+  /// Network budget per slot of `tau_s` seconds, in megabytes.
+  [[nodiscard]] double network_mb_per_slot(double tau_s) const noexcept {
+    return bandwidth_mbps * tau_s / 8.0;
+  }
+
+  /// Energy (joules) consumed over one slot of `tau_s` seconds with the
+  /// accelerator busy for `busy_s` of it (busy_s may exceed tau_s when a
+  /// slot overruns).
+  [[nodiscard]] double slot_energy_j(double busy_s, double tau_s) const noexcept {
+    const double idle_s = busy_s >= tau_s ? 0.0 : tau_s - busy_s;
+    return busy_s * busy_power_w + idle_s * idle_power_w;
+  }
+};
+
+/// Builds a device of the given type. `instance` individualizes repeated
+/// devices of the same type (the paper deploys two instances of each); the
+/// per-instance jitter is deterministic in (type, instance).
+[[nodiscard]] DeviceProfile make_device(DeviceType type, int id, int instance);
+
+/// The paper's testbed: two instances of each of the three device types.
+[[nodiscard]] std::vector<DeviceProfile> paper_testbed();
+
+/// One instance of each type (used by small experiments and tests).
+[[nodiscard]] std::vector<DeviceProfile> one_of_each();
+
+}  // namespace birp::device

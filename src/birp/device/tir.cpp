@@ -1,0 +1,3 @@
+// tir.hpp is header-only; this translation unit exists so the header is
+// compiled standalone at least once (catches missing includes early).
+#include "birp/device/tir.hpp"

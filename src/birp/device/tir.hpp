@@ -1,0 +1,37 @@
+// The Throughput Improvement Ratio function (paper Eq. 2) and the induced
+// batch compute-time model (paper Eq. 7).
+#pragma once
+
+#include <cmath>
+
+namespace birp::device {
+
+/// Parameters of the piecewise TIR curve for one (device, model) pair:
+///   TIR(b) = b^eta  for b <= beta,    TIR(b) = c  for b > beta.
+struct TirParams {
+  double eta = 0.1;  ///< power-law growth exponent
+  int beta = 16;     ///< saturation batch size threshold
+  double c = 1.0;    ///< saturated improvement ratio
+
+  /// TIR(b) per Eq. 2; TIR(1) == 1 by construction when eta-curve is used.
+  [[nodiscard]] double tir(int b) const noexcept {
+    if (b <= 0) return 1.0;
+    if (b <= beta) return std::pow(static_cast<double>(b), eta);
+    return c;
+  }
+
+  /// Batch execution time per Eq. 7: f(b) = b * gamma / TIR(b), where
+  /// `gamma` is the serial batch-1 latency. Returns 0 for b <= 0.
+  [[nodiscard]] double batch_time(double gamma, int b) const noexcept {
+    if (b <= 0) return 0.0;
+    return static_cast<double>(b) * gamma / tir(b);
+  }
+
+  /// Continuity-consistent parameters satisfy c == beta^eta (the paper's
+  /// fits are continuous at the breakpoint); returns the deviation.
+  [[nodiscard]] double continuity_gap() const noexcept {
+    return std::abs(c - std::pow(static_cast<double>(beta), eta));
+  }
+};
+
+}  // namespace birp::device

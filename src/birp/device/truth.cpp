@@ -1,0 +1,140 @@
+#include "birp/device/truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "birp/util/check.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::device {
+namespace {
+
+/// Per-(device-type, app) affinity: e.g. transformer-heavy NLU workloads run
+/// disproportionately well on the Atlas AI core, CNNs exploit Jetson tensor
+/// lanes. Deterministic in its arguments.
+double affinity(DeviceType type, int app) {
+  util::Xoshiro256StarStar rng(0xaff1ULL + 97 * static_cast<std::uint64_t>(type) +
+                               13 * static_cast<std::uint64_t>(app));
+  return rng.uniform(0.85, 1.18);
+}
+
+}  // namespace
+
+GroundTruth::GroundTruth(std::vector<DeviceProfile> devices,
+                         const model::Zoo& zoo, std::uint64_t seed)
+    : devices_(std::move(devices)),
+      num_apps_(zoo.num_apps()),
+      max_variants_(zoo.max_variants()) {
+  util::check(!devices_.empty(), "GroundTruth: no devices");
+  const std::size_t total = devices_.size() *
+                            static_cast<std::size_t>(num_apps_) *
+                            static_cast<std::size_t>(max_variants_);
+  gamma_s_.assign(total, 0.0);
+  host_s_.assign(total, 0.0);
+  tir_.assign(total, TirParams{});
+
+  util::Xoshiro256StarStar rng(seed);
+  for (int k = 0; k < num_devices(); ++k) {
+    const auto& dev = devices_[static_cast<std::size_t>(k)];
+    for (int i = 0; i < num_apps_; ++i) {
+      const auto& app = zoo.app(i);
+      const int variants = static_cast<int>(app.variants.size());
+      for (int j = 0; j < variants; ++j) {
+        const auto& variant = app.variants[static_cast<std::size_t>(j)];
+        const std::size_t idx = index(k, i, j);
+
+        // --- Serial latency gamma (Eq. 7 input). ---
+        const double gamma_ms = variant.base_latency_ms / dev.accel_speed *
+                                affinity(dev.type, i) *
+                                rng.uniform(0.97, 1.03);
+        gamma_s_[idx] = gamma_ms / 1000.0;
+
+        // --- Host-side cost: a fixed pre/post-processing term (image
+        // decode, NMS) that dominates small vision models, plus a share of
+        // the model's own size (tokenization, tensor marshalling) so large
+        // models keep the CPU meaningfully busy, as in Table 1's BERT rows.
+        const double host_base_ms = 14.0 + 9.0 * static_cast<double>(i % 3);
+        host_s_[idx] = std::max(host_base_ms *
+                                    (0.9 + 0.12 * static_cast<double>(j)) /
+                                    dev.host_speed / 1000.0,
+                                0.25 * gamma_s_[idx]);
+
+        // --- TIR truth from kernel occupancy. Larger variants launch wider
+        // kernels: occupancy grows with the size class, so batching headroom
+        // (beta) shrinks and the curve flattens (eta drops), matching the
+        // LeNet vs ResNet-18 contrast in the paper's Fig. 2. ---
+        const double size_class =
+            variants <= 1 ? 1.0
+                          : static_cast<double>(j) /
+                                static_cast<double>(variants - 1);
+        const double occupancy =
+            std::clamp(dev.serial_occupancy * (0.55 + 0.9 * size_class) *
+                           rng.uniform(0.9, 1.1),
+                       0.08, 0.95);
+        // Calibrated to the paper's Fig. 2 fits (beta in ~[5, 10], eta in
+        // ~[0.12, 0.32]) and Table 1 (serial accelerator utilization
+        // ~ 1/C): low-occupancy kernels saturate later and climb faster.
+        TirParams tir;
+        tir.beta = std::clamp(
+            static_cast<int>(std::lround(4.0 + 12.0 * (1.0 - occupancy) +
+                                         rng.uniform(-1.0, 1.0))),
+            3, 16);
+        tir.eta = std::clamp(0.40 - 0.32 * occupancy + rng.uniform(-0.02, 0.02),
+                             0.10, 0.35);
+        tir.c = std::pow(static_cast<double>(tir.beta), tir.eta);
+        tir_[idx] = tir;
+      }
+    }
+  }
+}
+
+std::size_t GroundTruth::index(int device, int app, int variant) const {
+  util::check(device >= 0 && device < num_devices(), "GroundTruth: bad device");
+  util::check(app >= 0 && app < num_apps_, "GroundTruth: bad app");
+  util::check(variant >= 0 && variant < max_variants_, "GroundTruth: bad variant");
+  return (static_cast<std::size_t>(device) * static_cast<std::size_t>(num_apps_) +
+          static_cast<std::size_t>(app)) *
+             static_cast<std::size_t>(max_variants_) +
+         static_cast<std::size_t>(variant);
+}
+
+const DeviceProfile& GroundTruth::device(int k) const {
+  util::check(k >= 0 && k < num_devices(), "GroundTruth: bad device index");
+  return devices_[static_cast<std::size_t>(k)];
+}
+
+double GroundTruth::gamma_s(int device, int app, int variant) const {
+  return gamma_s_[index(device, app, variant)];
+}
+
+double GroundTruth::host_s(int device, int app, int variant) const {
+  return host_s_[index(device, app, variant)];
+}
+
+const TirParams& GroundTruth::tir(int device, int app, int variant) const {
+  return tir_[index(device, app, variant)];
+}
+
+double GroundTruth::batch_time_s(int device, int app, int variant,
+                                 int b) const {
+  return tir(device, app, variant).batch_time(gamma_s(device, app, variant), b);
+}
+
+PipelinePoint GroundTruth::serial_pipeline(int device, int app,
+                                           int variant) const {
+  const double g = gamma_s(device, app, variant);
+  const double h = host_s(device, app, variant);
+  const double period = std::max(g, h);
+  const auto& tir = this->tir(device, app, variant);
+
+  PipelinePoint point;
+  point.fps = 1.0 / period;
+  point.cpu_util = std::min(h / period, 0.999);
+  point.accel_busy = std::min(g / period, 0.999);
+  // Serial kernels only occupy ~1/C of the accelerator: the headroom the
+  // saturated TIR level C measures is exactly the unused lane fraction.
+  point.accel_util = point.accel_busy / tir.c;
+  return point;
+}
+
+}  // namespace birp::device

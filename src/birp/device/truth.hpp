@@ -1,0 +1,75 @@
+// Ground-truth execution characteristics of every (device, application,
+// model-variant) combination — the simulator's stand-in for physical
+// Jetson / Atlas hardware.
+//
+// The chain is kept self-consistent with the paper's observations:
+//  * serial latency gamma scales the variant's reference latency by the
+//    device's accelerator speed and a per-(device-type, app) affinity;
+//  * batching headroom derives from kernel occupancy: a batch-1 kernel that
+//    fills fraction w of the accelerator saturates near beta ~ 1/w, giving
+//    the piecewise TIR curve of Eq. 2 with C = beta^eta (continuity);
+//  * serial accelerator utilization is then ~ pipeline_busy / C, which is
+//    exactly why Table 1's single-request utilizations sit well below 100%
+//    for small models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "birp/device/profile.hpp"
+#include "birp/device/tir.hpp"
+#include "birp/model/zoo.hpp"
+
+namespace birp::device {
+
+/// Steady-state behaviour of one model executing serially (batch 1) on one
+/// device, under the overlapped CPU/accelerator pipeline model.
+struct PipelinePoint {
+  double fps = 0.0;         ///< items per second
+  double cpu_util = 0.0;    ///< host CPU busy fraction in [0, 1]
+  double accel_busy = 0.0;  ///< accelerator duty cycle in [0, 1]
+  double accel_util = 0.0;  ///< duty cycle x kernel occupancy in [0, 1]
+};
+
+/// Deterministic ground truth for a cluster. Construction seeds all jitter;
+/// the same (devices, zoo, seed) triple always yields identical truth.
+class GroundTruth {
+ public:
+  GroundTruth(std::vector<DeviceProfile> devices, const model::Zoo& zoo,
+              std::uint64_t seed);
+
+  [[nodiscard]] int num_devices() const noexcept {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] const DeviceProfile& device(int k) const;
+  [[nodiscard]] const std::vector<DeviceProfile>& devices() const noexcept {
+    return devices_;
+  }
+
+  /// Serial accelerator compute seconds per item (the paper's gamma).
+  [[nodiscard]] double gamma_s(int device, int app, int variant) const;
+  /// Host-side pre/post-processing seconds per item.
+  [[nodiscard]] double host_s(int device, int app, int variant) const;
+  /// Ground-truth TIR parameters (hidden from online schedulers).
+  [[nodiscard]] const TirParams& tir(int device, int app, int variant) const;
+
+  /// Noise-free execution time of one batch of size b (Eq. 7), seconds.
+  [[nodiscard]] double batch_time_s(int device, int app, int variant,
+                                    int b) const;
+
+  /// Serial (batch-1) pipeline measurement for Table 1-style reporting.
+  [[nodiscard]] PipelinePoint serial_pipeline(int device, int app,
+                                              int variant) const;
+
+ private:
+  [[nodiscard]] std::size_t index(int device, int app, int variant) const;
+
+  std::vector<DeviceProfile> devices_;
+  int num_apps_ = 0;
+  int max_variants_ = 0;
+  std::vector<double> gamma_s_;
+  std::vector<double> host_s_;
+  std::vector<TirParams> tir_;
+};
+
+}  // namespace birp::device

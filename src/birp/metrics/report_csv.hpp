@@ -1,0 +1,34 @@
+// CSV exporters for run metrics: every series behind the paper's figures
+// can be dumped for external plotting (gnuplot/matplotlib).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "birp/metrics/run_metrics.hpp"
+
+namespace birp::metrics {
+
+/// A named run for multi-algorithm exports.
+struct NamedRun {
+  std::string name;
+  const RunMetrics* metrics = nullptr;
+};
+
+/// Completion-time CDF sampled at `points` x-values over [0, max_tau]:
+/// header "tau,<name>,<name>..."; one row per sample point.
+void write_cdf_csv(std::ostream& out, const std::vector<NamedRun>& runs,
+                   double max_tau = 2.0, int points = 64);
+
+/// Per-slot loss: header "slot,<name>...". All runs must share a horizon.
+void write_slot_loss_csv(std::ostream& out, const std::vector<NamedRun>& runs);
+
+/// Cumulative loss: header "slot,<name>...".
+void write_cumulative_loss_csv(std::ostream& out,
+                               const std::vector<NamedRun>& runs);
+
+/// One-row-per-run summary: loss, failure p%, drops, busy, percentiles.
+void write_summary_csv(std::ostream& out, const std::vector<NamedRun>& runs);
+
+}  // namespace birp::metrics

@@ -1,0 +1,51 @@
+#include "birp/metrics/run_metrics.hpp"
+
+namespace birp::metrics {
+
+RunMetrics::RunMetrics(int expected_slots) {
+  if (expected_slots > 0) {
+    slot_loss_.reserve(static_cast<std::size_t>(expected_slots));
+  }
+}
+
+void RunMetrics::record_request(double completion_tau, bool met_slo) {
+  completion_.add(completion_tau);
+  ++total_requests_;
+  if (!met_slo) ++slo_failures_;
+}
+
+void RunMetrics::record_dropped() {
+  ++total_requests_;
+  ++slo_failures_;
+  ++dropped_;
+}
+
+void RunMetrics::record_slot_loss(double loss) {
+  slot_loss_.push_back(loss);
+  total_loss_ += loss;
+}
+
+void RunMetrics::record_edge_busy(double fraction) {
+  edge_busy_.add(fraction);
+}
+
+void RunMetrics::record_energy(double joules) { energy_j_ += joules; }
+
+std::vector<double> RunMetrics::cumulative_loss() const {
+  std::vector<double> cumulative;
+  cumulative.reserve(slot_loss_.size());
+  double running = 0.0;
+  for (const double loss : slot_loss_) {
+    running += loss;
+    cumulative.push_back(running);
+  }
+  return cumulative;
+}
+
+double RunMetrics::failure_percent() const noexcept {
+  if (total_requests_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(slo_failures_) /
+         static_cast<double>(total_requests_);
+}
+
+}  // namespace birp::metrics

@@ -1,0 +1,82 @@
+// Aggregated measurements of one simulation run — everything needed to
+// reproduce the paper's evaluation artifacts:
+//   * completion-time ECDF in units of tau     (Fig. 6a / 7a)
+//   * per-slot inference loss                  (Fig. 6b / 7b)
+//   * cumulative inference loss                (Fig. 6c / 7c)
+//   * SLO failure rate p%                      (Fig. 5, text claims)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "birp/util/ecdf.hpp"
+#include "birp/util/stats.hpp"
+
+namespace birp::metrics {
+
+class RunMetrics {
+ public:
+  explicit RunMetrics(int expected_slots = 0);
+
+  /// Records one request's completion time (in units of tau). `met_slo` is
+  /// false when the request finished after its SLO or was dropped.
+  void record_request(double completion_tau, bool met_slo);
+  /// Records a request that was never served (counts as an SLO failure and
+  /// does not contribute a completion-time sample).
+  void record_dropped();
+
+  /// Appends the realized inference loss of one slot (sum of loss_{ij} over
+  /// served requests, the paper's Eq. 10 objective evaluated ex post).
+  void record_slot_loss(double loss);
+
+  /// Records one edge's accelerator busy fraction for one slot.
+  void record_edge_busy(double fraction);
+
+  /// Adds one edge-slot's energy consumption (joules).
+  void record_energy(double joules);
+
+  [[nodiscard]] const util::Ecdf& completion() const noexcept {
+    return completion_;
+  }
+  [[nodiscard]] const std::vector<double>& slot_loss() const noexcept {
+    return slot_loss_;
+  }
+  [[nodiscard]] std::vector<double> cumulative_loss() const;
+  [[nodiscard]] double total_loss() const noexcept { return total_loss_; }
+
+  [[nodiscard]] std::int64_t total_requests() const noexcept {
+    return total_requests_;
+  }
+  [[nodiscard]] std::int64_t slo_failures() const noexcept {
+    return slo_failures_;
+  }
+  [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+
+  /// SLO failure percentage p% = failures / total * 100; 0 when empty.
+  [[nodiscard]] double failure_percent() const noexcept;
+
+  [[nodiscard]] const util::RunningStats& edge_busy() const noexcept {
+    return edge_busy_;
+  }
+
+  /// Total energy consumed across all edges and slots (joules).
+  [[nodiscard]] double total_energy_j() const noexcept { return energy_j_; }
+
+  /// Energy per served request (joules); 0 when nothing served.
+  [[nodiscard]] double energy_per_request_j() const noexcept {
+    const auto served = total_requests_ - dropped_;
+    return served > 0 ? energy_j_ / static_cast<double>(served) : 0.0;
+  }
+
+ private:
+  util::Ecdf completion_;
+  std::vector<double> slot_loss_;
+  double total_loss_ = 0.0;
+  std::int64_t total_requests_ = 0;
+  std::int64_t slo_failures_ = 0;
+  std::int64_t dropped_ = 0;
+  util::RunningStats edge_busy_;
+  double energy_j_ = 0.0;
+};
+
+}  // namespace birp::metrics

@@ -1,0 +1,132 @@
+#include "birp/model/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "birp/util/check.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::model {
+namespace {
+
+// Size-class anchors for a 5-variant ladder (variant 0 = smallest/least
+// accurate ... variant 4 = largest/most accurate), inside the paper's ranges.
+constexpr double kLossLadder[5] = {0.49, 0.40, 0.31, 0.22, 0.15};
+constexpr double kLatencyLadderMs[5] = {18.0, 55.0, 150.0, 340.0, 770.0};
+constexpr double kWeightsLadderMb[5] = {33.0, 85.0, 180.0, 340.0, 550.0};
+constexpr double kIntermediateLadderMb[5] = {55.0, 110.0, 210.0, 340.0, 480.0};
+
+ModelVariant make_variant(int app, int variant, const std::string& app_name,
+                          int ladder_index, util::Xoshiro256StarStar& rng) {
+  ModelVariant v;
+  v.app = app;
+  v.variant = variant;
+  v.name = app_name + "/v" + std::to_string(variant);
+  // Deterministic per-variant jitter keeps apps distinguishable while every
+  // value stays inside the paper's stated ranges.
+  const double jitter = rng.uniform(0.92, 1.08);
+  v.loss = std::clamp(kLossLadder[ladder_index] * jitter, 0.15, 0.49);
+  v.base_latency_ms =
+      std::clamp(kLatencyLadderMs[ladder_index] * jitter, 18.0, 770.0);
+  v.weights_mb =
+      std::clamp(kWeightsLadderMb[ladder_index] * jitter, 33.0, 550.0);
+  // Compressed weights transmit at roughly one-fifth the resident size,
+  // clamped into the paper's [7, 98] MB transmission range.
+  v.compressed_mb = std::clamp(v.weights_mb * 0.18, 7.0, 98.0);
+  v.intermediate_mb =
+      std::clamp(kIntermediateLadderMb[ladder_index] * jitter, 55.0, 480.0);
+  return v;
+}
+
+Application make_app(int id, const std::string& name, int num_variants,
+                     util::Xoshiro256StarStar& rng) {
+  Application app;
+  app.id = id;
+  app.name = name;
+  app.request_mb = rng.uniform(0.2, 3.0);
+  app.slo_fraction = 1.0;  // SLO == slot length, as in the paper's CDF plots
+  app.variants.reserve(static_cast<std::size_t>(num_variants));
+  for (int j = 0; j < num_variants; ++j) {
+    // Spread the reduced ladders over the full size range.
+    const int ladder_index =
+        num_variants == 5 ? j : (j * 4) / std::max(1, num_variants - 1);
+    app.variants.push_back(make_variant(id, j, name, ladder_index, rng));
+  }
+  return app;
+}
+
+}  // namespace
+
+Zoo Zoo::standard() {
+  util::Xoshiro256StarStar rng(0xb19fULL);
+  std::vector<Application> apps;
+  const char* names[] = {"object_detection", "face_recognition",
+                         "image_recognition", "nlu", "semantic_segmentation"};
+  for (int i = 0; i < 5; ++i) apps.push_back(make_app(i, names[i], 5, rng));
+  return Zoo(std::move(apps));
+}
+
+Zoo Zoo::small_scale() {
+  util::Xoshiro256StarStar rng(0x5a11ULL);
+  std::vector<Application> apps;
+  apps.push_back(make_app(0, "image_recognition", 3, rng));
+  return Zoo(std::move(apps));
+}
+
+Zoo Zoo::sweep_scale() {
+  util::Xoshiro256StarStar rng(0x53e9ULL);
+  std::vector<Application> apps;
+  const char* names[] = {"object_detection", "image_recognition", "nlu"};
+  for (int i = 0; i < 3; ++i) apps.push_back(make_app(i, names[i], 3, rng));
+  return Zoo(std::move(apps));
+}
+
+Zoo::Zoo(std::vector<Application> apps) : apps_(std::move(apps)) {
+  util::check(!apps_.empty(), "Zoo: no applications");
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    util::check(apps_[i].id == static_cast<int>(i), "Zoo: app ids must be dense");
+    util::check(!apps_[i].variants.empty(), "Zoo: app without variants");
+    max_variants_ =
+        std::max(max_variants_, static_cast<int>(apps_[i].variants.size()));
+    total_variants_ += static_cast<int>(apps_[i].variants.size());
+    for (std::size_t j = 0; j < apps_[i].variants.size(); ++j) {
+      const auto& v = apps_[i].variants[j];
+      util::check(v.app == static_cast<int>(i) && v.variant == static_cast<int>(j),
+                  "Zoo: variant indices must be dense");
+      util::check(v.loss > 0.0 && v.base_latency_ms > 0.0 && v.weights_mb > 0.0,
+                  "Zoo: variant parameters must be positive");
+    }
+  }
+}
+
+int Zoo::num_variants(int app) const {
+  return static_cast<int>(this->app(app).variants.size());
+}
+
+const Application& Zoo::app(int index) const {
+  util::check(index >= 0 && index < num_apps(), "Zoo: bad app index");
+  return apps_[static_cast<std::size_t>(index)];
+}
+
+const ModelVariant& Zoo::variant(int app, int variant) const {
+  const auto& a = this->app(app);
+  util::check(variant >= 0 && variant < static_cast<int>(a.variants.size()),
+              "Zoo: bad variant index");
+  return a.variants[static_cast<std::size_t>(variant)];
+}
+
+double Zoo::best_loss(int app) const {
+  const auto& a = this->app(app);
+  double best = a.variants.front().loss;
+  for (const auto& v : a.variants) best = std::min(best, v.loss);
+  return best;
+}
+
+double Zoo::worst_loss(int app) const {
+  const auto& a = this->app(app);
+  double worst = a.variants.front().loss;
+  for (const auto& v : a.variants) worst = std::max(worst, v.loss);
+  return worst;
+}
+
+}  // namespace birp::model

@@ -1,0 +1,84 @@
+// Application / model-variant zoo.
+//
+// Mirrors the paper's §5.1 setup: five industrial-internet applications
+// (object detection, face recognition, image recognition, NLU, semantic
+// segmentation), each mapped to five DNN model variants spanning
+// ResNet-18-class through BERT-class footprints. All per-variant parameters
+// are drawn deterministically inside the ranges the paper states:
+//   inference loss            in [0.15, 0.49]
+//   serial latency (see note) in [18, 770] ms on the reference edge
+//   weight size delta         in [33, 550] MB
+//   compressed weights xi     in [7, 98] MB
+//   batch-1 intermediates mu  in [55, 480] MB
+//   request size zeta         in [0.2, 3] MB
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace birp::model {
+
+/// One deployable DNN inference model version of an application.
+struct ModelVariant {
+  int app = 0;      ///< owning application index i
+  int variant = 0;  ///< model index j within the application (0 = smallest)
+  std::string name;
+  double loss = 0.0;             ///< inference error loss_{ij}
+  double base_latency_ms = 0.0;  ///< serial batch-1 latency on the reference edge
+  double weights_mb = 0.0;       ///< delta_{ji}: resident weight memory
+  double compressed_mb = 0.0;    ///< xi_{ji}: network cost of shipping the model
+  double intermediate_mb = 0.0;  ///< mu_{ji}: activation memory per batch element
+};
+
+/// One intelligent application and its model versions.
+struct Application {
+  int id = 0;
+  std::string name;
+  double request_mb = 0.0;    ///< zeta_i: network cost of forwarding one request
+  double slo_fraction = 1.0;  ///< response-time SLO as a fraction of the slot
+  std::vector<ModelVariant> variants;
+};
+
+/// Immutable collection of applications; the unit the scheduler plans over.
+class Zoo {
+ public:
+  /// The paper's large-scale configuration: 5 applications x 5 models.
+  static Zoo standard();
+
+  /// The paper's small-scale configuration: 1 application, 3 models
+  /// (TIR measured offline in the paper's Fig. 6 experiment).
+  static Zoo small_scale();
+
+  /// A mid-size configuration used for the epsilon parameter sweeps
+  /// (Fig. 4 / Fig. 5): 3 applications x 3 models each.
+  static Zoo sweep_scale();
+
+  /// Fully custom construction (used by tests).
+  explicit Zoo(std::vector<Application> apps);
+
+  [[nodiscard]] const std::vector<Application>& apps() const noexcept {
+    return apps_;
+  }
+  [[nodiscard]] int num_apps() const noexcept {
+    return static_cast<int>(apps_.size());
+  }
+  [[nodiscard]] int num_variants(int app) const;
+  [[nodiscard]] int max_variants() const noexcept { return max_variants_; }
+  [[nodiscard]] int total_variants() const noexcept { return total_variants_; }
+  [[nodiscard]] const Application& app(int index) const;
+  [[nodiscard]] const ModelVariant& variant(int app, int variant) const;
+
+  /// Smallest loss across all variants of `app` (the best any schedule can
+  /// achieve per request for that application).
+  [[nodiscard]] double best_loss(int app) const;
+  /// Largest loss across all variants of `app`.
+  [[nodiscard]] double worst_loss(int app) const;
+
+ private:
+  std::vector<Application> apps_;
+  int max_variants_ = 0;
+  int total_variants_ = 0;
+};
+
+}  // namespace birp::model

@@ -1,0 +1,142 @@
+#include "birp/predictor/latency_predictor.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "birp/util/check.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::predictor {
+namespace {
+
+/// Solves the 3x3 linear system A x = b by Gaussian elimination with
+/// partial pivoting (the normal equations of the log-linear fit).
+std::array<double, 3> solve3(std::array<std::array<double, 3>, 3> a,
+                             std::array<double, 3> b) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(col)])) {
+        pivot = row;
+      }
+    }
+    std::swap(a[static_cast<std::size_t>(col)], a[static_cast<std::size_t>(pivot)]);
+    std::swap(b[static_cast<std::size_t>(col)], b[static_cast<std::size_t>(pivot)]);
+    const double diag = a[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    util::check(std::abs(diag) > 1e-12,
+                "latency predictor: degenerate normal equations "
+                "(too few distinct training features)");
+    for (int row = col + 1; row < 3; ++row) {
+      const double factor =
+          a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] / diag;
+      for (int c = col; c < 3; ++c) {
+        a[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] -=
+            factor * a[static_cast<std::size_t>(col)][static_cast<std::size_t>(c)];
+      }
+      b[static_cast<std::size_t>(row)] -= factor * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::array<double, 3> x{};
+  for (int row = 2; row >= 0; --row) {
+    double sum = b[static_cast<std::size_t>(row)];
+    for (int c = row + 1; c < 3; ++c) {
+      sum -= a[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] *
+             x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(row)] =
+        sum / a[static_cast<std::size_t>(row)][static_cast<std::size_t>(row)];
+  }
+  return x;
+}
+
+std::array<double, 3> features(const model::ModelVariant& variant) {
+  return {1.0, std::log(variant.weights_mb), std::log(variant.intermediate_mb)};
+}
+
+}  // namespace
+
+LatencyPredictor LatencyPredictor::profile_and_fit(
+    const device::ClusterSpec& cluster, const PredictorConfig& config) {
+  util::check(config.train_fraction > 0.0 && config.train_fraction <= 1.0,
+              "latency predictor: train_fraction in (0, 1]");
+  util::check(config.runs_per_pair >= 1, "latency predictor: runs >= 1");
+
+  util::Xoshiro256StarStar rng(config.seed);
+  std::vector<DeviceModel> models;
+  models.reserve(static_cast<std::size_t>(cluster.num_devices()));
+  int total_samples = 0;
+
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    // Training set: a shuffled prefix of this device's (app, variant) pairs.
+    std::vector<std::pair<int, int>> pairs;
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int j = 0; j < cluster.zoo().num_variants(i); ++j) {
+        pairs.push_back({i, j});
+      }
+    }
+    rng.shuffle(pairs);
+    const auto train_count = std::max<std::size_t>(
+        3, static_cast<std::size_t>(std::ceil(
+               config.train_fraction * static_cast<double>(pairs.size()))));
+    pairs.resize(std::min(train_count, pairs.size()));
+
+    // Normal equations of log(gamma) ~ a + b log(delta) + c log(mu).
+    std::array<std::array<double, 3>, 3> ata{};
+    std::array<double, 3> atb{};
+    for (const auto& [i, j] : pairs) {
+      // "Timed runs": the simulated measurement is the ground-truth latency
+      // under multiplicative noise, averaged over runs_per_pair.
+      double measured = 0.0;
+      for (int run = 0; run < config.runs_per_pair; ++run) {
+        measured += cluster.gamma_s(k, i, j) *
+                    rng.lognormal(0.0, config.measurement_sigma);
+      }
+      measured /= static_cast<double>(config.runs_per_pair);
+
+      const auto f = features(cluster.zoo().variant(i, j));
+      const double y = std::log(measured);
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+          ata[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] +=
+              f[static_cast<std::size_t>(r)] * f[static_cast<std::size_t>(c)];
+        }
+        atb[static_cast<std::size_t>(r)] += f[static_cast<std::size_t>(r)] * y;
+      }
+      ++total_samples;
+    }
+
+    const auto coef = solve3(ata, atb);
+    models.push_back({coef[0], coef[1], coef[2]});
+  }
+  return LatencyPredictor(std::move(models), cluster.zoo(), total_samples);
+}
+
+double LatencyPredictor::predict_gamma_s(int device, int app,
+                                         int variant) const {
+  util::check(device >= 0 &&
+                  device < static_cast<int>(models_.size()),
+              "latency predictor: bad device");
+  const auto& m = models_[static_cast<std::size_t>(device)];
+  const auto f = features(zoo_.variant(app, variant));
+  return std::exp(m.intercept + m.weights_coef * f[1] +
+                  m.intermediate_coef * f[2]);
+}
+
+double LatencyPredictor::mean_relative_error(
+    const device::ClusterSpec& cluster) const {
+  double total = 0.0;
+  int count = 0;
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int j = 0; j < cluster.zoo().num_variants(i); ++j) {
+        const double truth = cluster.gamma_s(k, i, j);
+        total += std::abs(predict_gamma_s(k, i, j) - truth) / truth;
+        ++count;
+      }
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace birp::predictor

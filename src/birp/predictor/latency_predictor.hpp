@@ -1,0 +1,70 @@
+// Latency predictor: the nn-Meter substitute ([36] in the paper).
+//
+// The paper does not measure every (device, model) serial latency; it
+// predicts gamma with a learned model. This module reproduces that role:
+// profile a subset of (device, variant) pairs with (noisy, simulated) timed
+// runs, fit a per-device log-linear regression on model-structure features
+// (resident weight size and activation footprint — stand-ins for parameter
+// count and FLOPs), and predict gamma for every pair, including pairs never
+// profiled.
+//
+// Schedulers can consume these predictions instead of ground truth via
+// core::ProblemOptions::gamma_lookup, which is what the gamma-accuracy
+// ablation bench exercises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "birp/device/cluster.hpp"
+
+namespace birp::predictor {
+
+struct PredictorConfig {
+  /// Fraction of (app, variant) pairs per device profiled for training.
+  double train_fraction = 0.6;
+  /// Timed-run noise (lognormal sigma) on the profiled measurements.
+  double measurement_sigma = 0.05;
+  /// Repeated timed runs averaged per profiled pair.
+  int runs_per_pair = 3;
+  std::uint64_t seed = 0x9a77a;
+};
+
+/// Per-device log-linear latency model:
+///   log(gamma) ~ a + b log(weights_mb) + c log(intermediate_mb).
+class LatencyPredictor {
+ public:
+  /// Profiles and fits against the cluster's (hidden) ground truth. The
+  /// ground truth is only used as the measurement source — exactly the role
+  /// of running timed inferences on a physical board.
+  static LatencyPredictor profile_and_fit(const device::ClusterSpec& cluster,
+                                          const PredictorConfig& config = {});
+
+  /// Predicted serial latency (seconds) of variant j of app i on device k.
+  [[nodiscard]] double predict_gamma_s(int device, int app, int variant) const;
+
+  /// Mean relative error |pred - true| / true across ALL pairs (including
+  /// pairs never profiled) — the generalization error nn-Meter reports.
+  [[nodiscard]] double mean_relative_error(
+      const device::ClusterSpec& cluster) const;
+
+  /// Number of (device, pair) samples the fit consumed.
+  [[nodiscard]] int training_samples() const noexcept { return samples_; }
+
+ private:
+  struct DeviceModel {
+    double intercept = 0.0;
+    double weights_coef = 0.0;
+    double intermediate_coef = 0.0;
+  };
+
+  LatencyPredictor(std::vector<DeviceModel> models, model::Zoo zoo,
+                   int samples)
+      : models_(std::move(models)), zoo_(std::move(zoo)), samples_(samples) {}
+
+  std::vector<DeviceModel> models_;  ///< one per device
+  model::Zoo zoo_;                   ///< feature source (owned copy)
+  int samples_ = 0;
+};
+
+}  // namespace birp::predictor

@@ -1,0 +1,47 @@
+#include "birp/runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+namespace birp::runtime {
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(pool.size() * 4, total / std::max<std::size_t>(1, min_chunk)));
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk) {
+  ThreadPool pool;
+  parallel_for(pool, begin, end, body, min_chunk);
+}
+
+}  // namespace birp::runtime

@@ -1,0 +1,25 @@
+// Blocking data-parallel loop over an index range, built on ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+#include "birp/runtime/thread_pool.hpp"
+
+namespace birp::runtime {
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until all
+/// iterations finish. Iterations are distributed in contiguous chunks; the
+/// first exception (if any) is rethrown on the calling thread. `body` must
+/// be safe to invoke concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+/// Convenience overload with a transient pool sized to the hardware.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+}  // namespace birp::runtime

@@ -1,0 +1,67 @@
+// Fixed-size worker thread pool.
+//
+// Used to run per-edge slot execution concurrently in the simulator and to
+// parallelize experiment sweeps (the Fig. 4 / Fig. 5 epsilon grids run one
+// full simulation per grid point). Tasks are type-erased closures; submit()
+// returns a std::future for the result.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace birp::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn(args...)`; the returned future delivers the result or the
+  /// thrown exception.
+  template <typename Fn, typename... Args>
+  auto submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using Result = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<Fn>(fn),
+         ... args = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(args)...);
+        });
+    auto future = task->get_future();
+    enqueue([task]() mutable { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace birp::runtime

@@ -1,0 +1,49 @@
+#include "birp/sched/greedy_local.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace birp::sched {
+
+GreedyLocalScheduler::GreedyLocalScheduler(const device::ClusterSpec& cluster)
+    : cluster_(cluster) {}
+
+sim::SlotDecision GreedyLocalScheduler::decide(const sim::SlotState& state) {
+  const int I = cluster_.num_apps();
+  const int K = cluster_.num_devices();
+  sim::SlotDecision decision(I, cluster_.zoo().max_variants(), K);
+
+  for (int k = 0; k < K; ++k) {
+    double compute_left = cluster_.tau_s();
+    double weights_used = 0.0;
+    double peak_mu = 0.0;
+    const double memory = cluster_.memory_mb(k);
+    for (int i = 0; i < I; ++i) {
+      std::int64_t remaining = state.demand(i, k);
+      const int J = cluster_.zoo().num_variants(i);
+      // Most accurate first; serial launches (gamma per request, batch 1).
+      for (int j = J - 1; j >= 0 && remaining > 0; --j) {
+        const auto& variant = cluster_.zoo().variant(i, j);
+        const double weights_after = weights_used + variant.weights_mb;
+        const double peak_after =
+            std::max(peak_mu, variant.intermediate_mb);
+        if (weights_after + peak_after > memory) continue;
+        const double gamma = cluster_.gamma_s(k, i, j);
+        const auto fits = static_cast<std::int64_t>(
+            std::floor(compute_left / gamma));
+        const auto take = std::min(remaining, fits);
+        if (take <= 0) continue;
+        decision.served(i, j, k) = take;
+        decision.kernel(i, j, k) = 1;  // serial execution
+        compute_left -= gamma * static_cast<double>(take);
+        weights_used = weights_after;
+        peak_mu = peak_after;
+        remaining -= take;
+      }
+      decision.drops(i, k) = remaining;
+    }
+  }
+  return decision;
+}
+
+}  // namespace birp::sched

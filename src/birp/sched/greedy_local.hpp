@@ -1,0 +1,27 @@
+// GREEDY-LOCAL baseline: the "simple algorithm" class the paper dismisses
+// in section 5.2 ("we do not compare simple algorithms such as selecting
+// only the best model ... because these methods are not better than OAEI").
+// Each edge serves its own region, always choosing the most accurate model
+// version whose believed serial budget still fits, one request per launch,
+// no redistribution, no learning. Useful as a floor in experiments.
+#pragma once
+
+#include <string>
+
+#include "birp/device/cluster.hpp"
+#include "birp/sim/scheduler.hpp"
+
+namespace birp::sched {
+
+class GreedyLocalScheduler : public sim::Scheduler {
+ public:
+  explicit GreedyLocalScheduler(const device::ClusterSpec& cluster);
+
+  [[nodiscard]] std::string name() const override { return "GREEDY-LOCAL"; }
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState& state) override;
+
+ private:
+  const device::ClusterSpec& cluster_;
+};
+
+}  // namespace birp::sched

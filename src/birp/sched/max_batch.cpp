@@ -1,0 +1,133 @@
+#include "birp/sched/max_batch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "birp/util/check.hpp"
+
+namespace birp::sched {
+namespace {
+
+/// Greedy per-edge ledger while packing B0 chunks. Memory follows the
+/// time-sliced model: resident weights sum, activations charged at the peak
+/// in-flight B0 batch.
+struct EdgeLedger {
+  double compute_left = 0.0;
+  double memory_mb = 0.0;
+  double weights_used = 0.0;
+  double peak_mu = 0.0;
+  double network_left = 0.0;
+};
+
+}  // namespace
+
+MaxScheduler::MaxScheduler(const device::ClusterSpec& cluster, MaxConfig config)
+    : cluster_(cluster), config_(config) {
+  util::check(config_.b0 >= 1, "MAX: b0 must be >= 1");
+}
+
+sim::SlotDecision MaxScheduler::decide(const sim::SlotState& state) {
+  const int I = cluster_.num_apps();
+  const int K = cluster_.num_devices();
+  const int B0 = config_.b0;
+  sim::SlotDecision decision(I, cluster_.zoo().max_variants(), K);
+  // Static-shape engines tuned for B0: every launch runs at the full batch
+  // dimension, padded when fewer requests remain (the baseline's defining
+  // inefficiency at low load).
+  decision.pad_partial_launches = true;
+
+  std::vector<EdgeLedger> ledger(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    auto& l = ledger[static_cast<std::size_t>(k)];
+    l.compute_left = cluster_.tau_s();
+    l.memory_mb = cluster_.memory_mb(k);
+    l.network_left = cluster_.network_mb(k);
+  }
+
+  // Tries to place one chunk of `count` requests of app i on edge `to`
+  // (origin `from`); returns the chosen variant or -1.
+  const auto try_place = [&](int i, int from, int to,
+                             std::int64_t count) -> int {
+    auto& lto = ledger[static_cast<std::size_t>(to)];
+    auto& lfrom = ledger[static_cast<std::size_t>(from)];
+    const double zeta = cluster_.zoo().app(i).request_mb;
+    const double transfer_mb = zeta * static_cast<double>(count);
+    if (from != to &&
+        (transfer_mb > lfrom.network_left || transfer_mb > lto.network_left)) {
+      return -1;
+    }
+
+    const int J = cluster_.zoo().num_variants(i);
+    // Most accurate variant first: MAX spends its utilization on accuracy.
+    for (int j = J - 1; j >= 0; --j) {
+      const auto& variant = cluster_.zoo().variant(i, j);
+      const bool already = decision.deployed(i, j, to);
+      const double new_weights =
+          lto.weights_used + (already ? 0.0 : variant.weights_mb);
+      const double new_peak =
+          std::max(lto.peak_mu,
+                   variant.intermediate_mb * static_cast<double>(B0));
+      const bool was_deployed =
+          state.previous == nullptr || state.previous->deployed(i, j, to);
+      const double switch_cost =
+          (already || was_deployed) ? 0.0 : variant.compressed_mb;
+      // Every chunk costs one full padded B0 launch (oracle timing: MAX is
+      // assumed to have profiled its fixed operating point offline).
+      const double launch_s =
+          cluster_.oracle_tir(to, i, j).batch_time(cluster_.gamma_s(to, i, j),
+                                                   B0);
+      if (new_weights + new_peak > lto.memory_mb) continue;
+      if (switch_cost > lto.network_left - (from != to ? transfer_mb : 0.0)) {
+        continue;
+      }
+      if (launch_s > lto.compute_left) continue;
+
+      // Commit.
+      lto.weights_used = new_weights;
+      lto.peak_mu = new_peak;
+      lto.network_left -= switch_cost;
+      lto.compute_left -= launch_s;
+      if (from != to) {
+        lfrom.network_left -= transfer_mb;
+        lto.network_left -= transfer_mb;
+        decision.flows.push_back({i, from, to, count});
+      }
+      decision.served(i, j, to) += count;
+      decision.kernel(i, j, to) = B0;
+      return j;
+    }
+    return -1;
+  };
+
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      std::int64_t remaining = state.demand(i, k);
+      while (remaining > 0) {
+        const auto chunk = std::min<std::int64_t>(remaining, B0);
+        // Local placement first; otherwise the edge with most compute left.
+        int placed = try_place(i, k, k, chunk);
+        if (placed < 0) {
+          std::vector<int> order;
+          for (int kk = 0; kk < K; ++kk) {
+            if (kk != k) order.push_back(kk);
+          }
+          std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return ledger[static_cast<std::size_t>(a)].compute_left >
+                   ledger[static_cast<std::size_t>(b)].compute_left;
+          });
+          for (const int kk : order) {
+            placed = try_place(i, k, kk, chunk);
+            if (placed >= 0) break;
+          }
+        }
+        if (placed < 0) {
+          decision.drops(i, k) += chunk;
+        }
+        remaining -= chunk;
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace birp::sched

@@ -1,0 +1,38 @@
+// MAX baseline: always batch at a fixed large size B0 (paper §5.2).
+//
+// "Set a large batch size B0 which can optimize resource utilization, and
+// when performing workload redistribution, the inference batch transfer
+// must be followed according to B0." Kernels always launch at B0 (partial
+// batches are padded), redistribution moves whole B0-chunks, and model
+// selection greedily prefers the most accurate variant whose B0 footprint
+// still fits memory and remaining compute. Maximum utilization, but padded
+// launches waste compute at low load and the B0-sized activation footprint
+// locks large models out of memory at high load — the failure modes the
+// paper's Fig. 6/7 exhibit.
+#pragma once
+
+#include <string>
+
+#include "birp/device/cluster.hpp"
+#include "birp/sim/scheduler.hpp"
+
+namespace birp::sched {
+
+struct MaxConfig {
+  int b0 = 16;  ///< the fixed batch size
+};
+
+class MaxScheduler : public sim::Scheduler {
+ public:
+  MaxScheduler(const device::ClusterSpec& cluster, MaxConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "MAX"; }
+
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState& state) override;
+
+ private:
+  const device::ClusterSpec& cluster_;
+  MaxConfig config_;
+};
+
+}  // namespace birp::sched

@@ -1,0 +1,12 @@
+#include "birp/sched/no_redist.hpp"
+
+namespace birp::sched {
+
+core::BirpScheduler make_no_redist(const device::ClusterSpec& cluster,
+                                   core::BirpConfig config) {
+  config.problem.allow_redistribution = false;
+  config.name_override = "NO-REDIST";
+  return core::BirpScheduler(cluster, std::move(config));
+}
+
+}  // namespace birp::sched

@@ -1,0 +1,17 @@
+// NO-REDIST ablation: full BIRP (batching, model selection, MAB tuning) with
+// inter-edge redistribution disabled. Comparing it against BIRP isolates how
+// much of the gain comes from moving requests versus from batch-aware
+// execution (DESIGN.md ablation 3).
+#pragma once
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+
+namespace birp::sched {
+
+/// Builds the NO-REDIST scheduler (a BIRP instance with exports/imports
+/// pinned to zero).
+[[nodiscard]] core::BirpScheduler make_no_redist(
+    const device::ClusterSpec& cluster, core::BirpConfig config = {});
+
+}  // namespace birp::sched

@@ -1,0 +1,38 @@
+#include "birp/sim/decision.hpp"
+
+namespace birp::sim {
+
+SlotDecision::SlotDecision(int apps, int max_variants, int devices)
+    : served(apps, max_variants, devices, 0),
+      kernel(apps, max_variants, devices, 0),
+      drops(apps, devices, 0) {}
+
+std::int64_t SlotDecision::imports(int app, int device) const {
+  std::int64_t total = 0;
+  for (const auto& flow : flows) {
+    if (flow.app == app && flow.to == device) total += flow.count;
+  }
+  return total;
+}
+
+std::int64_t SlotDecision::exports(int app, int device) const {
+  std::int64_t total = 0;
+  for (const auto& flow : flows) {
+    if (flow.app == app && flow.from == device) total += flow.count;
+  }
+  return total;
+}
+
+std::int64_t SlotDecision::total_served() const {
+  std::int64_t total = 0;
+  for (const auto v : served.raw()) total += v;
+  return total;
+}
+
+std::int64_t SlotDecision::total_dropped() const {
+  std::int64_t total = 0;
+  for (const auto v : drops.raw()) total += v;
+  return total;
+}
+
+}  // namespace birp::sim

@@ -1,0 +1,67 @@
+// Per-slot scheduler decision: which model variants each edge deploys, how
+// many requests each serves at what kernel batch size, which requests move
+// between edges, and which are dropped.
+//
+// Mapping to the paper's decision variables:
+//   served(i, j, k)  — z = x^t_{ijk} * b^t_{ijk}: requests of app i handled
+//                      by variant j on edge k this slot. deployed() derives x.
+//   kernel(i, j, k)  — the physical launch batch size. Equal to served for
+//                      BIRP (one merged request vector per Eq. 5); 1 for
+//                      serial baselines; B0 (padded) for the MAX baseline.
+//                      ceil(served / kernel) launches run back-to-back.
+//   flows            — sparse y^t_{ikk'} with k != k'.
+//   drops(i, k)      — engineering slack the paper leaves implicit: requests
+//                      that cannot be feasibly served anywhere this slot.
+//                      Dropped requests are charged the application's worst
+//                      model loss and count as SLO failures, so no scheduler
+//                      can profit from shedding load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "birp/util/grid.hpp"
+
+namespace birp::sim {
+
+/// One redistribution edge of the y tensor.
+struct Flow {
+  int app = 0;
+  int from = 0;
+  int to = 0;
+  std::int64_t count = 0;
+};
+
+struct SlotDecision {
+  SlotDecision() = default;
+  SlotDecision(int apps, int max_variants, int devices);
+
+  util::Grid3<std::int64_t> served;  ///< [app][variant][device]
+  util::Grid3<int> kernel;           ///< [app][variant][device]
+  std::vector<Flow> flows;
+  util::Grid2<std::int64_t> drops;   ///< [app][device]
+  /// When true, every launch runs at the full kernel size even if fewer
+  /// requests remain (static-shape engines à la the MAX baseline: the
+  /// padded tail launch wastes compute). When false the runtime right-sizes
+  /// the final partial launch.
+  bool pad_partial_launches = false;
+
+  [[nodiscard]] int apps() const noexcept { return served.dim0(); }
+  [[nodiscard]] int max_variants() const noexcept { return served.dim1(); }
+  [[nodiscard]] int devices() const noexcept { return served.dim2(); }
+
+  /// The paper's x^t_{ijk}: a variant is deployed iff it serves requests.
+  [[nodiscard]] bool deployed(int app, int variant, int device) const {
+    return served(app, variant, device) > 0;
+  }
+
+  /// Requests of `app` imported by / exported from `device` via flows.
+  [[nodiscard]] std::int64_t imports(int app, int device) const;
+  [[nodiscard]] std::int64_t exports(int app, int device) const;
+
+  /// Total requests served across the cluster.
+  [[nodiscard]] std::int64_t total_served() const;
+  [[nodiscard]] std::int64_t total_dropped() const;
+};
+
+}  // namespace birp::sim

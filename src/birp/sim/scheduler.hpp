@@ -1,0 +1,57 @@
+// Scheduler interface: the contract between the simulator and every
+// redistribution algorithm (BIRP, BIRP-OFF, OAEI, MAX, ablations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "birp/device/cluster.hpp"
+#include "birp/sim/decision.hpp"
+#include "birp/util/grid.hpp"
+
+namespace birp::sim {
+
+/// Inputs visible to a scheduler at the start of slot t.
+struct SlotState {
+  int slot = 0;
+  /// r^t_{ik}: requests of app i arriving at edge k this slot.
+  util::Grid2<std::int64_t> demand;
+  /// Previous slot's decision (empty tensors at t = 0): needed for the
+  /// model-switch network terms (Eq. 9 / 13 / 14).
+  const SlotDecision* previous = nullptr;
+};
+
+/// One TIR measurement the runtime produced by executing a merged batch:
+/// observed_tir = b * gamma / measured_batch_time (Eq. 1 evaluated online).
+struct TirObservation {
+  int device = 0;
+  int app = 0;
+  int variant = 0;
+  int batch = 0;
+  double observed_tir = 1.0;
+};
+
+/// Feedback the simulator hands back after executing slot t.
+struct SlotFeedback {
+  int slot = 0;
+  std::vector<TirObservation> observations;
+  /// Accelerator busy seconds per edge this slot (capacity learning input
+  /// for baselines that model serial execution).
+  std::vector<double> busy_s;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces the slot decision. Must be deterministic given the scheduler's
+  /// internal state and `state` (schedulers carry their own seeded RNGs).
+  [[nodiscard]] virtual SlotDecision decide(const SlotState& state) = 0;
+
+  /// Receives execution feedback; default no-op for offline schedulers.
+  virtual void observe(const SlotFeedback& feedback) { (void)feedback; }
+};
+
+}  // namespace birp::sim

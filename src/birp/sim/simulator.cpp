@@ -1,0 +1,289 @@
+#include "birp/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+
+#include "birp/util/check.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::sim {
+namespace {
+
+/// One executable job on an edge: a (app, variant) deployment with its
+/// request count and kernel batch size.
+struct Job {
+  int app = 0;
+  int variant = 0;
+  std::int64_t served = 0;
+  int kernel = 1;
+  std::int64_t imported = 0;  ///< how many of `served` arrived via flows
+};
+
+}  // namespace
+
+Simulator::Simulator(const device::ClusterSpec& cluster,
+                     const workload::Trace& trace, SimulatorConfig config)
+    : cluster_(cluster),
+      trace_(trace),
+      config_(config),
+      pool_(config.threads <= 0 ? 0 : static_cast<std::size_t>(config.threads)) {
+  util::check(trace.apps() == cluster.num_apps(),
+              "Simulator: trace apps != cluster apps");
+  util::check(trace.devices() == cluster.num_devices(),
+              "Simulator: trace devices != cluster devices");
+  util::check(config_.noise_sigma >= 0.0, "Simulator: negative noise");
+  carried_ = util::Grid2<std::int64_t>(cluster.num_apps(),
+                                       cluster.num_devices(), 0);
+}
+
+Simulator::EdgeOutcome Simulator::execute_edge(int k,
+                                               const SlotDecision& decision,
+                                               int slot) const {
+  const double tau = cluster_.tau_s();
+  EdgeOutcome outcome;
+
+  // Deterministic per-(slot, edge) noise stream.
+  util::Xoshiro256StarStar rng(config_.seed ^
+                               (0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(slot) * 1024 +
+                                 static_cast<std::uint64_t>(k) + 1)));
+
+  // Collect jobs. Imports are attributed per app, then spread over that
+  // app's jobs (largest kernel last so padded batches absorb stragglers).
+  std::vector<Job> jobs;
+  std::vector<std::int64_t> imports_left(
+      static_cast<std::size_t>(cluster_.num_apps()));
+  std::vector<double> import_bytes_mb(
+      static_cast<std::size_t>(cluster_.num_apps()), 0.0);
+  double total_import_mb = 0.0;
+  for (int i = 0; i < cluster_.num_apps(); ++i) {
+    imports_left[static_cast<std::size_t>(i)] = decision.imports(i, k);
+    import_bytes_mb[static_cast<std::size_t>(i)] =
+        cluster_.zoo().app(i).request_mb;
+    total_import_mb += import_bytes_mb[static_cast<std::size_t>(i)] *
+                       static_cast<double>(imports_left[static_cast<std::size_t>(i)]);
+    const int variants = cluster_.zoo().num_variants(i);
+    for (int j = 0; j < variants; ++j) {
+      const auto served = decision.served(i, j, k);
+      if (served <= 0) continue;
+      Job job;
+      job.app = i;
+      job.variant = j;
+      job.served = served;
+      job.kernel = std::max(1, decision.kernel(i, j, k));
+      jobs.push_back(job);
+    }
+  }
+
+  // Attribute imported requests to jobs (later jobs of the same app first so
+  // early launches run on local data while transfers are still in flight).
+  for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) {
+    auto& left = imports_left[static_cast<std::size_t>(it->app)];
+    const auto take = std::min(left, it->served);
+    it->imported = take;
+    left -= take;
+  }
+
+  // Transfer schedule: imported requests stream over the edge's wireless
+  // link back-to-back; request q of Q arrives at (q/Q) * total transfer time.
+  const double bw_mbps = cluster_.device(k).bandwidth_mbps;
+  const double transfer_total_s = total_import_mb * 8.0 / bw_mbps;
+  std::int64_t total_imports = 0;
+  for (int i = 0; i < cluster_.num_apps(); ++i) {
+    total_imports += decision.imports(i, k);
+  }
+
+  // Deterministic execution order.
+  rng.shuffle(jobs);
+
+  double cursor_s = 0.0;
+  std::int64_t imports_scheduled = 0;
+  for (const auto& job : jobs) {
+    std::int64_t remaining = job.served;
+    std::int64_t imported_remaining = job.imported;
+    bool first_launch = true;
+    while (remaining > 0) {
+      const auto in_launch =
+          std::min<std::int64_t>(remaining, job.kernel);
+      // Local requests fill the launch first; imports go in what remains.
+      const std::int64_t local_in_launch =
+          std::min(in_launch, remaining - imported_remaining);
+      const std::int64_t imported_in_launch = in_launch - local_in_launch;
+
+      // The launch cannot start before its last imported member arrives.
+      double ready_s = 0.0;
+      if (imported_in_launch > 0 && total_imports > 0) {
+        const std::int64_t last_import_index =
+            imports_scheduled + imported_in_launch;
+        ready_s = transfer_total_s * static_cast<double>(last_import_index) /
+                  static_cast<double>(total_imports);
+      }
+
+      // Launch size: static-shape padding (MAX) bills the full kernel even
+      // for a partial tail; otherwise the runtime right-sizes the launch.
+      const int launch_size =
+          decision.pad_partial_launches
+              ? job.kernel
+              : static_cast<int>(std::min<std::int64_t>(job.kernel, remaining));
+      const double clean_s =
+          cluster_.truth().batch_time_s(k, job.app, job.variant, launch_size);
+      const double noise =
+          config_.noise_sigma > 0.0
+              ? rng.lognormal(-0.5 * config_.noise_sigma * config_.noise_sigma,
+                              config_.noise_sigma)
+              : 1.0;
+      const double duration_s = clean_s * noise;
+
+      const double start_s = std::max(cursor_s, ready_s);
+      cursor_s = start_s + duration_s;
+
+      const double completion_tau = cursor_s / tau;
+      const double slo =
+          cluster_.zoo().app(job.app).slo_fraction;
+      for (std::int64_t r = 0; r < in_launch; ++r) {
+        outcome.completions_tau.push_back(completion_tau);
+        outcome.met_slo.push_back(completion_tau <= slo + 1e-12);
+      }
+      outcome.loss += cluster_.zoo().variant(job.app, job.variant).loss *
+                      static_cast<double>(in_launch);
+
+      if (first_launch && config_.report_observations) {
+        // Observed TIR per Eq. 1: the merged kernel processed `kernel`
+        // items in duration_s versus gamma each when serial.
+        TirObservation obs;
+        obs.device = k;
+        obs.app = job.app;
+        obs.variant = job.variant;
+        obs.batch = launch_size;
+        obs.observed_tir = static_cast<double>(launch_size) *
+                           cluster_.truth().gamma_s(k, job.app, job.variant) /
+                           duration_s;
+        outcome.observations.push_back(obs);
+        first_launch = false;
+      }
+
+      imports_scheduled += imported_in_launch;
+      imported_remaining -= imported_in_launch;
+      remaining -= in_launch;
+    }
+  }
+
+  // Dropped requests at this edge: worst-model loss, SLO failure. Their
+  // accounting happens in step() (needs metrics); only busy time here.
+  outcome.busy_s = cursor_s;
+  return outcome;
+}
+
+SlotResult Simulator::step(Scheduler& scheduler, metrics::RunMetrics* metrics) {
+  util::check(slot_ < trace_.slots(), "Simulator: horizon exhausted");
+  const int t = slot_;
+  const int I = cluster_.num_apps();
+  const int K = cluster_.num_devices();
+
+  SlotState state;
+  state.slot = t;
+  state.demand = util::Grid2<std::int64_t>(I, K, 0);
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      // Carryover mode: requests deferred from the previous slot retry here.
+      state.demand(i, k) = trace_.at(t, i, k) + carried_(i, k);
+    }
+  }
+  state.previous = previous_.has_value() ? &previous_.value() : nullptr;
+
+  SlotResult result;
+  result.decision = scheduler.decide(state);
+  result.repairs = validate_and_repair(cluster_, state.demand,
+                                       state.previous, result.decision);
+
+  // Execute all edges concurrently; outcomes merge deterministically below.
+  std::vector<std::future<EdgeOutcome>> futures;
+  futures.reserve(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    futures.push_back(pool_.submit(
+        [this, k, t, &result] { return execute_edge(k, result.decision, t); }));
+  }
+
+  result.feedback.slot = t;
+  result.feedback.busy_s.resize(static_cast<std::size_t>(K), 0.0);
+  double slot_loss = 0.0;
+  for (int k = 0; k < K; ++k) {
+    EdgeOutcome outcome = futures[static_cast<std::size_t>(k)].get();
+    result.feedback.busy_s[static_cast<std::size_t>(k)] = outcome.busy_s;
+    result.feedback.observations.insert(result.feedback.observations.end(),
+                                        outcome.observations.begin(),
+                                        outcome.observations.end());
+    slot_loss += outcome.loss;
+    for (std::size_t r = 0; r < outcome.completions_tau.size(); ++r) {
+      if (metrics != nullptr) {
+        metrics->record_request(outcome.completions_tau[r],
+                                outcome.met_slo[r]);
+      }
+      result.slo_failures += outcome.met_slo[r] ? 0 : 1;
+      ++result.served;
+    }
+    if (metrics != nullptr) {
+      metrics->record_edge_busy(outcome.busy_s / cluster_.tau_s());
+      metrics->record_energy(
+          cluster_.device(k).slot_energy_j(outcome.busy_s, cluster_.tau_s()));
+    }
+  }
+
+  // Dropped requests. Paper semantics: every unserved request fails this
+  // slot (worst-model loss, SLO failure). Carryover mode (retry-once
+  // extension): fresh unserved requests defer to the next slot with a
+  // renewed deadline; requests already deferred once fail for good.
+  for (int i = 0; i < I; ++i) {
+    const double worst = cluster_.zoo().worst_loss(i);
+    for (int k = 0; k < K; ++k) {
+      const auto dropped = result.decision.drops(i, k);
+      std::int64_t failed = dropped;
+      if (config_.carryover_unserved) {
+        // Pessimistic FIFO: drops consume the aged (already-deferred)
+        // requests first; only the fresh remainder gets a retry.
+        const auto aged = std::min(dropped, carried_(i, k));
+        failed = aged;
+        carried_(i, k) = dropped - aged;
+      }
+      if (failed <= 0) continue;
+      slot_loss += worst * static_cast<double>(failed);
+      result.dropped += failed;
+      result.slo_failures += failed;
+      if (metrics != nullptr) {
+        for (std::int64_t d = 0; d < failed; ++d) metrics->record_dropped();
+      }
+    }
+  }
+  result.slot_loss = slot_loss;
+  if (metrics != nullptr) metrics->record_slot_loss(slot_loss);
+
+  // Busy-time feedback always flows (capacity learning); only the TIR
+  // observations are gated by report_observations (set inside execute_edge).
+  scheduler.observe(result.feedback);
+
+  previous_ = result.decision;
+  ++slot_;
+  return result;
+}
+
+metrics::RunMetrics Simulator::run(Scheduler& scheduler, int max_slots) {
+  const int horizon = max_slots > 0 ? std::min(max_slots, trace_.slots())
+                                    : trace_.slots();
+  metrics::RunMetrics metrics(horizon);
+  while (slot_ < horizon) step(scheduler, &metrics);
+  if (config_.carryover_unserved) {
+    // Flush: requests still deferred at the horizon never get their retry.
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        for (std::int64_t d = 0; d < carried_(i, k); ++d) {
+          metrics.record_dropped();
+        }
+        carried_(i, k) = 0;
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace birp::sim

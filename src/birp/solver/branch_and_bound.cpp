@@ -1,0 +1,214 @@
+#include "birp/solver/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "birp/util/check.hpp"
+
+namespace birp::solver {
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound = -std::numeric_limits<double>::infinity();
+  int depth = 0;
+};
+
+struct NodeOrder {
+  // Best-first: smaller LP bound explored first; deeper nodes win ties so the
+  // search dives toward incumbents.
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    if (a->bound != b->bound) return a->bound > b->bound;
+    return a->depth < b->depth;
+  }
+};
+
+/// Picks the integer variable whose LP value is most fractional.
+int most_fractional(const Model& model, std::span<const double> values,
+                    double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(j).type == VarType::Continuous) continue;
+    const double v = values[static_cast<std::size_t>(j)];
+    const double frac = std::abs(v - std::round(v));
+    // Score favors fractions near 0.5.
+    const double score = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (frac > tol && score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+/// Rounds the LP point to the nearest integers and accepts it as an
+/// incumbent when it satisfies all constraints. Cheap and surprisingly
+/// effective on BIRP's near-network structure.
+bool try_rounding(const Model& model, std::span<const double> lp_values,
+                  std::vector<double>& out, double feasibility_tol) {
+  out.assign(lp_values.begin(), lp_values.end());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(j).type == VarType::Continuous) continue;
+    auto& v = out[static_cast<std::size_t>(j)];
+    v = std::round(v);
+    v = std::max(v, model.variable(j).lower);
+    if (std::isfinite(model.variable(j).upper)) {
+      v = std::min(v, model.variable(j).upper);
+    }
+  }
+  return model.max_violation(out) <= feasibility_tol;
+}
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
+  if (!model.has_integers()) return solve_lp(model, options.lp);
+
+  const auto n = static_cast<std::size_t>(model.num_variables());
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::IterationLimit;
+  double incumbent_objective = std::numeric_limits<double>::infinity();
+
+  auto root = std::make_shared<Node>();
+  root->lower.resize(n);
+  root->upper.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    root->lower[j] = model.variable(static_cast<int>(j)).lower;
+    root->upper[j] = model.variable(static_cast<int>(j)).upper;
+    // Tighten integer bounds to integral values up front.
+    if (model.variable(static_cast<int>(j)).type != VarType::Continuous) {
+      root->lower[j] = std::ceil(root->lower[j] - 1e-9);
+      if (std::isfinite(root->upper[j])) {
+        root->upper[j] = std::floor(root->upper[j] + 1e-9);
+      }
+    }
+  }
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  open.push(root);
+
+  std::int64_t nodes = 0;
+  std::int64_t total_pivots = 0;
+  double best_open_bound = -std::numeric_limits<double>::infinity();
+  bool any_lp_budget_hit = false;
+  std::vector<double> rounded;
+
+  while (!open.empty() && nodes < options.max_nodes) {
+    const auto node = open.top();
+    open.pop();
+    ++nodes;
+
+    // Bound pruning against the incumbent.
+    if (node->bound >= incumbent_objective - options.relative_gap *
+                                                 (1.0 + std::abs(incumbent_objective))) {
+      continue;
+    }
+
+    Solution lp = solve_lp(model, node->lower, node->upper, options.lp);
+    total_pivots += lp.simplex_iterations;
+    if (lp.status == SolveStatus::Infeasible) continue;
+    if (lp.status == SolveStatus::Unbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded or
+      // ill-posed; deeper nodes inherit the verdict.
+      Solution result;
+      result.status = SolveStatus::Unbounded;
+      result.nodes_explored = nodes;
+      result.simplex_iterations = total_pivots;
+      return result;
+    }
+    if (lp.status == SolveStatus::IterationLimit) {
+      any_lp_budget_hit = true;
+      continue;  // cannot trust this subtree's bound; drop it
+    }
+
+    if (lp.objective >= incumbent_objective - options.relative_gap *
+                                                  (1.0 + std::abs(incumbent_objective))) {
+      continue;
+    }
+    best_open_bound = open.empty()
+                          ? lp.objective
+                          : std::min(lp.objective, open.top()->bound);
+
+    const int branch_var =
+        most_fractional(model, lp.values, options.integrality_tolerance);
+    if (branch_var < 0) {
+      // Integral LP optimum: new incumbent.
+      if (lp.objective < incumbent_objective) {
+        incumbent_objective = lp.objective;
+        incumbent.values = lp.values;
+        incumbent.objective = lp.objective;
+        incumbent.status = SolveStatus::Feasible;
+      }
+      continue;
+    }
+
+    // Heuristic incumbents: naive rounding plus the caller's repair
+    // heuristic (verified against the model before acceptance).
+    const auto consider = [&](const std::vector<double>& candidate) {
+      if (candidate.size() != n) return;
+      if (model.max_violation(candidate) > options.lp.tolerance * 10) return;
+      if (model.max_integrality_violation(candidate) >
+          options.integrality_tolerance) {
+        return;
+      }
+      const double obj = model.objective_value(candidate);
+      if (obj < incumbent_objective) {
+        incumbent_objective = obj;
+        incumbent.values = candidate;
+        incumbent.objective = obj;
+        incumbent.status = SolveStatus::Feasible;
+      }
+    };
+    if (try_rounding(model, lp.values, rounded, options.lp.tolerance * 10)) {
+      consider(rounded);
+    }
+    if (options.incumbent_heuristic) {
+      consider(options.incumbent_heuristic(lp.values));
+    }
+
+    const double v = lp.values[static_cast<std::size_t>(branch_var)];
+    auto down = std::make_shared<Node>(*node);
+    down->upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
+    down->bound = lp.objective;
+    down->depth = node->depth + 1;
+    auto up = std::make_shared<Node>(*node);
+    up->lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+    up->bound = lp.objective;
+    up->depth = node->depth + 1;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  incumbent.nodes_explored = nodes;
+  incumbent.simplex_iterations = total_pivots;
+
+  if (incumbent.values.empty()) {
+    // No feasible integral point found. If the search space was exhausted
+    // without LP failures the model is genuinely infeasible.
+    incumbent.status = (open.empty() && !any_lp_budget_hit)
+                           ? SolveStatus::Infeasible
+                           : SolveStatus::IterationLimit;
+    return incumbent;
+  }
+
+  if (open.empty() && !any_lp_budget_hit) {
+    incumbent.status = SolveStatus::Optimal;
+    incumbent.best_bound = incumbent.objective;
+  } else {
+    incumbent.status = SolveStatus::Feasible;
+    incumbent.best_bound = open.empty() ? best_open_bound : open.top()->bound;
+  }
+  return incumbent;
+}
+
+}  // namespace birp::solver

@@ -1,0 +1,47 @@
+// Branch-and-bound MILP solver over the bounded-variable simplex.
+//
+// Best-first search on the LP relaxation bound with most-fractional
+// branching, a rounding heuristic at every node to seed incumbents early,
+// and a node budget so per-slot scheduling stays real-time even when the
+// tree would otherwise be deep. With the default budget the solver proves
+// optimality on the instance sizes BIRP produces; when the budget is hit it
+// returns the best incumbent with status Feasible plus the proven bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "birp/solver/model.hpp"
+#include "birp/solver/simplex.hpp"
+#include "birp/solver/solution.hpp"
+
+namespace birp::solver {
+
+/// Optional problem-specific primal heuristic: given a (fractional) LP
+/// point, return a feasible integral candidate, or an empty vector when no
+/// repair was possible. Candidates are verified against the model before
+/// acceptance, so the heuristic may be approximate.
+using IncumbentHeuristic =
+    std::function<std::vector<double>(std::span<const double> lp_values)>;
+
+struct BranchAndBoundOptions {
+  std::int64_t max_nodes = 20000;
+  /// Relative optimality gap at which search stops early.
+  double relative_gap = 1e-6;
+  /// Values within this distance of an integer are considered integral.
+  double integrality_tolerance = 1e-6;
+  SimplexOptions lp;
+  /// Problem-specific rounding/repair; naive nearest-integer rounding is
+  /// always tried as well.
+  IncumbentHeuristic incumbent_heuristic;
+};
+
+/// Solves `model` to (attempted) integral optimality. Continuous variables
+/// remain continuous. Integrality of Binary/Integer variables is enforced by
+/// branching on bounds.
+[[nodiscard]] Solution solve_milp(const Model& model,
+                                  const BranchAndBoundOptions& options = {});
+
+}  // namespace birp::solver

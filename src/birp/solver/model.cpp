@@ -1,0 +1,148 @@
+#include "birp/solver/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "birp/util/check.hpp"
+
+namespace birp::solver {
+
+int Model::add_variable(std::string name, double lower, double upper,
+                        VarType type) {
+  util::check(std::isfinite(lower), "variable lower bound must be finite");
+  util::check(lower <= upper, "variable bounds crossed: " + name);
+  if (type == VarType::Binary) {
+    util::check(lower >= 0.0 && upper <= 1.0, "binary bounds outside [0,1]");
+  }
+  VariableInfo info;
+  info.name = std::move(name);
+  info.lower = lower;
+  info.upper = upper;
+  info.type = type;
+  variables_.push_back(std::move(info));
+  if (type != VarType::Continuous) ++integer_count_;
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::set_objective(int var, double coeff) {
+  util::check(var >= 0 && var < num_variables(), "set_objective: bad index");
+  variables_[static_cast<std::size_t>(var)].objective = coeff;
+}
+
+int Model::add_constraint(std::span<const Term> terms, Relation relation,
+                          double rhs, std::string name) {
+  util::check(std::isfinite(rhs), "constraint rhs must be finite");
+  // Combine duplicate variables so the simplex sees each column once per row.
+  std::map<int, double> combined;
+  for (const auto& term : terms) {
+    util::check(term.var >= 0 && term.var < num_variables(),
+                "constraint references unknown variable");
+    util::check(std::isfinite(term.coeff), "constraint coeff must be finite");
+    combined[term.var] += term.coeff;
+  }
+  Constraint constraint;
+  constraint.relation = relation;
+  constraint.rhs = rhs;
+  constraint.name = std::move(name);
+  constraint.terms.reserve(combined.size());
+  for (const auto& [var, coeff] : combined) {
+    if (coeff != 0.0) constraint.terms.push_back({var, coeff});
+  }
+  constraints_.push_back(std::move(constraint));
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+int Model::add_constraint(std::initializer_list<Term> terms, Relation relation,
+                          double rhs, std::string name) {
+  return add_constraint(std::span<const Term>(terms.begin(), terms.size()),
+                        relation, rhs, std::move(name));
+}
+
+int Model::add_product(int binary_var, int int_var, std::string name) {
+  util::check(binary_var >= 0 && binary_var < num_variables(),
+              "add_product: bad binary index");
+  util::check(int_var >= 0 && int_var < num_variables(),
+              "add_product: bad integer index");
+  const auto& x = variables_[static_cast<std::size_t>(binary_var)];
+  const auto& b = variables_[static_cast<std::size_t>(int_var)];
+  util::check(x.type == VarType::Binary, "add_product: first factor not binary");
+  util::check(b.lower == 0.0, "add_product: integer factor must have lower 0");
+  util::check(std::isfinite(b.upper), "add_product: integer factor needs finite upper");
+  const double upper = b.upper;
+
+  if (name.empty()) name = "prod(" + x.name + "," + b.name + ")";
+  const int z = add_continuous(name, 0.0, upper);
+
+  // McCormick envelope — exact for binary x and b in [0, U].
+  add_constraint({{z, 1.0}, {binary_var, -upper}}, Relation::LessEqual, 0.0,
+                 name + ":le_Ux");
+  add_constraint({{z, 1.0}, {int_var, -1.0}}, Relation::LessEqual, 0.0,
+                 name + ":le_b");
+  add_constraint({{z, 1.0}, {int_var, -1.0}, {binary_var, -upper}},
+                 Relation::GreaterEqual, -upper, name + ":ge_b_minus_U");
+  return z;
+}
+
+const VariableInfo& Model::variable(int index) const {
+  util::check(index >= 0 && index < num_variables(), "variable: bad index");
+  return variables_[static_cast<std::size_t>(index)];
+}
+
+const Constraint& Model::constraint(int index) const {
+  util::check(index >= 0 && index < num_constraints(), "constraint: bad index");
+  return constraints_[static_cast<std::size_t>(index)];
+}
+
+double Model::objective_value(std::span<const double> values) const {
+  util::check(values.size() == variables_.size(),
+              "objective_value: size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    total += variables_[i].objective * values[i];
+  }
+  return total;
+}
+
+double Model::max_violation(std::span<const double> values) const {
+  util::check(values.size() == variables_.size(), "max_violation: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    worst = std::max(worst, variables_[i].lower - values[i]);
+    if (std::isfinite(variables_[i].upper)) {
+      worst = std::max(worst, values[i] - variables_[i].upper);
+    }
+  }
+  for (const auto& constraint : constraints_) {
+    double lhs = 0.0;
+    for (const auto& term : constraint.terms) {
+      lhs += term.coeff * values[static_cast<std::size_t>(term.var)];
+    }
+    switch (constraint.relation) {
+      case Relation::LessEqual:
+        worst = std::max(worst, lhs - constraint.rhs);
+        break;
+      case Relation::GreaterEqual:
+        worst = std::max(worst, constraint.rhs - lhs);
+        break;
+      case Relation::Equal:
+        worst = std::max(worst, std::abs(lhs - constraint.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+double Model::max_integrality_violation(std::span<const double> values) const {
+  util::check(values.size() == variables_.size(),
+              "max_integrality_violation: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].type == VarType::Continuous) continue;
+    const double v = values[i];
+    worst = std::max(worst, std::abs(v - std::round(v)));
+  }
+  return worst;
+}
+
+}  // namespace birp::solver

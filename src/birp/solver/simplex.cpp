@@ -1,0 +1,511 @@
+#include "birp/solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "birp/util/check.hpp"
+
+namespace birp::solver {
+namespace {
+
+enum class VarState : std::uint8_t { Basic, AtLower, AtUpper };
+
+/// Dense working storage for one simplex solve. Columns are ordered
+/// [structural | slack/surplus | artificial]; the tableau holds B^{-1}A and
+/// is updated in place on every pivot.
+class Tableau {
+ public:
+  Tableau(const Model& model, std::span<const double> lower_override,
+          std::span<const double> upper_override, SimplexOptions options);
+
+  Solution solve();
+
+ private:
+  [[nodiscard]] double& at(int row, int col) noexcept {
+    return tableau_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+                    static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] double at(int row, int col) const noexcept {
+    return tableau_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+                    static_cast<std::size_t>(col)];
+  }
+
+  void compute_reduced_costs(const std::vector<double>& costs);
+  void recompute_basic_values();
+  /// One phase of the primal simplex. Returns Optimal / Unbounded /
+  /// IterationLimit relative to the given costs.
+  SolveStatus iterate(const std::vector<double>& costs);
+  void pivot(int leave_row, int enter_col);
+
+  const Model& model_;
+  SimplexOptions options_;
+
+  int rows_ = 0;            // number of constraints m
+  int cols_ = 0;            // total columns n (structural + slack + artificial)
+  int structural_ = 0;      // number of model variables
+  int artificial_begin_ = 0;
+
+  std::vector<double> tableau_;        // m x n, row-major: B^{-1}A
+  std::vector<double> rhs_;            // B^{-1}b
+  std::vector<double> lower_, upper_;  // per column
+  std::vector<double> reduced_;        // reduced costs per column
+  std::vector<VarState> state_;
+  std::vector<double> value_;          // current value per column
+  std::vector<int> basis_;             // basic column per row
+  std::vector<int> dual_col_;          // slack/artificial column anchoring row i's dual
+  std::vector<double> dual_sign_;      // cumulative row flips vs the model's orientation
+
+  std::int64_t iterations_ = 0;
+  std::int64_t iteration_limit_ = 0;
+};
+
+Tableau::Tableau(const Model& model, std::span<const double> lower_override,
+                 std::span<const double> upper_override, SimplexOptions options)
+    : model_(model), options_(options) {
+  const int m = model.num_constraints();
+  const int n_struct = model.num_variables();
+  rows_ = m;
+  structural_ = n_struct;
+
+  // Count slack columns (one per inequality).
+  int slack_count = 0;
+  for (const auto& constraint : model.constraints()) {
+    if (constraint.relation != Relation::Equal) ++slack_count;
+  }
+  artificial_begin_ = n_struct + slack_count;
+
+  // First pass: structural bounds and residuals decide which rows need an
+  // artificial. Inequality rows whose slack can absorb the residual start
+  // with the slack basic (no artificial) — this typically removes the vast
+  // majority of Phase I work.
+  std::vector<double> start_value(static_cast<std::size_t>(n_struct));
+  for (int j = 0; j < n_struct; ++j) {
+    const auto& info = model.variable(j);
+    const double lo = lower_override.empty()
+                          ? info.lower
+                          : lower_override[static_cast<std::size_t>(j)];
+    util::check(std::isfinite(lo), "simplex requires finite lower bounds");
+    start_value[static_cast<std::size_t>(j)] = lo;
+  }
+  int artificial_count = 0;
+  std::vector<bool> needs_artificial(static_cast<std::size_t>(m), false);
+  {
+    for (int i = 0; i < m; ++i) {
+      const auto& constraint = model.constraint(i);
+      double residual = constraint.rhs;
+      for (const auto& term : constraint.terms) {
+        residual -= term.coeff * start_value[static_cast<std::size_t>(term.var)];
+      }
+      bool slack_ok = false;
+      switch (constraint.relation) {
+        case Relation::LessEqual:
+          slack_ok = residual >= 0.0;  // slack in [0, inf)
+          break;
+        case Relation::GreaterEqual:
+          slack_ok = residual <= 0.0;  // surplus absorbs -residual
+          break;
+        case Relation::Equal:
+          slack_ok = false;  // no slack column: always needs an artificial
+          break;
+      }
+      if (!slack_ok) {
+        needs_artificial[static_cast<std::size_t>(i)] = true;
+        ++artificial_count;
+      }
+    }
+  }
+  cols_ = artificial_begin_ + artificial_count;
+
+  tableau_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_), 0.0);
+  rhs_.assign(static_cast<std::size_t>(rows_), 0.0);
+  lower_.assign(static_cast<std::size_t>(cols_), 0.0);
+  upper_.assign(static_cast<std::size_t>(cols_), kInfinity);
+  state_.assign(static_cast<std::size_t>(cols_), VarState::AtLower);
+  value_.assign(static_cast<std::size_t>(cols_), 0.0);
+  basis_.assign(static_cast<std::size_t>(rows_), -1);
+
+  // Structural bounds (with branch-and-bound overrides), nonbasic at lower.
+  for (int j = 0; j < n_struct; ++j) {
+    const auto& info = model.variable(j);
+    const double hi = upper_override.empty()
+                          ? info.upper
+                          : upper_override[static_cast<std::size_t>(j)];
+    lower_[static_cast<std::size_t>(j)] = start_value[static_cast<std::size_t>(j)];
+    upper_[static_cast<std::size_t>(j)] = hi;
+    value_[static_cast<std::size_t>(j)] = start_value[static_cast<std::size_t>(j)];
+  }
+
+  // Fill coefficients, slacks, artificials, and the starting basis. Rows are
+  // flipped where needed so every initial basic variable has coefficient +1.
+  dual_col_.assign(static_cast<std::size_t>(m), -1);
+  dual_sign_.assign(static_cast<std::size_t>(m), 1.0);
+  int slack = n_struct;
+  int artificial = artificial_begin_;
+  for (int i = 0; i < m; ++i) {
+    const auto& constraint = model.constraint(i);
+    for (const auto& term : constraint.terms) at(i, term.var) = term.coeff;
+    rhs_[static_cast<std::size_t>(i)] = constraint.rhs;
+
+    double residual = constraint.rhs;
+    for (const auto& term : constraint.terms) {
+      residual -= term.coeff * start_value[static_cast<std::size_t>(term.var)];
+    }
+
+    int slack_col = -1;
+    switch (constraint.relation) {
+      case Relation::LessEqual:
+        slack_col = slack;
+        at(i, slack_col) = 1.0;
+        ++slack;
+        break;
+      case Relation::GreaterEqual:
+        // Written as -Ax <= -b so the surplus has coefficient +1: flip row.
+        for (int j = 0; j < n_struct; ++j) at(i, j) = -at(i, j);
+        rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
+        residual = -residual;
+        dual_sign_[static_cast<std::size_t>(i)] = -1.0;
+        slack_col = slack;
+        at(i, slack_col) = 1.0;
+        ++slack;
+        break;
+      case Relation::Equal:
+        break;
+    }
+
+    if (!needs_artificial[static_cast<std::size_t>(i)]) {
+      // Slack absorbs the residual (>= 0 after any flip): basic immediately.
+      basis_[static_cast<std::size_t>(i)] = slack_col;
+      state_[static_cast<std::size_t>(slack_col)] = VarState::Basic;
+      value_[static_cast<std::size_t>(slack_col)] = residual;
+      dual_col_[static_cast<std::size_t>(i)] = slack_col;
+      continue;
+    }
+    if (residual < 0.0) {
+      for (int j = 0; j < cols_; ++j) at(i, j) = -at(i, j);
+      rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
+      residual = -residual;
+      dual_sign_[static_cast<std::size_t>(i)] =
+          -dual_sign_[static_cast<std::size_t>(i)];
+    }
+    at(i, artificial) = 1.0;
+    basis_[static_cast<std::size_t>(i)] = artificial;
+    state_[static_cast<std::size_t>(artificial)] = VarState::Basic;
+    value_[static_cast<std::size_t>(artificial)] = residual;
+    // The artificial anchors the dual: it appears only in this row with
+    // stored coefficient +1 and phase-2 cost 0, so y_i = -d_artificial.
+    dual_col_[static_cast<std::size_t>(i)] = artificial;
+    ++artificial;
+  }
+
+  iteration_limit_ = options_.max_iterations > 0
+                         ? options_.max_iterations
+                         : 200 + 30ll * (rows_ + cols_);
+  reduced_.assign(static_cast<std::size_t>(cols_), 0.0);
+}
+
+void Tableau::compute_reduced_costs(const std::vector<double>& costs) {
+  // d_j = c_j - sum_i c_{basis(i)} * T(i, j)
+  std::vector<double> basic_costs(static_cast<std::size_t>(rows_));
+  bool any_nonzero = false;
+  for (int i = 0; i < rows_; ++i) {
+    basic_costs[static_cast<std::size_t>(i)] =
+        costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    any_nonzero = any_nonzero || basic_costs[static_cast<std::size_t>(i)] != 0.0;
+  }
+  std::copy(costs.begin(), costs.end(), reduced_.begin());
+  if (!any_nonzero) return;
+  for (int i = 0; i < rows_; ++i) {
+    const double cb = basic_costs[static_cast<std::size_t>(i)];
+    if (cb == 0.0) continue;
+    const double* row = &tableau_[static_cast<std::size_t>(i) *
+                                  static_cast<std::size_t>(cols_)];
+    for (int j = 0; j < cols_; ++j) reduced_[static_cast<std::size_t>(j)] -= cb * row[j];
+  }
+  for (int i = 0; i < rows_; ++i) {
+    reduced_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = 0.0;
+  }
+}
+
+void Tableau::recompute_basic_values() {
+  // xB = B^{-1} b - sum over nonbasic j with nonzero value of T(:, j) * x_j.
+  std::vector<double> xb(rhs_.begin(), rhs_.end());
+  for (int j = 0; j < cols_; ++j) {
+    if (state_[static_cast<std::size_t>(j)] == VarState::Basic) continue;
+    const double v = value_[static_cast<std::size_t>(j)];
+    if (v == 0.0) continue;
+    for (int i = 0; i < rows_; ++i) xb[static_cast<std::size_t>(i)] -= at(i, j) * v;
+  }
+  for (int i = 0; i < rows_; ++i) {
+    value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        xb[static_cast<std::size_t>(i)];
+  }
+}
+
+void Tableau::pivot(int leave_row, int enter_col) {
+  const double pivot_value = at(leave_row, enter_col);
+  double* prow = &tableau_[static_cast<std::size_t>(leave_row) *
+                           static_cast<std::size_t>(cols_)];
+  const double inv = 1.0 / pivot_value;
+  for (int j = 0; j < cols_; ++j) prow[j] *= inv;
+  rhs_[static_cast<std::size_t>(leave_row)] *= inv;
+
+  for (int i = 0; i < rows_; ++i) {
+    if (i == leave_row) continue;
+    const double factor = at(i, enter_col);
+    if (factor == 0.0) continue;
+    double* row = &tableau_[static_cast<std::size_t>(i) *
+                            static_cast<std::size_t>(cols_)];
+    for (int j = 0; j < cols_; ++j) row[j] -= factor * prow[j];
+    rhs_[static_cast<std::size_t>(i)] -= factor * rhs_[static_cast<std::size_t>(leave_row)];
+  }
+
+  const double dfactor = reduced_[static_cast<std::size_t>(enter_col)];
+  if (dfactor != 0.0) {
+    for (int j = 0; j < cols_; ++j) reduced_[static_cast<std::size_t>(j)] -= dfactor * prow[j];
+  }
+  reduced_[static_cast<std::size_t>(enter_col)] = 0.0;
+}
+
+SolveStatus Tableau::iterate(const std::vector<double>& costs) {
+  compute_reduced_costs(costs);
+  int stalled = 0;
+
+  while (true) {
+    if (++iterations_ > iteration_limit_) return SolveStatus::IterationLimit;
+    const bool bland = stalled >= options_.stall_threshold;
+
+    // --- Pricing: pick an entering column with a profitable direction. ---
+    int enter = -1;
+    double enter_dir = 0.0;
+    double best_score = options_.tolerance;
+    for (int j = 0; j < cols_; ++j) {
+      const auto sj = state_[static_cast<std::size_t>(j)];
+      if (sj == VarState::Basic) continue;
+      const double lo = lower_[static_cast<std::size_t>(j)];
+      const double hi = upper_[static_cast<std::size_t>(j)];
+      if (lo == hi) continue;  // fixed (includes retired artificials)
+      const double d = reduced_[static_cast<std::size_t>(j)];
+      double dir = 0.0;
+      if (sj == VarState::AtLower && d < -options_.tolerance) dir = 1.0;
+      if (sj == VarState::AtUpper && d > options_.tolerance) dir = -1.0;
+      if (dir == 0.0) continue;
+      if (bland) {
+        enter = j;
+        enter_dir = dir;
+        break;
+      }
+      if (std::abs(d) > best_score) {
+        best_score = std::abs(d);
+        enter = j;
+        enter_dir = dir;
+      }
+    }
+    if (enter == -1) return SolveStatus::Optimal;
+
+    // --- Ratio test: how far can the entering variable move? ---
+    double t_best = upper_[static_cast<std::size_t>(enter)] -
+                    lower_[static_cast<std::size_t>(enter)];
+    int leave_row = -1;
+    bool leave_to_upper = false;
+    for (int i = 0; i < rows_; ++i) {
+      const double alpha = enter_dir * at(i, enter);
+      if (std::abs(alpha) <= options_.pivot_tolerance) continue;
+      const int bvar = basis_[static_cast<std::size_t>(i)];
+      const double xv = value_[static_cast<std::size_t>(bvar)];
+      double t = kInfinity;
+      bool to_upper = false;
+      if (alpha > 0.0) {  // basic variable decreases toward its lower bound
+        t = (xv - lower_[static_cast<std::size_t>(bvar)]) / alpha;
+      } else {  // basic variable increases toward its upper bound
+        const double hi = upper_[static_cast<std::size_t>(bvar)];
+        if (!std::isfinite(hi)) continue;
+        t = (hi - xv) / (-alpha);
+        to_upper = true;
+      }
+      t = std::max(t, 0.0);
+      // Strictly smaller step wins; under Bland's rule, ties break toward the
+      // smallest basic variable index to guarantee anti-cycling.
+      if (t < t_best - 1e-12 ||
+          (bland && leave_row >= 0 && t <= t_best + 1e-12 &&
+           bvar < basis_[static_cast<std::size_t>(leave_row)])) {
+        t_best = t;
+        leave_row = i;
+        leave_to_upper = to_upper;
+      }
+    }
+
+    if (!std::isfinite(t_best)) return SolveStatus::Unbounded;
+    stalled = t_best <= options_.tolerance ? stalled + 1 : 0;
+
+    if (leave_row == -1) {
+      // Bound flip: the entering variable runs to its opposite bound.
+      const double t = t_best;
+      for (int i = 0; i < rows_; ++i) {
+        const double a = at(i, enter);
+        if (a == 0.0) continue;
+        const int bvar = basis_[static_cast<std::size_t>(i)];
+        value_[static_cast<std::size_t>(bvar)] -= enter_dir * t * a;
+      }
+      auto& sj = state_[static_cast<std::size_t>(enter)];
+      if (enter_dir > 0.0) {
+        sj = VarState::AtUpper;
+        value_[static_cast<std::size_t>(enter)] = upper_[static_cast<std::size_t>(enter)];
+      } else {
+        sj = VarState::AtLower;
+        value_[static_cast<std::size_t>(enter)] = lower_[static_cast<std::size_t>(enter)];
+      }
+      continue;
+    }
+
+    // --- Basis change. ---
+    const double t = t_best;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == leave_row) continue;
+      const double a = at(i, enter);
+      if (a == 0.0) continue;
+      const int bvar = basis_[static_cast<std::size_t>(i)];
+      value_[static_cast<std::size_t>(bvar)] -= enter_dir * t * a;
+    }
+    const int leaving = basis_[static_cast<std::size_t>(leave_row)];
+    state_[static_cast<std::size_t>(leaving)] =
+        leave_to_upper ? VarState::AtUpper : VarState::AtLower;
+    value_[static_cast<std::size_t>(leaving)] =
+        leave_to_upper ? upper_[static_cast<std::size_t>(leaving)]
+                       : lower_[static_cast<std::size_t>(leaving)];
+
+    const double enter_value =
+        value_[static_cast<std::size_t>(enter)] + enter_dir * t;
+    pivot(leave_row, enter);
+    basis_[static_cast<std::size_t>(leave_row)] = enter;
+    state_[static_cast<std::size_t>(enter)] = VarState::Basic;
+    value_[static_cast<std::size_t>(enter)] = enter_value;
+  }
+}
+
+Solution Tableau::solve() {
+  Solution result;
+
+  // ---- Phase I: minimize the sum of artificial variables. ----
+  std::vector<double> phase1(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = artificial_begin_; j < cols_; ++j) phase1[static_cast<std::size_t>(j)] = 1.0;
+
+  bool need_phase1 = false;
+  for (int i = 0; i < rows_; ++i) {
+    if (value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] >
+        options_.tolerance) {
+      need_phase1 = true;
+      break;
+    }
+  }
+  if (need_phase1) {
+    const SolveStatus status = iterate(phase1);
+    if (status == SolveStatus::IterationLimit) {
+      result.status = SolveStatus::IterationLimit;
+      result.simplex_iterations = iterations_;
+      return result;
+    }
+    // Phase I is bounded below by zero, so Unbounded cannot legitimately
+    // occur; treat it as a numerical failure surfaced as IterationLimit.
+    if (status == SolveStatus::Unbounded) {
+      result.status = SolveStatus::IterationLimit;
+      result.simplex_iterations = iterations_;
+      return result;
+    }
+    recompute_basic_values();
+    double infeasibility = 0.0;
+    for (int j = artificial_begin_; j < cols_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == VarState::Basic ||
+          value_[static_cast<std::size_t>(j)] != 0.0) {
+        infeasibility += value_[static_cast<std::size_t>(j)];
+      }
+    }
+    if (infeasibility > 1e-6) {
+      result.status = SolveStatus::Infeasible;
+      result.simplex_iterations = iterations_;
+      return result;
+    }
+  }
+
+  // Retire artificials: they may remain basic at value zero (degenerate /
+  // redundant rows) but are fixed so they can never re-enter or move.
+  for (int j = artificial_begin_; j < cols_; ++j) {
+    lower_[static_cast<std::size_t>(j)] = 0.0;
+    upper_[static_cast<std::size_t>(j)] = 0.0;
+    if (state_[static_cast<std::size_t>(j)] != VarState::Basic) {
+      value_[static_cast<std::size_t>(j)] = 0.0;
+      state_[static_cast<std::size_t>(j)] = VarState::AtLower;
+    }
+  }
+
+  // ---- Phase II: the real objective. ----
+  std::vector<double> costs(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = 0; j < structural_; ++j) {
+    costs[static_cast<std::size_t>(j)] = model_.variable(j).objective;
+  }
+  const SolveStatus status = iterate(costs);
+  result.simplex_iterations = iterations_;
+  if (status == SolveStatus::Unbounded) {
+    result.status = SolveStatus::Unbounded;
+    return result;
+  }
+  if (status == SolveStatus::IterationLimit) {
+    result.status = SolveStatus::IterationLimit;
+    return result;
+  }
+
+  recompute_basic_values();
+  result.status = SolveStatus::Optimal;
+
+  // Constraint duals: every row's slack/artificial column appears only in
+  // that row with original stored coefficient +1 and zero phase-2 cost, so
+  // its reduced cost is d = -y_i (stored orientation); undo the row flips
+  // to express the dual against the model's orientation.
+  result.duals.resize(static_cast<std::size_t>(rows_));
+  for (int i = 0; i < rows_; ++i) {
+    const int anchor = dual_col_[static_cast<std::size_t>(i)];
+    result.duals[static_cast<std::size_t>(i)] =
+        dual_sign_[static_cast<std::size_t>(i)] *
+        -reduced_[static_cast<std::size_t>(anchor)];
+  }
+
+  result.values.resize(static_cast<std::size_t>(structural_));
+  for (int j = 0; j < structural_; ++j) {
+    double v = value_[static_cast<std::size_t>(j)];
+    // Clean tiny drift against the (possibly overridden) bounds.
+    v = std::max(v, lower_[static_cast<std::size_t>(j)]);
+    if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
+      v = std::min(v, upper_[static_cast<std::size_t>(j)]);
+    }
+    result.values[static_cast<std::size_t>(j)] = v;
+  }
+  result.objective = model_.objective_value(result.values);
+  return result;
+}
+
+}  // namespace
+
+Solution solve_lp(const Model& model, const SimplexOptions& options) {
+  return solve_lp(model, {}, {}, options);
+}
+
+Solution solve_lp(const Model& model, std::span<const double> lower,
+                  std::span<const double> upper, const SimplexOptions& options) {
+  util::check(lower.empty() ||
+                  lower.size() == static_cast<std::size_t>(model.num_variables()),
+              "solve_lp: lower override size mismatch");
+  util::check(upper.empty() ||
+                  upper.size() == static_cast<std::size_t>(model.num_variables()),
+              "solve_lp: upper override size mismatch");
+  for (std::size_t j = 0; j < lower.size(); ++j) {
+    if (lower[j] > upper[j]) {
+      Solution infeasible;
+      infeasible.status = SolveStatus::Infeasible;
+      return infeasible;
+    }
+  }
+  Tableau tableau(model, lower, upper, options);
+  return tableau.solve();
+}
+
+}  // namespace birp::solver

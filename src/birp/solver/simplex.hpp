@@ -1,0 +1,47 @@
+// Dense bounded-variable primal simplex.
+//
+// Solves   min c'x   s.t.   Ax {<=,>=,=} b,   l <= x <= u
+// with finite lower bounds (all BIRP variables are nonnegative) and possibly
+// infinite upper bounds. Two phases: Phase I drives artificial variables to
+// zero; Phase II optimizes the real objective. Nonbasic variables sit at a
+// bound; bound flips are handled without basis changes. Dantzig pricing with
+// a Bland's-rule fallback guards against cycling under degeneracy.
+//
+// This solver is the LP engine under the branch-and-bound MILP solver that
+// replaces the paper's Gurobi dependency; per-node bound overrides let B&B
+// branch without rebuilding the model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "birp/solver/model.hpp"
+#include "birp/solver/solution.hpp"
+
+namespace birp::solver {
+
+struct SimplexOptions {
+  /// Pivot budget; <= 0 means automatic (scales with problem size).
+  std::int64_t max_iterations = 0;
+  /// Feasibility / optimality tolerance.
+  double tolerance = 1e-7;
+  /// Minimum magnitude accepted for a pivot element.
+  double pivot_tolerance = 1e-9;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int stall_threshold = 40;
+};
+
+/// Solves the LP relaxation of `model` (integrality ignored).
+[[nodiscard]] Solution solve_lp(const Model& model,
+                                const SimplexOptions& options = {});
+
+/// As above, with per-variable bound overrides (used by branch-and-bound).
+/// `lower`/`upper` must each be empty or have one entry per model variable.
+[[nodiscard]] Solution solve_lp(const Model& model,
+                                std::span<const double> lower,
+                                std::span<const double> upper,
+                                const SimplexOptions& options = {});
+
+}  // namespace birp::solver

@@ -1,0 +1,50 @@
+// Shared solve result types for the LP and MILP solvers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace birp::solver {
+
+enum class SolveStatus {
+  Optimal,         ///< proven optimal (within tolerances)
+  Feasible,        ///< feasible incumbent returned, optimality not proven
+  Infeasible,      ///< no feasible point exists
+  Unbounded,       ///< objective unbounded below
+  IterationLimit,  ///< budget exhausted without a feasible point
+};
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;  ///< one entry per model variable
+  /// Constraint duals (shadow prices), one per model constraint, populated
+  /// by solve_lp on Optimal only: duals[i] approximates d(objective)/d(rhs_i)
+  /// at the optimum (for nondegenerate rows). Empty for MILP solves.
+  std::vector<double> duals;
+
+  // Diagnostics.
+  std::int64_t simplex_iterations = 0;  ///< total pivots across all LP solves
+  std::int64_t nodes_explored = 0;      ///< branch-and-bound nodes (MILP only)
+  double best_bound = 0.0;              ///< proven lower bound (MILP only)
+
+  [[nodiscard]] bool usable() const noexcept {
+    return status == SolveStatus::Optimal || status == SolveStatus::Feasible;
+  }
+};
+
+inline std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Feasible: return "feasible";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::IterationLimit: return "iteration_limit";
+  }
+  return "unknown";
+}
+
+}  // namespace birp::solver

@@ -1,0 +1,33 @@
+// Lightweight precondition / invariant checking.
+//
+// BIRP is a simulation and optimization library: a violated precondition is a
+// programming error, never a recoverable runtime condition, so checks throw
+// std::logic_error and are kept on in all build types (they guard cold paths:
+// configuration, problem construction, decision validation).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace birp::util {
+
+/// Throws std::logic_error with `message` (and call-site info) when
+/// `condition` is false. Use for API preconditions and internal invariants.
+inline void check(bool condition, const std::string& message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::logic_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Unconditional failure, for unreachable branches.
+[[noreturn]] inline void fail(
+    const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw std::logic_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + message);
+}
+
+}  // namespace birp::util

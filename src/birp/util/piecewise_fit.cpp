@@ -1,0 +1,95 @@
+#include "birp/util/piecewise_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "birp/util/check.hpp"
+
+namespace birp::util {
+
+double PiecewiseTirFit::evaluate(int b) const noexcept {
+  if (b <= beta) return std::pow(static_cast<double>(b), eta);
+  return c;
+}
+
+namespace {
+
+/// Exponent of y = x^eta through the origin in log space:
+/// minimizes sum (log y - eta log x)^2 over samples with x > 1
+/// (x == 1 contributes log x == 0 and pins nothing).
+double fit_power_exponent(std::span<const TirSample> samples, int max_batch) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& s : samples) {
+    if (s.batch > max_batch || s.batch <= 1) continue;
+    const double lx = std::log(static_cast<double>(s.batch));
+    const double ly = std::log(s.tir);
+    num += lx * ly;
+    den += lx * lx;
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace
+
+PiecewiseTirFit fit_piecewise_tir(std::span<const TirSample> samples) {
+  check(!samples.empty(), "fit_piecewise_tir: no samples");
+  int max_batch = 1;
+  double total_mean = 0.0;
+  for (const auto& s : samples) {
+    check(s.batch >= 1, "fit_piecewise_tir: batch must be >= 1");
+    check(s.tir > 0.0, "fit_piecewise_tir: TIR must be positive");
+    max_batch = std::max(max_batch, s.batch);
+    total_mean += s.tir;
+  }
+  check(max_batch >= 2, "fit_piecewise_tir: need at least two batch sizes");
+  total_mean /= static_cast<double>(samples.size());
+
+  PiecewiseTirFit best;
+  best.sse = std::numeric_limits<double>::infinity();
+
+  // Candidate breakpoints: every batch size from 2 to max observed. beta ==
+  // max_batch means "no saturation observed"; the constant level is then
+  // pinned at beta^eta for continuity.
+  for (int beta = 2; beta <= max_batch; ++beta) {
+    PiecewiseTirFit candidate;
+    candidate.beta = beta;
+    candidate.eta = fit_power_exponent(samples, beta);
+
+    // Constant level: mean of the saturated samples, or the continuity value
+    // when no sample lies beyond the breakpoint.
+    double c_sum = 0.0;
+    std::size_t c_count = 0;
+    for (const auto& s : samples) {
+      if (s.batch > beta) {
+        c_sum += s.tir;
+        ++c_count;
+      }
+    }
+    candidate.c = c_count > 0
+                      ? c_sum / static_cast<double>(c_count)
+                      : std::pow(static_cast<double>(beta), candidate.eta);
+
+    double sse = 0.0;
+    for (const auto& s : samples) {
+      const double d = s.tir - candidate.evaluate(s.batch);
+      sse += d * d;
+    }
+    candidate.sse = sse;
+    // Numerical ties prefer the larger breakpoint: at exact continuity the
+    // sample at b == beta fits both segments and the growth segment should
+    // own it (matches how the paper's Fig. 2 fits are drawn).
+    if (sse <= best.sse * (1.0 + 1e-9) + 1e-12) best = candidate;
+  }
+
+  double tss = 0.0;
+  for (const auto& s : samples) {
+    const double d = s.tir - total_mean;
+    tss += d * d;
+  }
+  best.r_squared = tss == 0.0 ? 1.0 : 1.0 - best.sse / tss;
+  return best;
+}
+
+}  // namespace birp::util

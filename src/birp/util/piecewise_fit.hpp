@@ -1,0 +1,41 @@
+// Fits the paper's piecewise TIR curve (Eq. 2):
+//
+//   TIR(b) = b^eta   for b <= beta      (power-law growth segment)
+//   TIR(b) = C       for b >  beta      (saturation segment)
+//
+// from raw (batch size, observed TIR) samples, exactly as the motivation
+// experiment behind Fig. 2 does. The power segment is fit in log-log space
+// through the origin (TIR(1) = 1 by definition); the constant segment is the
+// mean of the saturated samples; the breakpoint is chosen by exhaustive
+// search minimizing total squared error in linear space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace birp::util {
+
+struct TirSample {
+  int batch = 1;     ///< batch size b >= 1
+  double tir = 1.0;  ///< observed throughput(b) / throughput(1)
+};
+
+struct PiecewiseTirFit {
+  double eta = 0.0;      ///< power-law exponent of the growth segment
+  int beta = 1;          ///< breakpoint: largest batch on the growth segment
+  double c = 1.0;        ///< saturated TIR level
+  double sse = 0.0;      ///< total squared error of the fit (linear space)
+  double r_squared = 0;  ///< 1 - sse / total sum of squares
+
+  /// Evaluates the fitted curve at batch size b.
+  [[nodiscard]] double evaluate(int b) const noexcept;
+};
+
+/// Fits the piecewise curve. Requires samples at two or more distinct batch
+/// sizes, all with batch >= 1 and tir > 0. Samples may contain repeated
+/// batch sizes (e.g. five trials per batch as in the paper).
+[[nodiscard]] PiecewiseTirFit fit_piecewise_tir(
+    std::span<const TirSample> samples);
+
+}  // namespace birp::util

@@ -1,0 +1,120 @@
+#include "birp/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace birp::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+SplitMix64::result_type SplitMix64::operator()() noexcept {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) word = mixer();
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256StarStar::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256StarStar::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Xoshiro256StarStar::uniform_int(std::int64_t lo,
+                                             std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Lemire-style rejection-free-ish bounded draw; modulo bias is negligible
+  // for the span sizes used here but we reject to stay exact.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Xoshiro256StarStar::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256StarStar::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Xoshiro256StarStar::lognormal(double mu_log, double sigma_log) noexcept {
+  return std::exp(normal(mu_log, sigma_log));
+}
+
+std::int64_t Xoshiro256StarStar::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double threshold = std::exp(-mean);
+    std::int64_t count = -1;
+    double product = 1.0;
+    do {
+      ++count;
+      product *= uniform();
+    } while (product > threshold);
+    return count;
+  }
+  // Normal approximation with continuity correction; clamps at zero. Accurate
+  // to well under 1% relative error for the arrival intensities we model.
+  const double draw = normal(mean, std::sqrt(mean));
+  return std::max<std::int64_t>(0, static_cast<std::int64_t>(std::lround(draw)));
+}
+
+bool Xoshiro256StarStar::bernoulli(double p) noexcept {
+  return uniform() < std::clamp(p, 0.0, 1.0);
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::fork(std::uint64_t stream) noexcept {
+  // Derive a child seed by hashing current state with the stream index.
+  SplitMix64 mixer(state_[0] ^ rotl(state_[3], 13) ^
+                   (stream * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+  return Xoshiro256StarStar(mixer());
+}
+
+}  // namespace birp::util

@@ -1,0 +1,58 @@
+// Streaming and batch statistics used by the metrics layer and experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace birp::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) plus
+/// min/max tracking. Suitable for long-running metric accumulation.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of `values` (copied and sorted).
+/// `q` in [0, 1]. Requires a non-empty input.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Mean of `values`; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Ordinary least squares fit y = a + b*x. Returns {intercept, slope}.
+/// Requires at least two points with distinct x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination of the fit.
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit least_squares(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// Sum of squared residuals of y against a constant `c`.
+[[nodiscard]] double sse_against_constant(std::span<const double> y,
+                                          double c) noexcept;
+
+}  // namespace birp::util

@@ -1,0 +1,68 @@
+#include "birp/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "birp/util/check.hpp"
+
+namespace birp::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  check(row.size() == header_.size(), "TextTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (const double v : values) row.push_back(fixed(v, precision));
+  add_row(std::move(row));
+}
+
+void TextTable::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_separator = [&] {
+    out << '+';
+    for (const auto w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title.empty()) out << title << '\n';
+  print_separator();
+  print_row(header_);
+  print_separator();
+  for (const auto& row : rows_) print_row(row);
+  print_separator();
+}
+
+std::string fixed(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace birp::util

@@ -1,0 +1,36 @@
+// Console table printer: the benchmark harnesses print paper tables/figure
+// series as aligned text so `bench/*` output is directly comparable to the
+// paper's rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace birp::util {
+
+/// Collects rows and renders an aligned, boxed text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  void add_numeric_row(const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders to `out` with a title line above the table.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting helper.
+[[nodiscard]] std::string fixed(double value, int precision = 3);
+
+}  // namespace birp::util

@@ -1,0 +1,41 @@
+// Synthetic inference workload generator.
+//
+// Substitute for the production MLaaS trace the paper replays ([34], Alibaba
+// GPU-cluster trace). The generator reproduces the trace properties the
+// evaluation depends on:
+//   * diurnal intensity (sinusoidal day/night cycle over the slot horizon),
+//   * per-edge skew (persistent hot and idle edges -> redistribution value),
+//   * short bursts (transient overload -> SLO pressure and batching value),
+//   * Poisson arrival noise around the modulated mean.
+#pragma once
+
+#include <cstdint>
+
+#include "birp/device/cluster.hpp"
+#include "birp/workload/trace.hpp"
+
+namespace birp::workload {
+
+struct GeneratorConfig {
+  int slots = 300;              ///< horizon T (paper: 3 days of 15-min slots)
+  int slots_per_day = 96;       ///< slots forming one diurnal period
+  double mean_per_edge = 24.0;  ///< mean requests per (edge, app) per slot
+  double diurnal_amplitude = 0.35;  ///< day/night swing as fraction of mean
+  double hot_edge_factor = 1.6;     ///< hottest-to-coldest edge intensity ratio
+  double burst_probability = 0.05;  ///< per-(slot, edge) burst chance
+  double burst_scale = 1.5;         ///< burst intensity multiplier
+  std::uint64_t seed = 0x77ace;
+};
+
+/// Generates a trace for `cluster`'s dimensions.
+[[nodiscard]] Trace generate(const device::ClusterSpec& cluster,
+                             const GeneratorConfig& config);
+
+/// Suggests `mean_per_edge` so that, when every edge serves its own region
+/// with mid-sized models at their saturated batch size, average accelerator
+/// busy time is `target_utilization` of the slot. Uses oracle TIR — this is
+/// experiment setup, not scheduler knowledge.
+[[nodiscard]] double suggested_mean_per_edge(const device::ClusterSpec& cluster,
+                                             double target_utilization);
+
+}  // namespace birp::workload

@@ -1,0 +1,47 @@
+// Slot-indexed inference workload trace: r[t][i][k] = number of requests of
+// application i arriving in edge k's region during slot t (the paper's
+// r^t_{ik}).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace birp::workload {
+
+class Trace {
+ public:
+  Trace(int slots, int apps, int devices);
+
+  [[nodiscard]] int slots() const noexcept { return slots_; }
+  [[nodiscard]] int apps() const noexcept { return apps_; }
+  [[nodiscard]] int devices() const noexcept { return devices_; }
+
+  [[nodiscard]] std::int64_t at(int slot, int app, int device) const;
+  void set(int slot, int app, int device, std::int64_t requests);
+
+  /// Total requests arriving in `slot` across all apps and edges.
+  [[nodiscard]] std::int64_t slot_total(int slot) const;
+  /// Total requests of app `app` at edge `device` in `slot`'s column... sum
+  /// across slots.
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+
+  /// Per-edge totals within one slot (imbalance diagnostics).
+  [[nodiscard]] std::vector<std::int64_t> edge_totals(int slot) const;
+
+  /// CSV round-trip: header "slot,app,device,requests"; zero entries omitted.
+  void write_csv(std::ostream& out) const;
+  [[nodiscard]] static Trace read_csv(const std::string& text);
+
+ private:
+  [[nodiscard]] std::size_t index(int slot, int app, int device) const;
+
+  int slots_;
+  int apps_;
+  int devices_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace birp::workload

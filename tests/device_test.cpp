@@ -1,0 +1,288 @@
+// Tests for device profiles, the TIR model, and the ground truth tables.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "birp/device/cluster.hpp"
+#include "birp/device/profile.hpp"
+#include "birp/device/tir.hpp"
+#include "birp/device/truth.hpp"
+#include "birp/model/zoo.hpp"
+
+namespace birp::device {
+namespace {
+
+// ------------------------------------------------------------------ tir ----
+
+TEST(Tir, MatchesPiecewiseDefinition) {
+  TirParams params;
+  params.eta = 0.32;
+  params.beta = 5;
+  params.c = std::pow(5.0, 0.32);
+  EXPECT_DOUBLE_EQ(params.tir(1), 1.0);
+  EXPECT_DOUBLE_EQ(params.tir(3), std::pow(3.0, 0.32));
+  EXPECT_DOUBLE_EQ(params.tir(5), std::pow(5.0, 0.32));
+  EXPECT_DOUBLE_EQ(params.tir(6), params.c);   // saturated
+  EXPECT_DOUBLE_EQ(params.tir(16), params.c);  // stays flat
+}
+
+TEST(Tir, BatchTimeFollowsEq7) {
+  TirParams params;
+  params.eta = 0.2;
+  params.beta = 8;
+  params.c = std::pow(8.0, 0.2);
+  const double gamma = 0.05;
+  // Within threshold: f(b) = gamma * b^(1 - eta).
+  EXPECT_NEAR(params.batch_time(gamma, 4), gamma * std::pow(4.0, 0.8), 1e-12);
+  // Beyond threshold: f(b) = gamma * b / C.
+  EXPECT_NEAR(params.batch_time(gamma, 12), gamma * 12.0 / params.c, 1e-12);
+}
+
+TEST(Tir, BatchTimeMonotoneInBatch) {
+  TirParams params;
+  params.eta = 0.25;
+  params.beta = 10;
+  params.c = std::pow(10.0, 0.25);
+  double previous = 0.0;
+  for (int b = 1; b <= 16; ++b) {
+    const double t = params.batch_time(1.0, b);
+    EXPECT_GT(t, previous) << "b=" << b;
+    previous = t;
+  }
+}
+
+TEST(Tir, PerRequestTimeImprovesWithBatching) {
+  TirParams params;
+  params.eta = 0.3;
+  params.beta = 8;
+  params.c = std::pow(8.0, 0.3);
+  const double serial = params.batch_time(1.0, 1);
+  for (int b = 2; b <= 16; ++b) {
+    EXPECT_LT(params.batch_time(1.0, b) / b, serial) << "b=" << b;
+  }
+}
+
+TEST(Tir, ContinuityGapZeroWhenConsistent) {
+  TirParams params;
+  params.eta = 0.2;
+  params.beta = 9;
+  params.c = std::pow(9.0, 0.2);
+  EXPECT_NEAR(params.continuity_gap(), 0.0, 1e-12);
+}
+
+TEST(Tir, NonPositiveBatchIsHarmless) {
+  TirParams params;
+  EXPECT_DOUBLE_EQ(params.tir(0), 1.0);
+  EXPECT_DOUBLE_EQ(params.batch_time(1.0, 0), 0.0);
+}
+
+// -------------------------------------------------------------- profile ----
+
+TEST(Profile, PaperTestbedHasSixEdgesTwoPerType) {
+  const auto devices = paper_testbed();
+  ASSERT_EQ(devices.size(), 6u);
+  int nano = 0;
+  int nx = 0;
+  int atlas = 0;
+  for (const auto& d : devices) {
+    switch (d.type) {
+      case DeviceType::JetsonNano: ++nano; break;
+      case DeviceType::JetsonNX: ++nx; break;
+      case DeviceType::Atlas200DK: ++atlas; break;
+    }
+  }
+  EXPECT_EQ(nano, 2);
+  EXPECT_EQ(nx, 2);
+  EXPECT_EQ(atlas, 2);
+}
+
+TEST(Profile, ParameterRangesMatchPaper) {
+  for (const auto& d : paper_testbed()) {
+    EXPECT_GE(d.memory_mb, 4400.0) << d.name;  // [4500, 6500] with jitter
+    EXPECT_LE(d.memory_mb, 6700.0) << d.name;
+    EXPECT_GE(d.bandwidth_mbps, 50.0) << d.name;
+    EXPECT_LE(d.bandwidth_mbps, 100.0) << d.name;
+    EXPECT_GT(d.accel_speed, 0.0);
+    EXPECT_GT(d.serial_occupancy, 0.0);
+    EXPECT_LT(d.serial_occupancy, 1.0);
+  }
+}
+
+TEST(Profile, AcceleratorKindMatchesType) {
+  EXPECT_EQ(accelerator_of(DeviceType::JetsonNano), AcceleratorKind::Gpu);
+  EXPECT_EQ(accelerator_of(DeviceType::JetsonNX), AcceleratorKind::Gpu);
+  EXPECT_EQ(accelerator_of(DeviceType::Atlas200DK), AcceleratorKind::Npu);
+}
+
+TEST(Profile, InstancesOfSameTypeDiffer) {
+  const auto a = make_device(DeviceType::JetsonNano, 0, 0);
+  const auto b = make_device(DeviceType::JetsonNano, 1, 1);
+  EXPECT_NE(a.memory_mb, b.memory_mb);  // per-instance jitter
+  EXPECT_EQ(a.type, b.type);
+}
+
+TEST(Profile, DeterministicPerTypeAndInstance) {
+  const auto a = make_device(DeviceType::Atlas200DK, 0, 1);
+  const auto b = make_device(DeviceType::Atlas200DK, 7, 1);  // id irrelevant
+  EXPECT_DOUBLE_EQ(a.memory_mb, b.memory_mb);
+  EXPECT_DOUBLE_EQ(a.bandwidth_mbps, b.bandwidth_mbps);
+}
+
+TEST(Profile, SlotEnergyModel) {
+  auto d = make_device(DeviceType::JetsonNano, 0, 0);
+  d.idle_power_w = 2.0;
+  d.busy_power_w = 10.0;
+  // Half-busy slot: 3s at 10W + 3s at 2W.
+  EXPECT_DOUBLE_EQ(d.slot_energy_j(3.0, 6.0), 30.0 + 6.0);
+  // Overrun: all busy, no idle term.
+  EXPECT_DOUBLE_EQ(d.slot_energy_j(8.0, 6.0), 80.0);
+  // Idle slot.
+  EXPECT_DOUBLE_EQ(d.slot_energy_j(0.0, 6.0), 12.0);
+}
+
+TEST(Profile, PowerDrawIsPositiveAndOrdered) {
+  for (const auto& d : paper_testbed()) {
+    EXPECT_GT(d.idle_power_w, 0.0) << d.name;
+    EXPECT_GT(d.busy_power_w, d.idle_power_w) << d.name;
+  }
+}
+
+TEST(Profile, NetworkBudgetScalesWithSlot) {
+  const auto d = make_device(DeviceType::JetsonNano, 0, 0);
+  EXPECT_NEAR(d.network_mb_per_slot(8.0), 2.0 * d.network_mb_per_slot(4.0),
+              1e-9);
+  EXPECT_NEAR(d.network_mb_per_slot(10.0), d.bandwidth_mbps * 10.0 / 8.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- truth ----
+
+class TruthFixture : public ::testing::Test {
+ protected:
+  model::Zoo zoo_ = model::Zoo::standard();
+  GroundTruth truth_{paper_testbed(), zoo_, 42};
+};
+
+TEST_F(TruthFixture, DimensionsMatch) {
+  EXPECT_EQ(truth_.num_devices(), 6);
+  EXPECT_THROW((void)truth_.gamma_s(99, 0, 0), std::logic_error);
+  EXPECT_THROW((void)truth_.gamma_s(0, 99, 0), std::logic_error);
+  EXPECT_THROW((void)truth_.gamma_s(0, 0, 99), std::logic_error);
+}
+
+TEST_F(TruthFixture, TirParamsInObservedRanges) {
+  for (int k = 0; k < truth_.num_devices(); ++k) {
+    for (int i = 0; i < zoo_.num_apps(); ++i) {
+      for (int j = 0; j < zoo_.num_variants(i); ++j) {
+        const auto& tir = truth_.tir(k, i, j);
+        EXPECT_GE(tir.eta, 0.10);
+        EXPECT_LE(tir.eta, 0.35);
+        EXPECT_GE(tir.beta, 3);
+        EXPECT_LE(tir.beta, 16);
+        // Continuity: C == beta^eta (how the paper's Fig. 2 curves close).
+        EXPECT_NEAR(tir.continuity_gap(), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(TruthFixture, FasterDevicesHaveLowerLatency) {
+  // NX (device type speed 2.0) must beat Nano (0.8) on the same model, on
+  // average across apps.
+  int nx = -1;
+  int nano = -1;
+  for (int k = 0; k < truth_.num_devices(); ++k) {
+    if (truth_.device(k).type == DeviceType::JetsonNX && nx < 0) nx = k;
+    if (truth_.device(k).type == DeviceType::JetsonNano && nano < 0) nano = k;
+  }
+  ASSERT_GE(nx, 0);
+  ASSERT_GE(nano, 0);
+  double nx_total = 0.0;
+  double nano_total = 0.0;
+  for (int i = 0; i < zoo_.num_apps(); ++i) {
+    for (int j = 0; j < zoo_.num_variants(i); ++j) {
+      nx_total += truth_.gamma_s(nx, i, j);
+      nano_total += truth_.gamma_s(nano, i, j);
+    }
+  }
+  EXPECT_LT(nx_total, nano_total);
+}
+
+TEST_F(TruthFixture, BatchTimeIsConsistentWithTir) {
+  const double gamma = truth_.gamma_s(0, 0, 0);
+  const auto& tir = truth_.tir(0, 0, 0);
+  EXPECT_NEAR(truth_.batch_time_s(0, 0, 0, 4), tir.batch_time(gamma, 4), 1e-12);
+}
+
+TEST_F(TruthFixture, SerialPipelineBounds) {
+  for (int k = 0; k < truth_.num_devices(); ++k) {
+    for (int i = 0; i < zoo_.num_apps(); ++i) {
+      for (int j = 0; j < zoo_.num_variants(i); ++j) {
+        const auto p = truth_.serial_pipeline(k, i, j);
+        EXPECT_GT(p.fps, 0.0);
+        EXPECT_GT(p.cpu_util, 0.0);
+        EXPECT_LE(p.cpu_util, 1.0);
+        EXPECT_GT(p.accel_util, 0.0);
+        EXPECT_LE(p.accel_util, 1.0);
+        EXPECT_LE(p.accel_util, p.accel_busy + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(TruthFixture, SerialAccelUtilIsInverseOfSaturatedTir) {
+  // The chain behind Table 1: a serial kernel occupies ~1/C of the
+  // accelerator, so util = busy / C.
+  const auto p = truth_.serial_pipeline(0, 0, 0);
+  const auto& tir = truth_.tir(0, 0, 0);
+  EXPECT_NEAR(p.accel_util, p.accel_busy / tir.c, 1e-12);
+}
+
+TEST_F(TruthFixture, DeterministicAcrossConstruction) {
+  GroundTruth other(paper_testbed(), zoo_, 42);
+  EXPECT_DOUBLE_EQ(other.gamma_s(2, 1, 3), truth_.gamma_s(2, 1, 3));
+  EXPECT_EQ(other.tir(2, 1, 3).beta, truth_.tir(2, 1, 3).beta);
+}
+
+TEST_F(TruthFixture, SeedChangesJitterOnly) {
+  GroundTruth other(paper_testbed(), zoo_, 43);
+  // Different seed: same order of magnitude, not identical.
+  EXPECT_NE(other.gamma_s(0, 0, 0), truth_.gamma_s(0, 0, 0));
+  EXPECT_NEAR(other.gamma_s(0, 0, 0), truth_.gamma_s(0, 0, 0),
+              truth_.gamma_s(0, 0, 0));
+}
+
+// -------------------------------------------------------------- cluster ----
+
+TEST(Cluster, FactoryShapes) {
+  const auto large = ClusterSpec::paper_large();
+  EXPECT_EQ(large.num_devices(), 6);
+  EXPECT_EQ(large.num_apps(), 5);
+  const auto small = ClusterSpec::paper_small();
+  EXPECT_EQ(small.num_apps(), 1);
+  const auto sweep = ClusterSpec::sweep();
+  EXPECT_EQ(sweep.num_apps(), 3);
+}
+
+TEST(Cluster, BudgetsAreDerivedFromProfiles) {
+  const auto cluster = ClusterSpec::paper_large();
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    EXPECT_DOUBLE_EQ(cluster.memory_mb(k), cluster.device(k).memory_mb);
+    EXPECT_NEAR(cluster.network_mb(k),
+                cluster.device(k).bandwidth_mbps * cluster.tau_s() / 8.0,
+                1e-9);
+  }
+}
+
+TEST(Cluster, OracleMatchesTruth) {
+  const auto cluster = ClusterSpec::paper_large();
+  EXPECT_EQ(cluster.oracle_tir(1, 2, 3).beta, cluster.truth().tir(1, 2, 3).beta);
+}
+
+TEST(Cluster, RejectsNonPositiveTau) {
+  EXPECT_THROW(
+      ClusterSpec(paper_testbed(), model::Zoo::standard(), 0.0, 1),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace birp::device

@@ -1,0 +1,130 @@
+// End-to-end integration tests: full scheduler-vs-scheduler runs on shared
+// traces, checking the qualitative relationships the paper's evaluation
+// rests on. Kept short (tens of slots) so the suite stays fast; the bench
+// binaries run the full 300-slot experiments.
+#include <gtest/gtest.h>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/metrics/run_metrics.hpp"
+#include "birp/sched/max_batch.hpp"
+#include "birp/sched/oaei.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/workload/generator.hpp"
+
+namespace birp {
+namespace {
+
+metrics::RunMetrics run(const device::ClusterSpec& cluster,
+                        const workload::Trace& trace, sim::Scheduler& s) {
+  sim::Simulator simulator(cluster, trace);
+  return simulator.run(s);
+}
+
+class SmallScale : public ::testing::Test {
+ protected:
+  SmallScale() : cluster_(device::ClusterSpec::paper_small()) {
+    workload::GeneratorConfig config;
+    config.slots = 30;
+    config.mean_per_edge = workload::suggested_mean_per_edge(cluster_, 0.5);
+    trace_ = workload::generate(cluster_, config);
+  }
+
+  device::ClusterSpec cluster_;
+  workload::Trace trace_ = workload::Trace(1, 1, 1);
+};
+
+TEST_F(SmallScale, AllSchedulersServeTheBulkOfTheLoad) {
+  core::BirpScheduler birp(cluster_);
+  auto off = core::BirpScheduler::offline(cluster_);
+  sched::OaeiScheduler oaei(cluster_);
+  sched::MaxScheduler max(cluster_);
+  for (sim::Scheduler* s :
+       {static_cast<sim::Scheduler*>(&birp), static_cast<sim::Scheduler*>(&off),
+        static_cast<sim::Scheduler*>(&oaei),
+        static_cast<sim::Scheduler*>(&max)}) {
+    const auto m = run(cluster_, trace_, *s);
+    EXPECT_EQ(m.total_requests(), trace_.total()) << s->name();
+    EXPECT_LT(static_cast<double>(m.dropped()) /
+                  static_cast<double>(m.total_requests()),
+              0.25)
+        << s->name();
+  }
+}
+
+
+
+TEST_F(SmallScale, DeterministicEndToEnd) {
+  core::BirpScheduler a(cluster_);
+  core::BirpScheduler b(cluster_);
+  const auto ma = run(cluster_, trace_, a);
+  const auto mb = run(cluster_, trace_, b);
+  EXPECT_DOUBLE_EQ(ma.total_loss(), mb.total_loss());
+  EXPECT_EQ(ma.slo_failures(), mb.slo_failures());
+}
+
+class LargeScale : public ::testing::Test {
+ protected:
+  LargeScale() : cluster_(device::ClusterSpec::paper_large()) {
+    workload::GeneratorConfig config;
+    config.slots = 30;
+    // The calibrated operating point of the Fig. 7 experiment: serial
+    // execution strains while batch-aware execution keeps headroom.
+    config.mean_per_edge = workload::suggested_mean_per_edge(cluster_, 0.7);
+    trace_ = workload::generate(cluster_, config);
+  }
+
+  device::ClusterSpec cluster_;
+  workload::Trace trace_ = workload::Trace(1, 1, 1);
+};
+
+TEST_F(LargeScale, BirpMeetsSloTargets) {
+  core::BirpScheduler birp(cluster_);
+  const auto m = run(cluster_, trace_, birp);
+  EXPECT_LT(m.failure_percent(), 10.0);
+  EXPECT_GT(m.edge_busy().mean(), 0.2);  // actually doing work
+}
+
+TEST_F(LargeScale, SerialBaselineBurnsMoreComputePerRequest) {
+  core::BirpScheduler birp(cluster_);
+  sched::OaeiScheduler oaei(cluster_);
+  const auto mb = run(cluster_, trace_, birp);
+  const auto mo = run(cluster_, trace_, oaei);
+  const double birp_cost = mb.edge_busy().mean() /
+                           static_cast<double>(mb.total_requests() - mb.dropped());
+  const double oaei_cost = mo.edge_busy().mean() /
+                           static_cast<double>(mo.total_requests() - mo.dropped());
+  EXPECT_LT(birp_cost, oaei_cost);
+}
+
+TEST_F(LargeScale, BatchAwareSchedulerBeatsSerialOnSloFailures) {
+  // Under the large-scale load serial execution strains against tau while
+  // batch-aware execution has headroom (paper section 5.4).
+  core::BirpScheduler birp(cluster_);
+  sched::OaeiScheduler oaei(cluster_);
+  const auto birp_metrics = run(cluster_, trace_, birp);
+  const auto oaei_metrics = run(cluster_, trace_, oaei);
+  EXPECT_LT(birp_metrics.failure_percent(), oaei_metrics.failure_percent());
+}
+
+TEST_F(LargeScale, MaxHasWorstTailLatency) {
+  // MAX's padded full-size batches delay individual requests: its
+  // completion-time p95 should exceed BIRP's (the Fig. 7a right skew).
+  core::BirpScheduler birp(cluster_);
+  sched::MaxScheduler max(cluster_);
+  const auto birp_metrics = run(cluster_, trace_, birp);
+  const auto max_metrics = run(cluster_, trace_, max);
+  EXPECT_GT(max_metrics.completion().quantile(0.95),
+            birp_metrics.completion().quantile(0.95));
+}
+
+TEST_F(LargeScale, ValidatorNeverRepairsBirp) {
+  core::BirpScheduler birp(cluster_);
+  sim::Simulator simulator(cluster_, trace_);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_TRUE(simulator.step(birp).repairs.clean()) << "slot " << t;
+  }
+}
+
+}  // namespace
+}  // namespace birp

@@ -1,0 +1,83 @@
+// Tests for run metric aggregation.
+#include <gtest/gtest.h>
+
+#include "birp/metrics/run_metrics.hpp"
+
+namespace birp::metrics {
+namespace {
+
+TEST(RunMetrics, EmptyState) {
+  RunMetrics m;
+  EXPECT_EQ(m.total_requests(), 0);
+  EXPECT_EQ(m.slo_failures(), 0);
+  EXPECT_DOUBLE_EQ(m.failure_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_loss(), 0.0);
+  EXPECT_TRUE(m.cumulative_loss().empty());
+}
+
+TEST(RunMetrics, RequestAccounting) {
+  RunMetrics m;
+  m.record_request(0.5, true);
+  m.record_request(1.2, false);
+  m.record_request(0.9, true);
+  EXPECT_EQ(m.total_requests(), 3);
+  EXPECT_EQ(m.slo_failures(), 1);
+  EXPECT_NEAR(m.failure_percent(), 100.0 / 3.0, 1e-9);
+  EXPECT_EQ(m.completion().count(), 3u);
+}
+
+TEST(RunMetrics, DroppedCountsAsFailureWithoutCompletionSample) {
+  RunMetrics m;
+  m.record_request(0.5, true);
+  m.record_dropped();
+  EXPECT_EQ(m.total_requests(), 2);
+  EXPECT_EQ(m.slo_failures(), 1);
+  EXPECT_EQ(m.dropped(), 1);
+  EXPECT_EQ(m.completion().count(), 1u);  // dropped requests never complete
+  EXPECT_DOUBLE_EQ(m.failure_percent(), 50.0);
+}
+
+TEST(RunMetrics, SlotLossSeriesAndCumulative) {
+  RunMetrics m;
+  m.record_slot_loss(1.0);
+  m.record_slot_loss(2.5);
+  m.record_slot_loss(0.5);
+  EXPECT_DOUBLE_EQ(m.total_loss(), 4.0);
+  const auto cumulative = m.cumulative_loss();
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_DOUBLE_EQ(cumulative[0], 1.0);
+  EXPECT_DOUBLE_EQ(cumulative[1], 3.5);
+  EXPECT_DOUBLE_EQ(cumulative[2], 4.0);
+  EXPECT_EQ(m.slot_loss().size(), 3u);
+}
+
+TEST(RunMetrics, EdgeBusyStatistics) {
+  RunMetrics m;
+  m.record_edge_busy(0.5);
+  m.record_edge_busy(1.5);
+  EXPECT_DOUBLE_EQ(m.edge_busy().mean(), 1.0);
+  EXPECT_EQ(m.edge_busy().count(), 2u);
+}
+
+TEST(RunMetrics, EnergyAccumulates) {
+  RunMetrics m;
+  m.record_energy(10.0);
+  m.record_energy(5.5);
+  EXPECT_DOUBLE_EQ(m.total_energy_j(), 15.5);
+  EXPECT_DOUBLE_EQ(m.energy_per_request_j(), 0.0);  // nothing served yet
+  m.record_request(0.5, true);
+  m.record_dropped();
+  EXPECT_DOUBLE_EQ(m.energy_per_request_j(), 15.5);  // one served request
+}
+
+TEST(RunMetrics, CompletionEcdfReflectsSamples) {
+  RunMetrics m;
+  for (int i = 1; i <= 10; ++i) {
+    m.record_request(static_cast<double>(i) / 10.0, i <= 9);
+  }
+  EXPECT_NEAR(m.completion().cdf(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(m.completion().tail_fraction(0.9), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace birp::metrics

@@ -1,0 +1,121 @@
+// Tests for the application / model-variant zoo.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "birp/model/zoo.hpp"
+
+namespace birp::model {
+namespace {
+
+TEST(Zoo, StandardMatchesPaperScale) {
+  const auto zoo = Zoo::standard();
+  EXPECT_EQ(zoo.num_apps(), 5);
+  EXPECT_EQ(zoo.max_variants(), 5);
+  EXPECT_EQ(zoo.total_variants(), 25);
+  for (int i = 0; i < zoo.num_apps(); ++i) EXPECT_EQ(zoo.num_variants(i), 5);
+}
+
+TEST(Zoo, SmallScaleMatchesPaperScale) {
+  const auto zoo = Zoo::small_scale();
+  EXPECT_EQ(zoo.num_apps(), 1);
+  EXPECT_EQ(zoo.num_variants(0), 3);
+}
+
+TEST(Zoo, SweepScaleIsMidSize) {
+  const auto zoo = Zoo::sweep_scale();
+  EXPECT_EQ(zoo.num_apps(), 3);
+  EXPECT_EQ(zoo.total_variants(), 9);
+}
+
+TEST(Zoo, DeterministicConstruction) {
+  const auto a = Zoo::standard();
+  const auto b = Zoo::standard();
+  for (int i = 0; i < a.num_apps(); ++i) {
+    for (int j = 0; j < a.num_variants(i); ++j) {
+      EXPECT_DOUBLE_EQ(a.variant(i, j).loss, b.variant(i, j).loss);
+      EXPECT_DOUBLE_EQ(a.variant(i, j).weights_mb, b.variant(i, j).weights_mb);
+    }
+  }
+}
+
+TEST(Zoo, BestAndWorstLoss) {
+  const auto zoo = Zoo::standard();
+  for (int i = 0; i < zoo.num_apps(); ++i) {
+    const double best = zoo.best_loss(i);
+    const double worst = zoo.worst_loss(i);
+    EXPECT_LT(best, worst);
+    for (int j = 0; j < zoo.num_variants(i); ++j) {
+      EXPECT_GE(zoo.variant(i, j).loss, best);
+      EXPECT_LE(zoo.variant(i, j).loss, worst);
+    }
+  }
+}
+
+TEST(Zoo, IndexValidation) {
+  const auto zoo = Zoo::standard();
+  EXPECT_THROW((void)zoo.app(-1), std::logic_error);
+  EXPECT_THROW((void)zoo.app(99), std::logic_error);
+  EXPECT_THROW((void)zoo.variant(0, 99), std::logic_error);
+}
+
+TEST(Zoo, RejectsSparseIds) {
+  Application app;
+  app.id = 3;  // must be 0
+  app.variants.push_back({});
+  EXPECT_THROW(Zoo({app}), std::logic_error);
+}
+
+TEST(Zoo, RejectsEmpty) {
+  EXPECT_THROW(Zoo({}), std::logic_error);
+}
+
+// Parameter ranges stated in the paper's experiment setup (section 5.1).
+class ZooRanges : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooRanges, VariantParametersWithinPaperRanges) {
+  const auto zoo = Zoo::standard();
+  const int i = GetParam();
+  for (int j = 0; j < zoo.num_variants(i); ++j) {
+    const auto& v = zoo.variant(i, j);
+    EXPECT_GE(v.loss, 0.15) << v.name;
+    EXPECT_LE(v.loss, 0.49) << v.name;
+    EXPECT_GE(v.base_latency_ms, 18.0) << v.name;
+    EXPECT_LE(v.base_latency_ms, 770.0) << v.name;
+    EXPECT_GE(v.weights_mb, 33.0) << v.name;
+    EXPECT_LE(v.weights_mb, 550.0) << v.name;
+    EXPECT_GE(v.compressed_mb, 7.0) << v.name;
+    EXPECT_LE(v.compressed_mb, 98.0) << v.name;
+    EXPECT_GE(v.intermediate_mb, 55.0) << v.name;
+    EXPECT_LE(v.intermediate_mb, 480.0) << v.name;
+  }
+  const auto& app = zoo.app(i);
+  EXPECT_GE(app.request_mb, 0.2);
+  EXPECT_LE(app.request_mb, 3.0);
+  EXPECT_DOUBLE_EQ(app.slo_fraction, 1.0);
+}
+
+TEST_P(ZooRanges, LadderIsMonotone) {
+  // Larger variants: lower loss, higher latency, more memory.
+  const auto zoo = Zoo::standard();
+  const int i = GetParam();
+  for (int j = 1; j < zoo.num_variants(i); ++j) {
+    const auto& small = zoo.variant(i, j - 1);
+    const auto& large = zoo.variant(i, j);
+    EXPECT_LT(large.loss, small.loss) << "app " << i << " step " << j;
+    EXPECT_GT(large.base_latency_ms, small.base_latency_ms);
+    EXPECT_GT(large.weights_mb, small.weights_mb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ZooRanges, ::testing::Range(0, 5));
+
+TEST(Zoo, AppNamesAreDistinct) {
+  const auto zoo = Zoo::standard();
+  std::set<std::string> names;
+  for (const auto& app : zoo.apps()) names.insert(app.name);
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(zoo.num_apps()));
+}
+
+}  // namespace
+}  // namespace birp::model

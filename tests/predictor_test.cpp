@@ -1,0 +1,107 @@
+// Tests for the nn-Meter-substitute latency predictor.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/predictor/latency_predictor.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/workload/generator.hpp"
+
+namespace birp::predictor {
+namespace {
+
+TEST(LatencyPredictor, GeneralizesAcrossHeldOutPairs) {
+  const auto cluster = device::ClusterSpec::paper_large();
+  PredictorConfig config;
+  config.train_fraction = 0.6;  // 40% of pairs never profiled
+  const auto predictor = LatencyPredictor::profile_and_fit(cluster, config);
+  // Structure-feature regression should land within ~15% mean relative
+  // error, comparable to published latency-predictor accuracy.
+  EXPECT_LT(predictor.mean_relative_error(cluster), 0.15);
+  EXPECT_GT(predictor.training_samples(), 0);
+}
+
+TEST(LatencyPredictor, PredictionsArePositiveAndOrdered) {
+  const auto cluster = device::ClusterSpec::paper_large();
+  const auto predictor = LatencyPredictor::profile_and_fit(cluster);
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    // Larger variants must be predicted slower (the ladder is monotone).
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      double previous = 0.0;
+      for (int j = 0; j < cluster.zoo().num_variants(i); ++j) {
+        const double p = predictor.predict_gamma_s(k, i, j);
+        EXPECT_GT(p, 0.0);
+        EXPECT_GT(p, previous) << "k=" << k << " i=" << i << " j=" << j;
+        previous = p;
+      }
+    }
+  }
+}
+
+TEST(LatencyPredictor, Deterministic) {
+  const auto cluster = device::ClusterSpec::paper_large();
+  const auto a = LatencyPredictor::profile_and_fit(cluster);
+  const auto b = LatencyPredictor::profile_and_fit(cluster);
+  EXPECT_DOUBLE_EQ(a.predict_gamma_s(0, 0, 0), b.predict_gamma_s(0, 0, 0));
+  EXPECT_DOUBLE_EQ(a.predict_gamma_s(5, 4, 4), b.predict_gamma_s(5, 4, 4));
+}
+
+TEST(LatencyPredictor, MoreTrainingDataHelps) {
+  const auto cluster = device::ClusterSpec::paper_large();
+  PredictorConfig scarce;
+  scarce.train_fraction = 0.2;
+  scarce.runs_per_pair = 1;
+  scarce.measurement_sigma = 0.15;
+  PredictorConfig rich = scarce;
+  rich.train_fraction = 1.0;
+  rich.runs_per_pair = 5;
+  const auto scarce_fit = LatencyPredictor::profile_and_fit(cluster, scarce);
+  const auto rich_fit = LatencyPredictor::profile_and_fit(cluster, rich);
+  EXPECT_LT(rich_fit.mean_relative_error(cluster),
+            scarce_fit.mean_relative_error(cluster));
+}
+
+TEST(LatencyPredictor, RejectsBadConfig) {
+  const auto cluster = device::ClusterSpec::paper_large();
+  PredictorConfig bad;
+  bad.train_fraction = 0.0;
+  EXPECT_THROW((void)LatencyPredictor::profile_and_fit(cluster, bad),
+               std::logic_error);
+  bad.train_fraction = 0.5;
+  bad.runs_per_pair = 0;
+  EXPECT_THROW((void)LatencyPredictor::profile_and_fit(cluster, bad),
+               std::logic_error);
+}
+
+TEST(LatencyPredictor, SchedulerRunsOnPredictedLatencies) {
+  // End-to-end: BIRP scheduling against predicted gammas stays live and
+  // close to exact-gamma scheduling.
+  const auto cluster = device::ClusterSpec::paper_small();
+  const auto predictor = LatencyPredictor::profile_and_fit(cluster);
+
+  workload::GeneratorConfig wl;
+  wl.slots = 15;
+  wl.mean_per_edge = workload::suggested_mean_per_edge(cluster, 0.5);
+  const auto trace = workload::generate(cluster, wl);
+
+  core::BirpConfig predicted_config;
+  predicted_config.problem.gamma_lookup = [&predictor](int k, int i, int j) {
+    return predictor.predict_gamma_s(k, i, j);
+  };
+  core::BirpScheduler predicted(cluster, predicted_config);
+  core::BirpScheduler exact(cluster);
+
+  sim::Simulator sim_a(cluster, trace);
+  sim::Simulator sim_b(cluster, trace);
+  const auto m_predicted = sim_a.run(predicted);
+  const auto m_exact = sim_b.run(exact);
+
+  EXPECT_EQ(m_predicted.total_requests(), trace.total());
+  // Within 10% loss of exact-latency scheduling.
+  EXPECT_LT(m_predicted.total_loss(), m_exact.total_loss() * 1.10);
+}
+
+}  // namespace
+}  // namespace birp::predictor

@@ -1,0 +1,250 @@
+// Property-based sweeps (TEST_P over seeds) for cross-module invariants:
+// whatever garbage a scheduler emits, the repaired plan is physically
+// feasible; whatever the LP returns, the incumbent heuristic's candidate
+// satisfies the model; solver results are invariant under formulation
+// permutations.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/core/problem.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/sim/validate.hpp"
+#include "birp/solver/branch_and_bound.hpp"
+#include "birp/util/rng.hpp"
+#include "birp/workload/generator.hpp"
+
+namespace birp {
+namespace {
+
+// ------------------------------------------------- validator invariants ----
+
+class ValidatorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidatorFuzz, RepairedDecisionIsAlwaysPhysicallyFeasible) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const auto cluster = device::ClusterSpec::paper_large();
+  const int I = cluster.num_apps();
+  const int K = cluster.num_devices();
+
+  util::Grid2<std::int64_t> demand(I, K, 0);
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) demand(i, k) = rng.uniform_int(0, 60);
+  }
+
+  // Adversarial decision: random serving, kernels, flows, drops — including
+  // nonsense (negative counts, self flows, phantom variants).
+  sim::SlotDecision decision(I, cluster.zoo().max_variants() + 1, K);
+  for (int i = 0; i < I; ++i) {
+    for (int j = 0; j < decision.max_variants(); ++j) {
+      for (int k = 0; k < K; ++k) {
+        if (!rng.bernoulli(0.3)) continue;
+        decision.served(i, j, k) = rng.uniform_int(-5, 80);
+        decision.kernel(i, j, k) = static_cast<int>(rng.uniform_int(-2, 64));
+      }
+    }
+    for (int k = 0; k < K; ++k) {
+      decision.drops(i, k) = rng.uniform_int(-3, 10);
+    }
+  }
+  for (int f = 0; f < 12; ++f) {
+    decision.flows.push_back({static_cast<int>(rng.uniform_int(0, I - 1)),
+                              static_cast<int>(rng.uniform_int(0, K - 1)),
+                              static_cast<int>(rng.uniform_int(0, K - 1)),
+                              rng.uniform_int(-10, 200)});
+  }
+
+  sim::validate_and_repair(cluster, demand, nullptr, decision);
+
+  // Invariant 1: exact request conservation per (app, edge).
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      std::int64_t served = 0;
+      for (int j = 0; j < cluster.zoo().num_variants(i); ++j) {
+        served += decision.served(i, j, k);
+        EXPECT_GE(decision.served(i, j, k), 0);
+      }
+      const auto available =
+          demand(i, k) - decision.exports(i, k) + decision.imports(i, k);
+      EXPECT_EQ(served + decision.drops(i, k), available)
+          << "seed " << GetParam() << " i=" << i << " k=" << k;
+      EXPECT_GE(decision.drops(i, k), 0);
+    }
+  }
+  // Invariant 2: per-edge physical budgets.
+  for (int k = 0; k < K; ++k) {
+    EXPECT_LE(sim::decision_memory_mb(cluster, decision, k),
+              cluster.memory_mb(k) + 1e-6);
+    EXPECT_LE(sim::decision_network_mb(cluster, decision, nullptr, k),
+              cluster.network_mb(k) + 1e-6);
+  }
+  // Invariant 3: kernels sane; phantom variants silenced.
+  for (int i = 0; i < I; ++i) {
+    for (int j = 0; j < decision.max_variants(); ++j) {
+      for (int k = 0; k < K; ++k) {
+        if (j >= cluster.zoo().num_variants(i)) {
+          EXPECT_EQ(decision.served(i, j, k), 0);
+        }
+        if (decision.served(i, j, k) > 0) {
+          EXPECT_GE(decision.kernel(i, j, k), 1);
+          EXPECT_LE(decision.kernel(i, j, k), sim::kMaxKernelBatch);
+        }
+      }
+    }
+  }
+  // Invariant 4: exports never exceed local demand; no self flows.
+  for (const auto& flow : decision.flows) {
+    EXPECT_NE(flow.from, flow.to);
+    EXPECT_GT(flow.count, 0);
+  }
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      EXPECT_LE(decision.exports(i, k), demand(i, k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorFuzz, ::testing::Range(1, 16));
+
+// ------------------------------------------- heuristic model-feasibility ----
+
+class HeuristicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicSweep, CandidateSatisfiesModelAtEveryDemandLevel) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 733);
+  const auto cluster = device::ClusterSpec::paper_large();
+  const int I = cluster.num_apps();
+  const int K = cluster.num_devices();
+
+  util::Grid2<std::int64_t> demand(I, K, 0);
+  // Demand level scales with the seed: light through heavy overload.
+  const auto level = 5 + 12 * (GetParam() % 8);
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      demand(i, k) = rng.uniform_int(0, level);
+    }
+  }
+  const core::TirLookup lookup = [&](int k, int i, int j) {
+    return cluster.oracle_tir(k, i, j);
+  };
+  const auto built =
+      core::build_slot_problem(cluster, demand, nullptr, lookup, {});
+  const auto lp = solver::solve_lp(built.model);
+  ASSERT_TRUE(lp.usable()) << "seed " << GetParam();
+
+  const auto candidate = core::heuristic_incumbent(
+      built, lp.values, cluster, demand, nullptr, lookup, {});
+  ASSERT_FALSE(candidate.empty()) << "seed " << GetParam();
+  EXPECT_LE(built.model.max_violation(candidate), 1e-6)
+      << "seed " << GetParam();
+  EXPECT_LE(built.model.max_integrality_violation(candidate), 1e-6);
+  // Objective sanity: bounded below by the relaxation.
+  EXPECT_GE(built.model.objective_value(candidate), lp.objective - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicSweep, ::testing::Range(1, 17));
+
+// ------------------------------------------------ solver permutation law ----
+
+class SolverPermutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverPermutation, ObjectiveInvariantUnderVariableReordering) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  constexpr int kVars = 8;
+  constexpr int kRows = 5;
+
+  std::vector<double> obj(kVars);
+  std::vector<double> upper(kVars);
+  std::vector<std::vector<double>> rows(kRows, std::vector<double>(kVars));
+  std::vector<double> rhs(kRows);
+  for (int v = 0; v < kVars; ++v) {
+    obj[static_cast<std::size_t>(v)] = rng.uniform(-3.0, 3.0);
+    upper[static_cast<std::size_t>(v)] = rng.uniform(1.0, 5.0);
+  }
+  for (int r = 0; r < kRows; ++r) {
+    double sum = 0.0;
+    for (int v = 0; v < kVars; ++v) {
+      rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)] =
+          rng.uniform(0.0, 2.0);
+      sum += rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)];
+    }
+    rhs[static_cast<std::size_t>(r)] = rng.uniform(0.3, 0.8) * sum;
+  }
+
+  const auto build = [&](const std::vector<int>& order) {
+    solver::Model model;
+    std::vector<int> var_of(kVars);
+    for (int p = 0; p < kVars; ++p) {
+      const int v = order[static_cast<std::size_t>(p)];
+      var_of[static_cast<std::size_t>(v)] = model.add_integer(
+          "v" + std::to_string(v), 0.0, upper[static_cast<std::size_t>(v)]);
+      model.set_objective(var_of[static_cast<std::size_t>(v)],
+                          obj[static_cast<std::size_t>(v)]);
+    }
+    for (int r = 0; r < kRows; ++r) {
+      std::vector<solver::Term> terms;
+      for (int v = 0; v < kVars; ++v) {
+        terms.push_back({var_of[static_cast<std::size_t>(v)],
+                         rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)]});
+      }
+      model.add_constraint(terms, solver::Relation::LessEqual,
+                           rhs[static_cast<std::size_t>(r)]);
+    }
+    return solver::solve_milp(model);
+  };
+
+  std::vector<int> identity(kVars);
+  std::vector<int> shuffled(kVars);
+  for (int v = 0; v < kVars; ++v) identity[static_cast<std::size_t>(v)] = v;
+  shuffled = identity;
+  rng.shuffle(shuffled);
+
+  const auto a = build(identity);
+  const auto b = build(shuffled);
+  ASSERT_EQ(a.status, solver::SolveStatus::Optimal);
+  ASSERT_EQ(b.status, solver::SolveStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPermutation, ::testing::Range(1, 13));
+
+// ------------------------------------------- end-to-end loss accounting ----
+
+class AccountingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccountingSweep, MetricsBalanceAgainstTrace) {
+  // For any intensity: requests in == completions + drops, and the loss is
+  // bounded by [best, worst] model loss per request plus drop penalties.
+  const auto cluster = device::ClusterSpec::paper_small();
+  workload::GeneratorConfig config;
+  config.slots = 8;
+  config.seed = static_cast<std::uint64_t>(GetParam()) * 31;
+  config.mean_per_edge =
+      workload::suggested_mean_per_edge(cluster, 0.2 + 0.15 * (GetParam() % 5));
+  const auto trace = workload::generate(cluster, config);
+
+  core::BirpScheduler scheduler(cluster);
+  sim::Simulator simulator(cluster, trace);
+  const auto metrics = simulator.run(scheduler);
+
+  EXPECT_EQ(metrics.total_requests(), trace.total());
+  EXPECT_EQ(metrics.completion().count(),
+            static_cast<std::size_t>(trace.total() - metrics.dropped()));
+
+  const double best = cluster.zoo().best_loss(0);
+  const double worst = cluster.zoo().worst_loss(0);
+  const auto served = trace.total() - metrics.dropped();
+  EXPECT_GE(metrics.total_loss(),
+            best * static_cast<double>(served) +
+                worst * static_cast<double>(metrics.dropped()) - 1e-6);
+  EXPECT_LE(metrics.total_loss(),
+            worst * static_cast<double>(trace.total()) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingSweep, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace birp

@@ -1,0 +1,147 @@
+// Tests for the thread pool and parallel_for.
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birp/runtime/parallel_for.hpp"
+#include "birp/runtime/thread_pool.hpp"
+
+namespace birp::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ForwardsArguments) {
+  ThreadPool pool(2);
+  auto future = pool.submit([](int a, int b) { return a + b; }, 19, 23);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsManyTasksOnAllWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    (void)pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ActuallyParallel) {
+  // Two sleeping tasks on two workers should overlap.
+  ThreadPool pool(2);
+  const auto start = std::chrono::steady_clock::now();
+  auto a = pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  });
+  auto b = pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  });
+  a.get();
+  b.get();
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 110.0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, 0, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SubrangeRespectsBounds) {
+  ThreadPool pool(2);
+  std::vector<int> hits(20, 0);
+  parallel_for(pool, 5, 15, [&hits](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("i37");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ReductionMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::atomic<long long> parallel_sum{0};
+  parallel_for(pool, 0, values.size(), [&](std::size_t i) {
+    parallel_sum.fetch_add(static_cast<long long>(values[i]));
+  });
+  const long long serial =
+      static_cast<long long>(values.size() * (values.size() - 1) / 2);
+  EXPECT_EQ(parallel_sum.load(), serial);
+}
+
+TEST(ParallelFor, ConvenienceOverloadWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 64, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace birp::runtime

@@ -1,0 +1,581 @@
+// Unit, integration, and property tests for the LP/MILP solver substrate.
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birp/solver/branch_and_bound.hpp"
+#include "birp/solver/model.hpp"
+#include "birp/solver/simplex.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::solver {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// ---------------------------------------------------------------- model ----
+
+TEST(Model, VariableBookkeeping) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 5.0);
+  const int y = model.add_integer("y", 0.0, 10.0);
+  const int z = model.add_binary("z");
+  EXPECT_EQ(model.num_variables(), 3);
+  EXPECT_EQ(model.variable(x).type, VarType::Continuous);
+  EXPECT_EQ(model.variable(y).type, VarType::Integer);
+  EXPECT_EQ(model.variable(z).type, VarType::Binary);
+  EXPECT_TRUE(model.has_integers());
+}
+
+TEST(Model, CombinesDuplicateTerms) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 1.0);
+  model.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::LessEqual, 3.0);
+  ASSERT_EQ(model.constraint(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(model.constraint(0).terms[0].coeff, 3.0);
+}
+
+TEST(Model, RejectsBadInput) {
+  Model model;
+  EXPECT_THROW(model.add_continuous("bad", 2.0, 1.0), std::logic_error);
+  EXPECT_THROW(model.add_variable("inf", -kInfinity, 1.0, VarType::Continuous),
+               std::logic_error);
+  const int x = model.add_continuous("x", 0.0, 1.0);
+  EXPECT_THROW(model.add_constraint({{x + 5, 1.0}}, Relation::Equal, 0.0),
+               std::logic_error);
+  EXPECT_THROW(model.set_objective(99, 1.0), std::logic_error);
+}
+
+TEST(Model, ViolationMeasuresBoundsAndRows) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 1.0);
+  model.add_constraint({{x, 1.0}}, Relation::LessEqual, 0.5);
+  const std::vector<double> ok{0.25};
+  const std::vector<double> bad{0.9};
+  EXPECT_DOUBLE_EQ(model.max_violation(ok), 0.0);
+  EXPECT_NEAR(model.max_violation(bad), 0.4, 1e-12);
+}
+
+TEST(Model, ProductLinearizationIsExactAtIntegerPoints) {
+  Model model;
+  const int x = model.add_binary("x");
+  const int b = model.add_integer("b", 0.0, 7.0);
+  const int z = model.add_product(x, b);
+  // For every integer (x, b) combination, z = x*b must be the only feasible z.
+  for (const double xv : {0.0, 1.0}) {
+    for (double bv = 0.0; bv <= 7.0; ++bv) {
+      const double expected = xv * bv;
+      std::vector<double> point{xv, bv, expected};
+      EXPECT_LE(model.max_violation(point), 1e-12)
+          << "x=" << xv << " b=" << bv;
+      if (xv == 1.0) {
+        std::vector<double> wrong{xv, bv, expected + 0.5};
+        EXPECT_GT(model.max_violation(wrong), 0.1);
+      }
+      (void)z;
+    }
+  }
+}
+
+// -------------------------------------------------------------- simplex ----
+
+TEST(Simplex, SolvesTextbookLp) {
+  // max 3a + 5b  s.t. a <= 4, 2b <= 12, 3a + 2b <= 18  (Dantzig's example)
+  // => min -3a - 5b, optimum at (2, 6) with value -36.
+  Model model;
+  const int a = model.add_continuous("a", 0.0, kInfinity);
+  const int b = model.add_continuous("b", 0.0, kInfinity);
+  model.set_objective(a, -3.0);
+  model.set_objective(b, -5.0);
+  model.add_constraint({{a, 1.0}}, Relation::LessEqual, 4.0);
+  model.add_constraint({{b, 2.0}}, Relation::LessEqual, 12.0);
+  model.add_constraint({{a, 3.0}, {b, 2.0}}, Relation::LessEqual, 18.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -36.0, kTol);
+  EXPECT_NEAR(solution.values[0], 2.0, kTol);
+  EXPECT_NEAR(solution.values[1], 6.0, kTol);
+}
+
+TEST(Simplex, HandlesEqualityAndSurplus) {
+  // min x + y  s.t. x + y = 10, x >= 3, y >= 2  => 10 with slackness.
+  Model model;
+  const int x = model.add_continuous("x", 0.0, kInfinity);
+  const int y = model.add_continuous("y", 0.0, kInfinity);
+  model.set_objective(x, 1.0);
+  model.set_objective(y, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 10.0);
+  model.add_constraint({{x, 1.0}}, Relation::GreaterEqual, 3.0);
+  model.add_constraint({{y, 1.0}}, Relation::GreaterEqual, 2.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, 10.0, kTol);
+  EXPECT_GE(solution.values[0], 3.0 - kTol);
+  EXPECT_GE(solution.values[1], 2.0 - kTol);
+}
+
+TEST(Simplex, RespectsUpperBoundsWithoutRows) {
+  // min -x - 2y with x in [0,3], y in [0,4], x + y <= 5 => (1,4), -9.
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 3.0);
+  const int y = model.add_continuous("y", 0.0, 4.0);
+  model.set_objective(x, -1.0);
+  model.set_objective(y, -2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 5.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -9.0, kTol);
+  EXPECT_NEAR(solution.values[0], 1.0, kTol);
+  EXPECT_NEAR(solution.values[1], 4.0, kTol);
+}
+
+TEST(Simplex, NonzeroLowerBounds) {
+  // min x + y with x >= 2, y >= 1.5, x + y >= 5 => 5 at e.g. (3.5, 1.5).
+  Model model;
+  const int x = model.add_continuous("x", 2.0, kInfinity);
+  const int y = model.add_continuous("y", 1.5, kInfinity);
+  model.set_objective(x, 1.0);
+  model.set_objective(y, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEqual, 5.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, 5.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 1.0);
+  model.add_constraint({{x, 1.0}}, Relation::GreaterEqual, 2.0);
+  const auto solution = solve_lp(model);
+  EXPECT_EQ(solution.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, kInfinity);
+  model.set_objective(x, -1.0);
+  const auto solution = solve_lp(model);
+  EXPECT_EQ(solution.status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate LP (multiple constraints active at the optimum).
+  Model model;
+  const int x = model.add_continuous("x", 0.0, kInfinity);
+  const int y = model.add_continuous("y", 0.0, kInfinity);
+  model.set_objective(x, -1.0);
+  model.set_objective(y, -1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::LessEqual, 1.0);
+  model.add_constraint({{x, 2.0}, {y, 1.0}}, Relation::LessEqual, 1.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -2.0 / 3.0, kTol);
+}
+
+TEST(Simplex, BoundOverridesShrinkFeasibleRegion) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 10.0);
+  model.set_objective(x, -1.0);
+  const std::vector<double> lower{0.0};
+  const std::vector<double> upper{4.0};
+  const auto solution = solve_lp(model, lower, upper);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.values[0], 4.0, kTol);
+}
+
+TEST(Simplex, CrossedOverrideBoundsAreInfeasible) {
+  Model model;
+  model.add_continuous("x", 0.0, 10.0);
+  const std::vector<double> lower{5.0};
+  const std::vector<double> upper{4.0};
+  const auto solution = solve_lp(model, lower, upper);
+  EXPECT_EQ(solution.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, FixedVariablesPropagate) {
+  Model model;
+  const int x = model.add_continuous("x", 3.0, 3.0);
+  const int y = model.add_continuous("y", 0.0, kInfinity);
+  model.set_objective(y, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEqual, 7.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.values[0], 3.0, kTol);
+  EXPECT_NEAR(solution.values[1], 4.0, kTol);
+}
+
+// Property sweep: random transportation-style LPs must return feasible
+// points whose objective is no worse than a greedy feasible reference.
+class SimplexRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLp, ReturnsFeasibleOptimum) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()));
+  const int sources = 3;
+  const int sinks = 4;
+  Model model;
+  std::vector<std::vector<int>> flow(
+      sources, std::vector<int>(sinks, -1));
+  std::vector<double> cost(static_cast<std::size_t>(sources * sinks));
+  for (int s = 0; s < sources; ++s) {
+    for (int d = 0; d < sinks; ++d) {
+      const int var = model.add_continuous(
+          "f" + std::to_string(s) + "_" + std::to_string(d), 0.0, kInfinity);
+      flow[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] = var;
+      const double c = rng.uniform(1.0, 10.0);
+      cost[static_cast<std::size_t>(var)] = c;
+      model.set_objective(var, c);
+    }
+  }
+  std::vector<double> supply(sources);
+  std::vector<double> demand(sinks, 0.0);
+  double total = 0.0;
+  for (int s = 0; s < sources; ++s) {
+    supply[static_cast<std::size_t>(s)] = rng.uniform(5.0, 20.0);
+    total += supply[static_cast<std::size_t>(s)];
+  }
+  // Distribute total demand over sinks.
+  double remaining = total;
+  for (int d = 0; d < sinks - 1; ++d) {
+    demand[static_cast<std::size_t>(d)] = remaining * rng.uniform(0.1, 0.4);
+    remaining -= demand[static_cast<std::size_t>(d)];
+  }
+  demand[static_cast<std::size_t>(sinks - 1)] = remaining;
+
+  for (int s = 0; s < sources; ++s) {
+    std::vector<Term> terms;
+    for (int d = 0; d < sinks; ++d) {
+      terms.push_back({flow[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)], 1.0});
+    }
+    model.add_constraint(terms, Relation::Equal, supply[static_cast<std::size_t>(s)]);
+  }
+  for (int d = 0; d < sinks; ++d) {
+    std::vector<Term> terms;
+    for (int s = 0; s < sources; ++s) {
+      terms.push_back({flow[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)], 1.0});
+    }
+    model.add_constraint(terms, Relation::Equal, demand[static_cast<std::size_t>(d)]);
+  }
+
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_LE(model.max_violation(solution.values), 1e-6);
+
+  // Reference: send everything along each source's cheapest arc proportions —
+  // a feasible northwest-corner-style plan; optimum must not exceed it.
+  double reference = 0.0;
+  {
+    std::vector<double> s_left = supply;
+    std::vector<double> d_left = demand;
+    for (int s = 0; s < sources; ++s) {
+      for (int d = 0; d < sinks && s_left[static_cast<std::size_t>(s)] > 1e-12; ++d) {
+        const double amount =
+            std::min(s_left[static_cast<std::size_t>(s)], d_left[static_cast<std::size_t>(d)]);
+        if (amount <= 0.0) continue;
+        const int var = flow[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)];
+        reference += cost[static_cast<std::size_t>(var)] * amount;
+        s_left[static_cast<std::size_t>(s)] -= amount;
+        d_left[static_cast<std::size_t>(d)] -= amount;
+      }
+    }
+  }
+  EXPECT_LE(solution.objective, reference + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomLp, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------- duals ----
+
+TEST(SimplexDuals, KnownShadowPrices) {
+  // max 3a + 5b s.t. a <= 4, 2b <= 12, 3a + 2b <= 18 (minimized as -3a-5b).
+  // Optimal basis has rows 2 and 3 binding; textbook duals for the max
+  // problem are (0, 3/2, 1), i.e. (0, -3/2, -1) for our minimization.
+  Model model;
+  const int a = model.add_continuous("a", 0.0, kInfinity);
+  const int b = model.add_continuous("b", 0.0, kInfinity);
+  model.set_objective(a, -3.0);
+  model.set_objective(b, -5.0);
+  model.add_constraint({{a, 1.0}}, Relation::LessEqual, 4.0);
+  model.add_constraint({{b, 2.0}}, Relation::LessEqual, 12.0);
+  model.add_constraint({{a, 3.0}, {b, 2.0}}, Relation::LessEqual, 18.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  ASSERT_EQ(solution.duals.size(), 3u);
+  EXPECT_NEAR(solution.duals[0], 0.0, 1e-9);
+  EXPECT_NEAR(solution.duals[1], -1.5, 1e-9);
+  EXPECT_NEAR(solution.duals[2], -1.0, 1e-9);
+}
+
+TEST(SimplexDuals, EqualityRowShadowPrice) {
+  // min x + 2y s.t. x + y = 10, x <= 6. Optimum x=6, y=4, obj 14.
+  // Raising the rhs by 1 adds one more y: dObj/drhs = 2.
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 6.0);
+  const int y = model.add_continuous("y", 0.0, kInfinity);
+  model.set_objective(x, 1.0);
+  model.set_objective(y, 2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 10.0);
+  const auto solution = solve_lp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, 14.0, 1e-9);
+  ASSERT_EQ(solution.duals.size(), 1u);
+  EXPECT_NEAR(solution.duals[0], 2.0, 1e-9);
+}
+
+class DualPerturbation : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualPerturbation, DualsPredictRhsSensitivity) {
+  // Random feasible LPs: for each constraint, the dual must match the
+  // numerical sensitivity of the optimum to the rhs (checked against the
+  // two one-sided finite differences; degenerate rows may differ between
+  // sides, in which case the dual must lie between them).
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 389);
+  constexpr int kVars = 5;
+  constexpr int kRows = 4;
+  Model model;
+  for (int v = 0; v < kVars; ++v) {
+    model.add_continuous("v" + std::to_string(v), 0.0, rng.uniform(2.0, 6.0));
+    model.set_objective(v, rng.uniform(-2.0, 2.0));
+  }
+  std::vector<double> rhs(kRows);
+  for (int r = 0; r < kRows; ++r) {
+    std::vector<Term> terms;
+    double sum = 0.0;
+    for (int v = 0; v < kVars; ++v) {
+      const double c = rng.uniform(0.1, 2.0);
+      terms.push_back({v, c});
+      sum += c;
+    }
+    rhs[static_cast<std::size_t>(r)] = rng.uniform(0.2, 0.7) * sum * 4.0;
+    model.add_constraint(terms, Relation::LessEqual,
+                         rhs[static_cast<std::size_t>(r)]);
+  }
+  const auto base = solve_lp(model);
+  ASSERT_EQ(base.status, SolveStatus::Optimal);
+  ASSERT_EQ(base.duals.size(), static_cast<std::size_t>(kRows));
+
+  constexpr double kDelta = 1e-4;
+  for (int r = 0; r < kRows; ++r) {
+    // Rebuild with a perturbed rhs (Model rows are append-only).
+    const auto perturbed_obj = [&](double delta) {
+      Model copy;
+      for (int v = 0; v < kVars; ++v) {
+        const auto& info = model.variable(v);
+        copy.add_continuous(info.name, info.lower, info.upper);
+        copy.set_objective(v, info.objective);
+      }
+      for (int rr = 0; rr < kRows; ++rr) {
+        const auto& row = model.constraint(rr);
+        copy.add_constraint(row.terms, row.relation,
+                            row.rhs + (rr == r ? delta : 0.0));
+      }
+      return solve_lp(copy);
+    };
+    const auto up = perturbed_obj(kDelta);
+    const auto down = perturbed_obj(-kDelta);
+    if (up.status != SolveStatus::Optimal ||
+        down.status != SolveStatus::Optimal) {
+      continue;  // perturbation crossed into infeasibility: skip this row
+    }
+    const double slope_up = (up.objective - base.objective) / kDelta;
+    const double slope_down = (base.objective - down.objective) / kDelta;
+    const double lo = std::min(slope_up, slope_down) - 1e-5;
+    const double hi = std::max(slope_up, slope_down) + 1e-5;
+    EXPECT_GE(base.duals[static_cast<std::size_t>(r)], lo)
+        << "seed " << GetParam() << " row " << r;
+    EXPECT_LE(base.duals[static_cast<std::size_t>(r)], hi)
+        << "seed " << GetParam() << " row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualPerturbation, ::testing::Range(1, 21));
+
+// ----------------------------------------------------- branch and bound ----
+
+TEST(BranchAndBound, SolvesKnapsack) {
+  // max 60a + 100b + 120c s.t. 10a + 20b + 30c <= 50, binary.
+  // Optimum: b + c = 220.
+  Model model;
+  const int a = model.add_binary("a");
+  const int b = model.add_binary("b");
+  const int c = model.add_binary("c");
+  model.set_objective(a, -60.0);
+  model.set_objective(b, -100.0);
+  model.set_objective(c, -120.0);
+  model.add_constraint({{a, 10.0}, {b, 20.0}, {c, 30.0}}, Relation::LessEqual,
+                       50.0);
+  const auto solution = solve_milp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -220.0, kTol);
+  EXPECT_NEAR(solution.values[0], 0.0, kTol);
+  EXPECT_NEAR(solution.values[1], 1.0, kTol);
+  EXPECT_NEAR(solution.values[2], 1.0, kTol);
+}
+
+TEST(BranchAndBound, IntegerVariablesRoundCorrectly) {
+  // min -x - y s.t. 2x + y <= 7.3, x + 3y <= 9.7, x,y integer >= 0.
+  // LP optimum is fractional; integer optimum is checked by enumeration.
+  Model model;
+  const int x = model.add_integer("x", 0.0, 10.0);
+  const int y = model.add_integer("y", 0.0, 10.0);
+  model.set_objective(x, -1.0);
+  model.set_objective(y, -1.0);
+  model.add_constraint({{x, 2.0}, {y, 1.0}}, Relation::LessEqual, 7.3);
+  model.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::LessEqual, 9.7);
+  const auto solution = solve_milp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+
+  double best = 0.0;
+  for (int xv = 0; xv <= 10; ++xv) {
+    for (int yv = 0; yv <= 10; ++yv) {
+      if (2.0 * xv + yv <= 7.3 && xv + 3.0 * yv <= 9.7) {
+        best = std::min(best, static_cast<double>(-xv - yv));
+      }
+    }
+  }
+  EXPECT_NEAR(solution.objective, best, kTol);
+  EXPECT_LE(model.max_integrality_violation(solution.values), 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Model model;
+  model.add_integer("x", 0.4, 0.6);
+  const auto solution = solve_milp(model);
+  EXPECT_EQ(solution.status, SolveStatus::Infeasible);
+}
+
+TEST(BranchAndBound, PureLpPassesThrough) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 2.5);
+  model.set_objective(x, -1.0);
+  const auto solution = solve_milp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.values[0], 2.5, kTol);
+}
+
+TEST(BranchAndBound, ProductBehavesInOptimization) {
+  // min loss: pick model (binary x1/x2) and batch z to cover demand 5 with
+  // capacity favoring batching; z_i = x_i * b_i linearized via bounds.
+  Model model;
+  const int x1 = model.add_binary("x1");
+  const int x2 = model.add_binary("x2");
+  const int b1 = model.add_integer("b1", 0.0, 8.0);
+  const int b2 = model.add_integer("b2", 0.0, 8.0);
+  const int z1 = model.add_product(x1, b1);
+  const int z2 = model.add_product(x2, b2);
+  // Cover exactly 5 requests.
+  model.add_constraint({{z1, 1.0}, {z2, 1.0}}, Relation::Equal, 5.0);
+  // Capacity: model 1 cheap but lossy; model 2 accurate but heavy.
+  model.add_constraint({{z1, 1.0}, {z2, 3.0}}, Relation::LessEqual, 9.0);
+  model.set_objective(z1, 0.4);  // loss per request on model 1
+  model.set_objective(z2, 0.2);  // loss per request on model 2
+  const auto solution = solve_milp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  // Best: put 2 on model 2 (cost .4, capacity 6) and 3 on model 1 (cost 1.2):
+  // total 1.6 capacity 9. Check optimal objective by enumeration.
+  double best = 1e9;
+  for (int a = 0; a <= 8; ++a) {
+    for (int b = 0; b <= 8; ++b) {
+      if (a + b == 5 && a + 3.0 * b <= 9.0) {
+        best = std::min(best, 0.4 * a + 0.2 * b);
+      }
+    }
+  }
+  EXPECT_NEAR(solution.objective, best, kTol);
+}
+
+TEST(BranchAndBound, NodeBudgetReturnsIncumbent) {
+  // A problem the rounding heuristic solves instantly; with max_nodes = 1 we
+  // should still get a usable (Feasible) answer.
+  Model model;
+  std::vector<int> vars;
+  util::Xoshiro256StarStar rng(99);
+  std::vector<Term> row;
+  for (int i = 0; i < 12; ++i) {
+    const int v = model.add_binary("v" + std::to_string(i));
+    vars.push_back(v);
+    model.set_objective(v, -rng.uniform(1.0, 2.0));
+    row.push_back({v, rng.uniform(1.0, 4.0)});
+  }
+  model.add_constraint(row, Relation::LessEqual, 14.0);
+  BranchAndBoundOptions options;
+  options.max_nodes = 1;
+  const auto solution = solve_milp(model, options);
+  EXPECT_TRUE(solution.usable());
+  EXPECT_LE(model.max_violation(solution.values), 1e-6);
+}
+
+// Property sweep: random small MILPs cross-checked against brute force.
+class MilpBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpBruteForce, MatchesExhaustiveSearch) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  constexpr int kVars = 6;
+  constexpr int kRows = 4;
+  constexpr int kUpper = 3;
+
+  Model model;
+  std::vector<double> obj(kVars);
+  for (int j = 0; j < kVars; ++j) {
+    model.add_integer("v" + std::to_string(j), 0.0, kUpper);
+    obj[static_cast<std::size_t>(j)] = rng.uniform(-5.0, 5.0);
+    model.set_objective(j, obj[static_cast<std::size_t>(j)]);
+  }
+  std::vector<std::vector<double>> rows(kRows, std::vector<double>(kVars));
+  std::vector<double> rhs(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < kVars; ++j) {
+      rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          rng.uniform(0.0, 3.0);
+      row_sum += rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+    rhs[static_cast<std::size_t>(i)] = rng.uniform(0.3, 0.9) * row_sum * kUpper;
+    std::vector<Term> terms;
+    for (int j = 0; j < kVars; ++j) {
+      terms.push_back({j, rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]});
+    }
+    model.add_constraint(terms, Relation::LessEqual, rhs[static_cast<std::size_t>(i)]);
+  }
+
+  const auto solution = solve_milp(model);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal) << "seed " << GetParam();
+
+  // Brute force over (kUpper+1)^kVars = 4096 points.
+  double best = 1e18;
+  std::vector<int> assign(kVars, 0);
+  const int total = static_cast<int>(std::pow(kUpper + 1, kVars));
+  for (int code = 0; code < total; ++code) {
+    int rem = code;
+    for (int j = 0; j < kVars; ++j) {
+      assign[static_cast<std::size_t>(j)] = rem % (kUpper + 1);
+      rem /= (kUpper + 1);
+    }
+    bool feasible = true;
+    for (int i = 0; i < kRows && feasible; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < kVars; ++j) {
+        lhs += rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               assign[static_cast<std::size_t>(j)];
+      }
+      feasible = lhs <= rhs[static_cast<std::size_t>(i)] + 1e-9;
+    }
+    if (!feasible) continue;
+    double value = 0.0;
+    for (int j = 0; j < kVars; ++j) {
+      value += obj[static_cast<std::size_t>(j)] * assign[static_cast<std::size_t>(j)];
+    }
+    best = std::min(best, value);
+  }
+  EXPECT_NEAR(solution.objective, best, 1e-5) << "seed " << GetParam();
+  EXPECT_LE(model.max_violation(solution.values), 1e-6);
+  EXPECT_LE(model.max_integrality_violation(solution.values), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpBruteForce, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace birp::solver

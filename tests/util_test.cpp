@@ -1,0 +1,402 @@
+// Unit and property tests for birp::util.
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birp/util/check.hpp"
+#include "birp/util/csv.hpp"
+#include "birp/util/ecdf.hpp"
+#include "birp/util/piecewise_fit.hpp"
+#include "birp/util/rng.hpp"
+#include "birp/util/stats.hpp"
+#include "birp/util/table.hpp"
+
+namespace birp::util {
+namespace {
+
+// ---------------------------------------------------------------- check ----
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(check(true, "fine"));
+}
+
+TEST(Check, FailingConditionThrowsWithMessage) {
+  try {
+    check(false, "boom");
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Check, FailAlwaysThrows) { EXPECT_THROW(fail("nope"), std::logic_error); }
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Xoshiro256StarStar rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    ++counts[static_cast<std::size_t>(v - 2)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 3200);  // near-uniform 4000 each
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256StarStar rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositiveWithMatchingLogMoments) {
+  Xoshiro256StarStar rng(17);
+  RunningStats logs;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(0.5, 0.25);
+    ASSERT_GT(v, 0.0);
+    logs.add(std::log(v));
+  }
+  EXPECT_NEAR(logs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(logs.stddev(), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonSmallMeanMatches) {
+  Xoshiro256StarStar rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(3.7)));
+  }
+  EXPECT_NEAR(stats.mean(), 3.7, 0.1);
+  EXPECT_NEAR(stats.variance(), 3.7, 0.25);
+}
+
+TEST(Rng, PoissonLargeMeanMatches) {
+  Xoshiro256StarStar rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(120.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 120.0, 1.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(120.0), 0.5);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Xoshiro256StarStar rng(29);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Xoshiro256StarStar rng(31);
+  auto a = rng.fork(0);
+  auto b = rng.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Xoshiro256StarStar rng(37);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Rng, BernoulliRate) {
+  Xoshiro256StarStar rng(41);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / 50000.0, 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256StarStar rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(1.0, 3.0);
+    whole.add(v);
+    (i < 500 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQuantile) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile({}, 0.5), std::logic_error);
+  EXPECT_THROW((void)percentile(v, 1.5), std::logic_error);
+}
+
+TEST(LeastSquares, RecoversLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(2.5 * static_cast<double>(i) - 1.0);
+  }
+  const auto fit = least_squares(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, RejectsDegenerateInput) {
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{2.0, 3.0};
+  EXPECT_THROW((void)least_squares(x, y), std::logic_error);
+}
+
+// ----------------------------------------------------------------- ecdf ----
+
+TEST(Ecdf, BasicCdfQueries) {
+  Ecdf ecdf;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) ecdf.add(v);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(10.0), 1.0);
+}
+
+TEST(Ecdf, TailFractionIsSloFailureRate) {
+  Ecdf ecdf;
+  for (int i = 1; i <= 100; ++i) ecdf.add(static_cast<double>(i) / 100.0);
+  EXPECT_NEAR(ecdf.tail_fraction(0.9), 0.10, 1e-12);
+  EXPECT_NEAR(ecdf.tail_fraction(1.0), 0.0, 1e-12);
+}
+
+TEST(Ecdf, MergeCombinesSamples) {
+  Ecdf a;
+  Ecdf b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.cdf(2.0), 0.5);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  Ecdf ecdf;
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 1000; ++i) ecdf.add(rng.uniform(0.0, 2.0));
+  const auto curve = ecdf.curve(0.0, 2.0, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].f, curve[i].f);
+    EXPECT_LT(curve[i - 1].x, curve[i].x);
+  }
+  EXPECT_NEAR(curve.back().f, 1.0, 1e-12);
+}
+
+TEST(Ecdf, QuantileMatchesConstruction) {
+  Ecdf ecdf;
+  for (int i = 0; i <= 100; ++i) ecdf.add(static_cast<double>(i));
+  EXPECT_NEAR(ecdf.quantile(0.5), 50.0, 1e-9);
+}
+
+// -------------------------------------------------------- piecewise fit ----
+
+TEST(PiecewiseFit, RecoversCleanCurve) {
+  // Ground truth: eta = 0.32, beta = 5, C = 5^0.32 (the paper's LeNet fit).
+  std::vector<TirSample> samples;
+  const double eta = 0.32;
+  const int beta = 5;
+  const double c = std::pow(5.0, eta);
+  for (int b = 1; b <= 16; ++b) {
+    const double tir = b <= beta ? std::pow(b, eta) : c;
+    samples.push_back({b, tir});
+  }
+  const auto fit = fit_piecewise_tir(samples);
+  EXPECT_NEAR(fit.eta, eta, 1e-9);
+  EXPECT_EQ(fit.beta, beta);
+  EXPECT_NEAR(fit.c, c, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PiecewiseFit, ToleratesNoise) {
+  Xoshiro256StarStar rng(101);
+  std::vector<TirSample> samples;
+  const double eta = 0.12;
+  const int beta = 10;
+  const double c = std::pow(10.0, eta);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (int b = 1; b <= 16; ++b) {
+      const double clean = b <= beta ? std::pow(b, eta) : c;
+      samples.push_back({b, clean * rng.lognormal(0.0, 0.01)});
+    }
+  }
+  const auto fit = fit_piecewise_tir(samples);
+  EXPECT_NEAR(fit.eta, eta, 0.02);
+  EXPECT_NEAR(static_cast<double>(fit.beta), beta, 2.0);
+  EXPECT_NEAR(fit.c, c, 0.05);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(PiecewiseFit, PureGrowthPinsConstantAtContinuity) {
+  std::vector<TirSample> samples;
+  for (int b = 1; b <= 8; ++b) samples.push_back({b, std::pow(b, 0.2)});
+  const auto fit = fit_piecewise_tir(samples);
+  EXPECT_NEAR(fit.eta, 0.2, 1e-6);
+  EXPECT_NEAR(fit.c, std::pow(static_cast<double>(fit.beta), fit.eta), 1e-9);
+}
+
+TEST(PiecewiseFit, EvaluateMatchesSegments) {
+  PiecewiseTirFit fit;
+  fit.eta = 0.5;
+  fit.beta = 4;
+  fit.c = 2.0;
+  EXPECT_DOUBLE_EQ(fit.evaluate(1), 1.0);
+  EXPECT_DOUBLE_EQ(fit.evaluate(4), 2.0);
+  EXPECT_DOUBLE_EQ(fit.evaluate(16), 2.0);  // saturated
+}
+
+TEST(PiecewiseFit, RejectsBadInput) {
+  EXPECT_THROW((void)fit_piecewise_tir({}), std::logic_error);
+  const std::vector<TirSample> bad{{0, 1.0}};
+  EXPECT_THROW((void)fit_piecewise_tir(bad), std::logic_error);
+  const std::vector<TirSample> single{{1, 1.0}, {1, 1.01}};
+  EXPECT_THROW((void)fit_piecewise_tir(single), std::logic_error);
+}
+
+// ------------------------------------------------------------------ csv ----
+
+TEST(Csv, RoundTripsSimpleRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"a", "b", "c"});
+  writer.row({"1", "2", "3"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], "has,comma");
+  EXPECT_EQ(rows[0][2], "has\"quote");
+  EXPECT_EQ(rows[0][3], "has\nnewline");
+}
+
+TEST(Csv, NumericRowRoundTrips) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.numeric_row({1.5, -2.25, 3.0});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(std::stod(rows[0][0]), 1.5);
+  EXPECT_EQ(std::stod(rows[0][1]), -2.25);
+  EXPECT_EQ(std::stod(rows[0][2]), 3.0);
+}
+
+TEST(Csv, ParsesEmptyFieldsAndCrlf) {
+  const auto rows = parse_csv("a,,c\r\n,,\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(Csv, FormatDoubleIntegersAreClean) {
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(-7.0), "-7");
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_numeric_row({2.0, 3.14159}, 2);
+  std::ostringstream out;
+  table.print(out, "title");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("title"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"one", "two"});
+  EXPECT_THROW(table.add_row({"only"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace birp::util

@@ -1,0 +1,209 @@
+// Tests for the trace container and the synthetic workload generator.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "birp/device/cluster.hpp"
+#include "birp/util/stats.hpp"
+#include "birp/workload/generator.hpp"
+#include "birp/workload/trace.hpp"
+
+namespace birp::workload {
+namespace {
+
+// ---------------------------------------------------------------- trace ----
+
+TEST(Trace, SetGetAndTotals) {
+  Trace trace(3, 2, 4);
+  trace.set(0, 0, 0, 5);
+  trace.set(2, 1, 3, 7);
+  EXPECT_EQ(trace.at(0, 0, 0), 5);
+  EXPECT_EQ(trace.at(2, 1, 3), 7);
+  EXPECT_EQ(trace.at(1, 0, 0), 0);
+  EXPECT_EQ(trace.total(), 12);
+  EXPECT_EQ(trace.slot_total(0), 5);
+  EXPECT_EQ(trace.slot_total(2), 7);
+}
+
+TEST(Trace, OverwriteAdjustsTotal) {
+  Trace trace(1, 1, 1);
+  trace.set(0, 0, 0, 5);
+  trace.set(0, 0, 0, 2);
+  EXPECT_EQ(trace.total(), 2);
+}
+
+TEST(Trace, EdgeTotals) {
+  Trace trace(1, 2, 3);
+  trace.set(0, 0, 1, 4);
+  trace.set(0, 1, 1, 6);
+  trace.set(0, 1, 2, 1);
+  const auto totals = trace.edge_totals(0);
+  ASSERT_EQ(totals.size(), 3u);
+  EXPECT_EQ(totals[0], 0);
+  EXPECT_EQ(totals[1], 10);
+  EXPECT_EQ(totals[2], 1);
+}
+
+TEST(Trace, BoundsChecked) {
+  Trace trace(1, 1, 1);
+  EXPECT_THROW((void)trace.at(1, 0, 0), std::logic_error);
+  EXPECT_THROW(trace.set(0, 0, 0, -1), std::logic_error);
+  EXPECT_THROW(Trace(0, 1, 1), std::logic_error);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace trace(4, 3, 2);
+  trace.set(0, 0, 0, 10);
+  trace.set(1, 2, 1, 3);
+  trace.set(3, 1, 0, 8);
+  std::ostringstream out;
+  trace.write_csv(out);
+  const auto parsed = Trace::read_csv(out.str());
+  EXPECT_EQ(parsed.slots(), 4);
+  EXPECT_EQ(parsed.apps(), 3);
+  EXPECT_EQ(parsed.devices(), 2);
+  EXPECT_EQ(parsed.total(), trace.total());
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      for (int k = 0; k < 2; ++k) {
+        EXPECT_EQ(parsed.at(t, i, k), trace.at(t, i, k));
+      }
+    }
+  }
+}
+
+TEST(Trace, ReadCsvRejectsGarbage) {
+  EXPECT_THROW((void)Trace::read_csv("not a trace"), std::logic_error);
+}
+
+// ------------------------------------------------------------ generator ----
+
+class GeneratorFixture : public ::testing::Test {
+ protected:
+  device::ClusterSpec cluster_ = device::ClusterSpec::paper_large();
+};
+
+TEST_F(GeneratorFixture, ShapeMatchesCluster) {
+  GeneratorConfig config;
+  config.slots = 50;
+  config.mean_per_edge = 10.0;
+  const auto trace = generate(cluster_, config);
+  EXPECT_EQ(trace.slots(), 50);
+  EXPECT_EQ(trace.apps(), cluster_.num_apps());
+  EXPECT_EQ(trace.devices(), cluster_.num_devices());
+}
+
+TEST_F(GeneratorFixture, Deterministic) {
+  GeneratorConfig config;
+  config.slots = 20;
+  config.mean_per_edge = 8.0;
+  const auto a = generate(cluster_, config);
+  const auto b = generate(cluster_, config);
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.at(7, 2, 3), b.at(7, 2, 3));
+}
+
+TEST_F(GeneratorFixture, SeedChangesRealization) {
+  GeneratorConfig config;
+  config.slots = 20;
+  config.mean_per_edge = 8.0;
+  const auto a = generate(cluster_, config);
+  config.seed ^= 0xdead;
+  const auto b = generate(cluster_, config);
+  EXPECT_NE(a.total(), b.total());
+}
+
+TEST_F(GeneratorFixture, MeanIntensityMatchesConfig) {
+  GeneratorConfig config;
+  config.slots = 400;
+  config.mean_per_edge = 12.0;
+  config.burst_probability = 0.0;  // isolate the base process
+  const auto trace = generate(cluster_, config);
+  const double mean = static_cast<double>(trace.total()) /
+                      (400.0 * cluster_.num_apps() * cluster_.num_devices());
+  EXPECT_NEAR(mean, 12.0, 1.2);  // diurnal averages out over full days
+}
+
+TEST_F(GeneratorFixture, HotEdgesArePersistentlyHotter) {
+  GeneratorConfig config;
+  config.slots = 400;
+  config.mean_per_edge = 20.0;
+  config.hot_edge_factor = 2.5;
+  const auto trace = generate(cluster_, config);
+  std::vector<std::int64_t> per_edge(
+      static_cast<std::size_t>(cluster_.num_devices()), 0);
+  for (int t = 0; t < 400; ++t) {
+    const auto totals = trace.edge_totals(t);
+    for (std::size_t k = 0; k < totals.size(); ++k) per_edge[k] += totals[k];
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(per_edge.begin(), per_edge.end());
+  EXPECT_GT(static_cast<double>(*max_it) / static_cast<double>(*min_it), 1.5);
+}
+
+TEST_F(GeneratorFixture, BurstsIncreaseVariance) {
+  GeneratorConfig calm;
+  calm.slots = 300;
+  calm.mean_per_edge = 15.0;
+  calm.burst_probability = 0.0;
+  GeneratorConfig bursty = calm;
+  bursty.burst_probability = 0.25;
+  bursty.burst_scale = 3.0;
+
+  const auto calm_trace = generate(cluster_, calm);
+  const auto bursty_trace = generate(cluster_, bursty);
+  util::RunningStats calm_stats;
+  util::RunningStats bursty_stats;
+  for (int t = 0; t < 300; ++t) {
+    for (const auto v : calm_trace.edge_totals(t)) {
+      calm_stats.add(static_cast<double>(v));
+    }
+    for (const auto v : bursty_trace.edge_totals(t)) {
+      bursty_stats.add(static_cast<double>(v));
+    }
+  }
+  // Compare relative dispersion so the burst-driven mean shift cancels.
+  const double calm_cv = calm_stats.stddev() / calm_stats.mean();
+  const double bursty_cv = bursty_stats.stddev() / bursty_stats.mean();
+  EXPECT_GT(bursty_cv, calm_cv * 1.2);
+}
+
+TEST_F(GeneratorFixture, DiurnalCycleIsVisible) {
+  GeneratorConfig config;
+  config.slots = 96 * 4;
+  config.slots_per_day = 96;
+  config.mean_per_edge = 30.0;
+  config.diurnal_amplitude = 0.5;
+  config.burst_probability = 0.0;
+  const auto trace = generate(cluster_, config);
+  // Aggregate by position within the day; the swing should be visible.
+  std::vector<double> by_position(96, 0.0);
+  for (int t = 0; t < config.slots; ++t) {
+    by_position[static_cast<std::size_t>(t % 96)] +=
+        static_cast<double>(trace.slot_total(t));
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(by_position.begin(), by_position.end());
+  EXPECT_GT(*max_it, *min_it * 1.3);
+}
+
+TEST_F(GeneratorFixture, SuggestedMeanScalesWithTarget) {
+  const double low = suggested_mean_per_edge(cluster_, 0.3);
+  const double high = suggested_mean_per_edge(cluster_, 0.6);
+  EXPECT_GT(low, 0.0);
+  EXPECT_NEAR(high / low, 2.0, 1e-9);
+}
+
+TEST_F(GeneratorFixture, ValidatesConfig) {
+  GeneratorConfig config;
+  config.slots = 0;
+  EXPECT_THROW((void)generate(cluster_, config), std::logic_error);
+  config.slots = 10;
+  config.mean_per_edge = -1.0;
+  EXPECT_THROW((void)generate(cluster_, config), std::logic_error);
+  EXPECT_THROW((void)suggested_mean_per_edge(cluster_, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace birp::workload
