@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_linearization.dir/bench_ablation_linearization.cpp.o"
+  "CMakeFiles/bench_ablation_linearization.dir/bench_ablation_linearization.cpp.o.d"
+  "bench_ablation_linearization"
+  "bench_ablation_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

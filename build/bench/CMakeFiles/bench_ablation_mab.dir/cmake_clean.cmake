@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mab.dir/bench_ablation_mab.cpp.o"
+  "CMakeFiles/bench_ablation_mab.dir/bench_ablation_mab.cpp.o.d"
+  "bench_ablation_mab"
+  "bench_ablation_mab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("birp/util")
+subdirs("birp/solver")
+subdirs("birp/model")
+subdirs("birp/device")
+subdirs("birp/workload")
+subdirs("birp/predictor")
+subdirs("birp/runtime")
+subdirs("birp/metrics")
+subdirs("birp/sim")
+subdirs("birp/core")
+subdirs("birp/sched")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birp/core/birp_scheduler.cpp" "src/birp/core/CMakeFiles/birp_core.dir/birp_scheduler.cpp.o" "gcc" "src/birp/core/CMakeFiles/birp_core.dir/birp_scheduler.cpp.o.d"
+  "/root/repo/src/birp/core/problem.cpp" "src/birp/core/CMakeFiles/birp_core.dir/problem.cpp.o" "gcc" "src/birp/core/CMakeFiles/birp_core.dir/problem.cpp.o.d"
+  "/root/repo/src/birp/core/tir_estimator.cpp" "src/birp/core/CMakeFiles/birp_core.dir/tir_estimator.cpp.o" "gcc" "src/birp/core/CMakeFiles/birp_core.dir/tir_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birp/util/CMakeFiles/birp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/solver/CMakeFiles/birp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/model/CMakeFiles/birp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/device/CMakeFiles/birp_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/sim/CMakeFiles/birp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/workload/CMakeFiles/birp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/runtime/CMakeFiles/birp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/metrics/CMakeFiles/birp_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

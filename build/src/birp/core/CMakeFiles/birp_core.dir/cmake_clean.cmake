@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_core.dir/birp_scheduler.cpp.o"
+  "CMakeFiles/birp_core.dir/birp_scheduler.cpp.o.d"
+  "CMakeFiles/birp_core.dir/problem.cpp.o"
+  "CMakeFiles/birp_core.dir/problem.cpp.o.d"
+  "CMakeFiles/birp_core.dir/tir_estimator.cpp.o"
+  "CMakeFiles/birp_core.dir/tir_estimator.cpp.o.d"
+  "libbirp_core.a"
+  "libbirp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

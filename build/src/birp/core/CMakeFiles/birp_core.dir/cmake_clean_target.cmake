@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbirp_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birp/device/cluster.cpp" "src/birp/device/CMakeFiles/birp_device.dir/cluster.cpp.o" "gcc" "src/birp/device/CMakeFiles/birp_device.dir/cluster.cpp.o.d"
+  "/root/repo/src/birp/device/profile.cpp" "src/birp/device/CMakeFiles/birp_device.dir/profile.cpp.o" "gcc" "src/birp/device/CMakeFiles/birp_device.dir/profile.cpp.o.d"
+  "/root/repo/src/birp/device/tir.cpp" "src/birp/device/CMakeFiles/birp_device.dir/tir.cpp.o" "gcc" "src/birp/device/CMakeFiles/birp_device.dir/tir.cpp.o.d"
+  "/root/repo/src/birp/device/truth.cpp" "src/birp/device/CMakeFiles/birp_device.dir/truth.cpp.o" "gcc" "src/birp/device/CMakeFiles/birp_device.dir/truth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birp/util/CMakeFiles/birp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/model/CMakeFiles/birp_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_device.dir/cluster.cpp.o"
+  "CMakeFiles/birp_device.dir/cluster.cpp.o.d"
+  "CMakeFiles/birp_device.dir/profile.cpp.o"
+  "CMakeFiles/birp_device.dir/profile.cpp.o.d"
+  "CMakeFiles/birp_device.dir/tir.cpp.o"
+  "CMakeFiles/birp_device.dir/tir.cpp.o.d"
+  "CMakeFiles/birp_device.dir/truth.cpp.o"
+  "CMakeFiles/birp_device.dir/truth.cpp.o.d"
+  "libbirp_device.a"
+  "libbirp_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birp/metrics/report_csv.cpp" "src/birp/metrics/CMakeFiles/birp_metrics.dir/report_csv.cpp.o" "gcc" "src/birp/metrics/CMakeFiles/birp_metrics.dir/report_csv.cpp.o.d"
+  "/root/repo/src/birp/metrics/run_metrics.cpp" "src/birp/metrics/CMakeFiles/birp_metrics.dir/run_metrics.cpp.o" "gcc" "src/birp/metrics/CMakeFiles/birp_metrics.dir/run_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birp/util/CMakeFiles/birp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

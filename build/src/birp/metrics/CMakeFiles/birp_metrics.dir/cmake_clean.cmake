@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_metrics.dir/report_csv.cpp.o"
+  "CMakeFiles/birp_metrics.dir/report_csv.cpp.o.d"
+  "CMakeFiles/birp_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/birp_metrics.dir/run_metrics.cpp.o.d"
+  "libbirp_metrics.a"
+  "libbirp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_model.dir/zoo.cpp.o"
+  "CMakeFiles/birp_model.dir/zoo.cpp.o.d"
+  "libbirp_model.a"
+  "libbirp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

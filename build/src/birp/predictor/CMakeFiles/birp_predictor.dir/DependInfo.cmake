@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birp/predictor/latency_predictor.cpp" "src/birp/predictor/CMakeFiles/birp_predictor.dir/latency_predictor.cpp.o" "gcc" "src/birp/predictor/CMakeFiles/birp_predictor.dir/latency_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birp/util/CMakeFiles/birp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/device/CMakeFiles/birp_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/model/CMakeFiles/birp_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_predictor.dir/latency_predictor.cpp.o"
+  "CMakeFiles/birp_predictor.dir/latency_predictor.cpp.o.d"
+  "libbirp_predictor.a"
+  "libbirp_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

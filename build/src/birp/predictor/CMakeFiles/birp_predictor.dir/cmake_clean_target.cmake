@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbirp_predictor.a"
+)

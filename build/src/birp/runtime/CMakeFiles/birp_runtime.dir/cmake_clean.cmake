@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/birp_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/birp_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/birp_runtime.dir/thread_pool.cpp.o.d"
+  "libbirp_runtime.a"
+  "libbirp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birp/sched/greedy_local.cpp" "src/birp/sched/CMakeFiles/birp_sched.dir/greedy_local.cpp.o" "gcc" "src/birp/sched/CMakeFiles/birp_sched.dir/greedy_local.cpp.o.d"
+  "/root/repo/src/birp/sched/max_batch.cpp" "src/birp/sched/CMakeFiles/birp_sched.dir/max_batch.cpp.o" "gcc" "src/birp/sched/CMakeFiles/birp_sched.dir/max_batch.cpp.o.d"
+  "/root/repo/src/birp/sched/no_redist.cpp" "src/birp/sched/CMakeFiles/birp_sched.dir/no_redist.cpp.o" "gcc" "src/birp/sched/CMakeFiles/birp_sched.dir/no_redist.cpp.o.d"
+  "/root/repo/src/birp/sched/oaei.cpp" "src/birp/sched/CMakeFiles/birp_sched.dir/oaei.cpp.o" "gcc" "src/birp/sched/CMakeFiles/birp_sched.dir/oaei.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birp/util/CMakeFiles/birp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/solver/CMakeFiles/birp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/model/CMakeFiles/birp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/device/CMakeFiles/birp_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/sim/CMakeFiles/birp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/core/CMakeFiles/birp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/workload/CMakeFiles/birp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/runtime/CMakeFiles/birp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/metrics/CMakeFiles/birp_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

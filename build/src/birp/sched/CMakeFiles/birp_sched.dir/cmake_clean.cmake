@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_sched.dir/greedy_local.cpp.o"
+  "CMakeFiles/birp_sched.dir/greedy_local.cpp.o.d"
+  "CMakeFiles/birp_sched.dir/max_batch.cpp.o"
+  "CMakeFiles/birp_sched.dir/max_batch.cpp.o.d"
+  "CMakeFiles/birp_sched.dir/no_redist.cpp.o"
+  "CMakeFiles/birp_sched.dir/no_redist.cpp.o.d"
+  "CMakeFiles/birp_sched.dir/oaei.cpp.o"
+  "CMakeFiles/birp_sched.dir/oaei.cpp.o.d"
+  "libbirp_sched.a"
+  "libbirp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

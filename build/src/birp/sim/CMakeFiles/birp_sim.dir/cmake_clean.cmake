@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_sim.dir/decision.cpp.o"
+  "CMakeFiles/birp_sim.dir/decision.cpp.o.d"
+  "CMakeFiles/birp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/birp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/birp_sim.dir/validate.cpp.o"
+  "CMakeFiles/birp_sim.dir/validate.cpp.o.d"
+  "libbirp_sim.a"
+  "libbirp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_solver.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/birp_solver.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/birp_solver.dir/model.cpp.o"
+  "CMakeFiles/birp_solver.dir/model.cpp.o.d"
+  "CMakeFiles/birp_solver.dir/simplex.cpp.o"
+  "CMakeFiles/birp_solver.dir/simplex.cpp.o.d"
+  "libbirp_solver.a"
+  "libbirp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birp/util/csv.cpp" "src/birp/util/CMakeFiles/birp_util.dir/csv.cpp.o" "gcc" "src/birp/util/CMakeFiles/birp_util.dir/csv.cpp.o.d"
+  "/root/repo/src/birp/util/ecdf.cpp" "src/birp/util/CMakeFiles/birp_util.dir/ecdf.cpp.o" "gcc" "src/birp/util/CMakeFiles/birp_util.dir/ecdf.cpp.o.d"
+  "/root/repo/src/birp/util/piecewise_fit.cpp" "src/birp/util/CMakeFiles/birp_util.dir/piecewise_fit.cpp.o" "gcc" "src/birp/util/CMakeFiles/birp_util.dir/piecewise_fit.cpp.o.d"
+  "/root/repo/src/birp/util/rng.cpp" "src/birp/util/CMakeFiles/birp_util.dir/rng.cpp.o" "gcc" "src/birp/util/CMakeFiles/birp_util.dir/rng.cpp.o.d"
+  "/root/repo/src/birp/util/stats.cpp" "src/birp/util/CMakeFiles/birp_util.dir/stats.cpp.o" "gcc" "src/birp/util/CMakeFiles/birp_util.dir/stats.cpp.o.d"
+  "/root/repo/src/birp/util/table.cpp" "src/birp/util/CMakeFiles/birp_util.dir/table.cpp.o" "gcc" "src/birp/util/CMakeFiles/birp_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_util.dir/csv.cpp.o"
+  "CMakeFiles/birp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/birp_util.dir/ecdf.cpp.o"
+  "CMakeFiles/birp_util.dir/ecdf.cpp.o.d"
+  "CMakeFiles/birp_util.dir/piecewise_fit.cpp.o"
+  "CMakeFiles/birp_util.dir/piecewise_fit.cpp.o.d"
+  "CMakeFiles/birp_util.dir/rng.cpp.o"
+  "CMakeFiles/birp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/birp_util.dir/stats.cpp.o"
+  "CMakeFiles/birp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/birp_util.dir/table.cpp.o"
+  "CMakeFiles/birp_util.dir/table.cpp.o.d"
+  "libbirp_util.a"
+  "libbirp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birp_workload.dir/generator.cpp.o"
+  "CMakeFiles/birp_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/birp_workload.dir/trace.cpp.o"
+  "CMakeFiles/birp_workload.dir/trace.cpp.o.d"
+  "libbirp_workload.a"
+  "libbirp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birp/predictor/CMakeFiles/birp_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/sched/CMakeFiles/birp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/core/CMakeFiles/birp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/solver/CMakeFiles/birp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/sim/CMakeFiles/birp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/workload/CMakeFiles/birp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/device/CMakeFiles/birp_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/model/CMakeFiles/birp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/runtime/CMakeFiles/birp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/metrics/CMakeFiles/birp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/birp/util/CMakeFiles/birp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
