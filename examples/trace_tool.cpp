@@ -4,6 +4,8 @@
 //
 //   ./examples/trace_tool generate <out.csv> [slots] [target]
 //   ./examples/trace_tool stats <trace.csv>
+//   ./examples/trace_tool requests <trace.csv> [out.csv] [tau] [seed]
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -12,6 +14,7 @@
 #include "birp/device/cluster.hpp"
 #include "birp/util/stats.hpp"
 #include "birp/util/table.hpp"
+#include "birp/workload/arrivals.hpp"
 #include "birp/workload/generator.hpp"
 #include "birp/workload/trace.hpp"
 
@@ -70,6 +73,38 @@ int stats(const std::string& path) {
   return 0;
 }
 
+// Expands a slot trace into the per-request arrival stream the serving
+// runtime (birp/serve) replays, and dumps it as CSV — the deterministic
+// inverse of the slot aggregation. Writes to stdout when no output path is
+// given.
+int requests(const std::string& path, const std::string& out_path, double tau,
+             std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto trace = birp::workload::Trace::read_csv(buffer.str());
+  const auto arrivals = birp::workload::expand_arrivals(trace, tau, seed);
+
+  if (out_path.empty()) {
+    birp::workload::write_arrivals_csv(std::cout, arrivals);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  birp::workload::write_arrivals_csv(out, arrivals);
+  std::cout << "wrote " << arrivals.size() << " request arrivals ("
+            << trace.slots() << " slots, tau " << tau << "s, seed " << seed
+            << ") to " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,7 +116,15 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::string(argv[1]) == "stats") {
     return stats(argv[2]);
   }
+  if (argc >= 3 && std::string(argv[1]) == "requests") {
+    const std::string out_path = argc > 3 ? argv[3] : "";
+    const double tau = argc > 4 ? std::atof(argv[4]) : 6.0;
+    const std::uint64_t seed =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 0x51beef;
+    return requests(argv[2], out_path, tau, seed);
+  }
   std::cerr << "usage:\n  trace_tool generate <out.csv> [slots] [target]\n"
-               "  trace_tool stats <trace.csv>\n";
+               "  trace_tool stats <trace.csv>\n"
+               "  trace_tool requests <trace.csv> [out.csv] [tau] [seed]\n";
   return 2;
 }

@@ -91,4 +91,26 @@ void write_summary_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
   }
 }
 
+void write_latency_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
+  util::check(!runs.empty(), "csv export: no runs");
+  util::CsvWriter writer(out);
+  writer.row({"algorithm", "p50_tau", "p95_tau", "p99_tau",
+              "slo_attainment_percent", "dropped", "queue_dropped",
+              "mean_queue_depth", "max_queue_depth"});
+  for (const auto& run : runs) {
+    util::check(run.metrics != nullptr, "csv export: null metrics");
+    const auto& m = *run.metrics;
+    const bool depth_sampled = m.queue_depth().count() > 0;
+    writer.row({run.name, util::format_double(m.latency_quantile(0.5)),
+                util::format_double(m.latency_quantile(0.95)),
+                util::format_double(m.latency_quantile(0.99)),
+                util::format_double(m.slo_attainment_percent()),
+                std::to_string(m.dropped()),
+                std::to_string(m.queue_dropped()),
+                depth_sampled ? util::format_double(m.queue_depth().mean()) : "",
+                depth_sampled ? util::format_double(m.queue_depth().max())
+                              : ""});
+  }
+}
+
 }  // namespace birp::metrics

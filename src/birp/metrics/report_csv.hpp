@@ -31,4 +31,9 @@ void write_cumulative_loss_csv(std::ostream& out,
 /// One-row-per-run summary: loss, failure p%, drops, busy, percentiles.
 void write_summary_csv(std::ostream& out, const std::vector<NamedRun>& runs);
 
+/// Request-level serving report (birp/serve): one row per run with latency
+/// percentiles (p50/p95/p99, units of tau), SLO attainment %, queue-drop
+/// counts, and admission-queue depth statistics.
+void write_latency_csv(std::ostream& out, const std::vector<NamedRun>& runs);
+
 }  // namespace birp::metrics

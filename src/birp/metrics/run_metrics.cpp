@@ -20,6 +20,31 @@ void RunMetrics::record_dropped() {
   ++dropped_;
 }
 
+void RunMetrics::record_queue_drop() {
+  ++total_requests_;
+  ++slo_failures_;
+  ++dropped_;
+  ++queue_dropped_;
+}
+
+void RunMetrics::record_request_waits(double queue_wait_tau,
+                                      double dispatch_wait_tau,
+                                      double exec_tau) {
+  queue_wait_.add(queue_wait_tau);
+  dispatch_wait_.add(dispatch_wait_tau);
+  exec_latency_.add(exec_tau);
+}
+
+void RunMetrics::record_queue_depth(double depth) { queue_depth_.add(depth); }
+
+void RunMetrics::merge_queue_depth(const util::RunningStats& stats) {
+  queue_depth_.merge(stats);
+}
+
+double RunMetrics::latency_quantile(double q) const {
+  return completion_.empty() ? 0.0 : completion_.quantile(q);
+}
+
 void RunMetrics::record_slot_loss(double loss) {
   slot_loss_.push_back(loss);
   total_loss_ += loss;

@@ -24,6 +24,22 @@ class RunMetrics {
   /// Records a request that was never served (counts as an SLO failure and
   /// does not contribute a completion-time sample).
   void record_dropped();
+  /// Records a request rejected by admission-queue backpressure (birp/serve).
+  /// Counts exactly once as a drop and an SLO failure — a queue drop must
+  /// never additionally be recorded through record_dropped().
+  void record_queue_drop();
+
+  /// Records the wait breakdown of one served request (units of tau):
+  /// batch-formation wait, dispatch wait (accelerator contention), and
+  /// execution latency. Companion to record_request for the serve engine.
+  void record_request_waits(double queue_wait_tau, double dispatch_wait_tau,
+                            double exec_tau);
+
+  /// Records one admission-queue depth sample (requests buffered at an edge
+  /// at an admission event).
+  void record_queue_depth(double depth);
+  /// Merges a batch of depth samples accumulated elsewhere (per-edge merge).
+  void merge_queue_depth(const util::RunningStats& stats);
 
   /// Appends the realized inference loss of one slot (sum of loss_{ij} over
   /// served requests, the paper's Eq. 10 objective evaluated ex post).
@@ -51,9 +67,34 @@ class RunMetrics {
     return slo_failures_;
   }
   [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+  /// Subset of dropped() rejected by admission-queue backpressure.
+  [[nodiscard]] std::int64_t queue_dropped() const noexcept {
+    return queue_dropped_;
+  }
 
   /// SLO failure percentage p% = failures / total * 100; 0 when empty.
   [[nodiscard]] double failure_percent() const noexcept;
+  /// SLO attainment percentage = 100 - failure_percent(); 100 when empty.
+  [[nodiscard]] double slo_attainment_percent() const noexcept {
+    return 100.0 - failure_percent();
+  }
+
+  /// q-quantile of the served-request latency distribution (units of tau);
+  /// 0 when no request was served. p50/p95/p99 = latency_quantile(.5/.95/.99).
+  [[nodiscard]] double latency_quantile(double q) const;
+
+  [[nodiscard]] const util::Ecdf& queue_wait() const noexcept {
+    return queue_wait_;
+  }
+  [[nodiscard]] const util::Ecdf& dispatch_wait() const noexcept {
+    return dispatch_wait_;
+  }
+  [[nodiscard]] const util::Ecdf& exec_latency() const noexcept {
+    return exec_latency_;
+  }
+  [[nodiscard]] const util::RunningStats& queue_depth() const noexcept {
+    return queue_depth_;
+  }
 
   [[nodiscard]] const util::RunningStats& edge_busy() const noexcept {
     return edge_busy_;
@@ -70,12 +111,17 @@ class RunMetrics {
 
  private:
   util::Ecdf completion_;
+  util::Ecdf queue_wait_;
+  util::Ecdf dispatch_wait_;
+  util::Ecdf exec_latency_;
   std::vector<double> slot_loss_;
   double total_loss_ = 0.0;
   std::int64_t total_requests_ = 0;
   std::int64_t slo_failures_ = 0;
   std::int64_t dropped_ = 0;
+  std::int64_t queue_dropped_ = 0;
   util::RunningStats edge_busy_;
+  util::RunningStats queue_depth_;
   double energy_j_ = 0.0;
 };
 

@@ -1,6 +1,7 @@
 #include "birp/runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace birp::runtime {
 
@@ -14,18 +15,27 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::scoped_lock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     const std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      // A task accepted now might never run (workers may already have
+      // drained and exited); reject deterministically instead.
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();

@@ -24,11 +24,17 @@ class ThreadPool {
   /// Spawns `threads` workers; 0 means hardware concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding work, then joins all workers.
+  /// Drains outstanding work, then joins all workers (via shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Begins shutdown: previously submitted tasks still drain, then all
+  /// workers join. Idempotent. After shutdown has begun, submit()/enqueue()
+  /// reject deterministically with std::runtime_error instead of silently
+  /// enqueuing work that would never run.
+  void shutdown();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 

@@ -1,0 +1,46 @@
+#include "birp/serve/batcher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "birp/util/check.hpp"
+
+namespace birp::serve {
+
+BatchSeal seal_batch(std::span<const double> avails, int need, double cursor_s,
+                     double max_wait_s, bool more_may_arrive) {
+  util::check(!avails.empty(), "seal_batch: no candidates");
+  util::check(need >= 1, "seal_batch: need at least one member");
+
+  const double deadline =
+      max_wait_s < 0.0 ? std::numeric_limits<double>::infinity()
+                       : avails.front() + max_wait_s;
+  // Requests ready before the accelerator frees OR before the timeout fires
+  // can all still join the batch.
+  const double threshold = std::max(cursor_s, deadline);
+
+  const auto considered =
+      std::min<std::size_t>(avails.size(), static_cast<std::size_t>(need));
+  std::size_t sealed = 0;
+  while (sealed < considered && avails[sealed] <= threshold) ++sealed;
+  util::check(sealed >= 1, "seal_batch: first candidate beyond threshold");
+
+  BatchSeal seal;
+  seal.count = static_cast<int>(sealed);
+  const double last_avail = avails[sealed - 1];
+  if (sealed == static_cast<std::size_t>(need) || !more_may_arrive) {
+    // Full batch, or nothing else will ever come: go as soon as possible.
+    seal.formation_end_s = last_avail;
+    seal.start_s = std::max(cursor_s, last_avail);
+  } else {
+    // Partial batch sealed by the timeout: the assembler holds the launch
+    // until the deadline hoping for more members.
+    seal.timed_out = true;
+    seal.start_s = std::max(cursor_s, deadline);
+    seal.formation_end_s =
+        std::max(last_avail, std::min(deadline, seal.start_s));
+  }
+  return seal;
+}
+
+}  // namespace birp::serve

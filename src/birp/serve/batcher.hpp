@@ -1,0 +1,39 @@
+// Batch assembly rule: when does a partially filled batch launch?
+//
+// A deployed (app, variant) job wants launches of its decided kernel size b.
+// The assembler seals the next launch when one of three things happens:
+//   * b requests are buffered (full batch),
+//   * max_wait elapsed since the oldest buffered request became ready
+//     (partial batch, timeout),
+//   * no further request of the job can ever arrive (stream exhausted).
+// A launch can also never start before the accelerator is free, so requests
+// that become ready while the accelerator is busy still join the batch.
+//
+// seal_batch is a pure function of the candidate availability times, which
+// keeps the rule unit-testable in isolation from queues and threads.
+#pragma once
+
+#include <span>
+
+namespace birp::serve {
+
+struct BatchSeal {
+  int count = 0;                 ///< members sealed into the launch
+  double formation_end_s = 0.0;  ///< when the batch stopped forming
+  double start_s = 0.0;          ///< launch start (>= accelerator-free time)
+  bool timed_out = false;        ///< sealed by the max-wait timeout
+};
+
+/// Decides the next launch of one job.
+///   avails          sorted availability times of the buffered candidates
+///                   (at least one; at most `need` are considered)
+///   need            target launch size: min(kernel, requests left to serve)
+///   cursor_s        time the accelerator becomes free
+///   max_wait_s      partial-batch timeout; negative = wait for full batches
+///   more_may_arrive false when the job's request stream is exhausted, so
+///                   waiting for the timeout would be pointless
+[[nodiscard]] BatchSeal seal_batch(std::span<const double> avails, int need,
+                                   double cursor_s, double max_wait_s,
+                                   bool more_may_arrive);
+
+}  // namespace birp::serve

@@ -1,0 +1,412 @@
+#include "birp/serve/engine.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "birp/serve/batcher.hpp"
+#include "birp/util/check.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::serve {
+namespace {
+
+/// One executable job on an edge: a (app, variant) deployment with its
+/// request count and kernel batch size (mirrors the simulator's Job).
+struct Job {
+  int app = 0;
+  int variant = 0;
+  std::int64_t served = 0;
+  int kernel = 1;
+};
+
+}  // namespace
+
+ServeEngine::ServeEngine(const device::ClusterSpec& cluster,
+                         const workload::Trace& trace, ServeConfig config)
+    : cluster_(cluster),
+      trace_(trace),
+      config_(config),
+      pool_(config.threads <= 0 ? 0 : static_cast<std::size_t>(config.threads)) {
+  util::check(trace.apps() == cluster.num_apps(),
+              "ServeEngine: trace apps != cluster apps");
+  util::check(trace.devices() == cluster.num_devices(),
+              "ServeEngine: trace devices != cluster devices");
+  util::check(config_.noise_sigma >= 0.0, "ServeEngine: negative noise");
+}
+
+std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
+    const std::vector<workload::Arrival>& arrivals,
+    const sim::SlotDecision& decision) const {
+  const int I = cluster_.num_apps();
+  const int K = cluster_.num_devices();
+
+  // Per-(app, origin) arrival lists, in arrival order.
+  std::vector<std::vector<ServeItem>> cells(
+      static_cast<std::size_t>(I) * static_cast<std::size_t>(K));
+  const auto cell = [K](int i, int k) {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(K) +
+           static_cast<std::size_t>(k);
+  };
+  for (const auto& a : arrivals) {
+    ServeItem item;
+    item.app = a.app;
+    item.origin = a.device;
+    item.seq = a.seq;
+    item.arrival_s = a.offset_s;
+    item.available_s = a.offset_s;
+    cells[cell(a.app, a.device)].push_back(item);
+  }
+  for (auto& list : cells) {
+    std::sort(list.begin(), list.end(),
+              [](const ServeItem& a, const ServeItem& b) {
+                if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+                return a.seq < b.seq;
+              });
+  }
+
+  std::vector<EdgeInput> inputs(static_cast<std::size_t>(K));
+
+  // Serve-local portions: the earliest arrivals stay home; the repaired
+  // decision guarantees serve_local + exports + drops == demand per cell.
+  std::vector<std::size_t> cursor(cells.size(), 0);
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      auto& list = cells[cell(i, k)];
+      std::int64_t serve_local = 0;
+      for (int j = 0; j < decision.max_variants(); ++j) {
+        serve_local += decision.served(i, j, k);
+      }
+      serve_local -= decision.imports(i, k);
+      serve_local = std::clamp<std::int64_t>(
+          serve_local, 0, static_cast<std::int64_t>(list.size()));
+      for (std::int64_t r = 0; r < serve_local; ++r) {
+        inputs[static_cast<std::size_t>(k)].stream.push_back(
+            list[static_cast<std::size_t>(r)]);
+      }
+      cursor[cell(i, k)] = static_cast<std::size_t>(serve_local);
+    }
+  }
+
+  // Redistribution: flows consume the next arrivals of their source cell in
+  // decision order; the serving edge sees them after the wireless transfer.
+  std::vector<std::vector<ServeItem>> imports(static_cast<std::size_t>(K));
+  for (const auto& flow : decision.flows) {
+    if (flow.count <= 0 || flow.from == flow.to) continue;
+    auto& list = cells[cell(flow.app, flow.from)];
+    auto& at = cursor[cell(flow.app, flow.from)];
+    for (std::int64_t c = 0; c < flow.count && at < list.size(); ++c, ++at) {
+      imports[static_cast<std::size_t>(flow.to)].push_back(list[at]);
+    }
+  }
+  for (int k = 0; k < K; ++k) {
+    auto& in = imports[static_cast<std::size_t>(k)];
+    if (in.empty()) continue;
+    // Transfer schedule (same model as the simulator): all imports stream
+    // back-to-back over the edge's wireless link; import q of Q lands at
+    // ((q+1)/Q) * total transfer time, and never before it left its origin.
+    double total_mb = 0.0;
+    for (const auto& item : in) {
+      total_mb += cluster_.zoo().app(item.app).request_mb;
+    }
+    const double transfer_total_s =
+        total_mb * 8.0 / cluster_.device(k).bandwidth_mbps;
+    const auto total = static_cast<double>(in.size());
+    for (std::size_t q = 0; q < in.size(); ++q) {
+      auto& item = in[q];
+      item.available_s =
+          std::max(item.arrival_s,
+                   transfer_total_s * static_cast<double>(q + 1) / total);
+      inputs[static_cast<std::size_t>(k)].stream.push_back(item);
+    }
+  }
+
+  // Whatever the decision did not serve or move is shed at the origin.
+  for (int i = 0; i < I; ++i) {
+    for (int k = 0; k < K; ++k) {
+      const auto& list = cells[cell(i, k)];
+      for (auto at = cursor[cell(i, k)]; at < list.size(); ++at) {
+        inputs[static_cast<std::size_t>(k)].planned_drops.push_back(list[at]);
+      }
+    }
+  }
+
+  for (auto& input : inputs) {
+    std::sort(input.stream.begin(), input.stream.end(),
+              [](const ServeItem& a, const ServeItem& b) {
+                if (a.available_s != b.available_s)
+                  return a.available_s < b.available_s;
+                if (a.app != b.app) return a.app < b.app;
+                if (a.origin != b.origin) return a.origin < b.origin;
+                return a.seq < b.seq;
+              });
+  }
+  return inputs;
+}
+
+ServeEngine::EdgeOutcome ServeEngine::execute_edge(
+    int k, const sim::SlotDecision& decision, int slot,
+    std::vector<ServeItem> stream) const {
+  const double tau = cluster_.tau_s();
+  EdgeOutcome outcome;
+
+  // Deterministic per-(slot, edge) noise stream — same recipe as the
+  // simulator, so thread count can never change results.
+  util::Xoshiro256StarStar rng(config_.seed ^
+                               (0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(slot) * 1024 +
+                                 static_cast<std::uint64_t>(k) + 1)));
+
+  std::vector<Job> jobs;
+  for (int i = 0; i < cluster_.num_apps(); ++i) {
+    const int variants = cluster_.zoo().num_variants(i);
+    for (int j = 0; j < variants; ++j) {
+      const auto served = decision.served(i, j, k);
+      if (served <= 0) continue;
+      jobs.push_back(
+          Job{i, j, served, std::max(1, decision.kernel(i, j, k))});
+    }
+  }
+  rng.shuffle(jobs);
+
+  const double max_wait_s = config_.max_batch_wait_fraction < 0.0
+                                ? -1.0
+                                : config_.max_batch_wait_fraction * tau;
+
+  AdmissionQueue queue(cluster_.num_apps(), std::move(stream),
+                       config_.queue_capacity, config_.queue_policy);
+
+  double cursor_s = 0.0;
+  for (const auto& job : jobs) {
+    std::int64_t remaining = job.served;
+    bool first_launch = true;
+    const double slo_s = cluster_.zoo().app(job.app).slo_fraction * tau;
+    while (remaining > 0) {
+      const auto need = static_cast<int>(
+          std::min<std::int64_t>(remaining, job.kernel));
+
+      queue.fill(job.app, 1);
+      const auto& fifo = queue.waiting(job.app);
+      if (fifo.empty()) break;  // stream eaten by backpressure drops
+      if (max_wait_s < 0.0) {
+        queue.fill(job.app, static_cast<std::size_t>(need));
+      } else {
+        const double threshold =
+            std::max(cursor_s, fifo.front().available_s + max_wait_s);
+        queue.fill_until(job.app, static_cast<std::size_t>(need), threshold);
+      }
+
+      std::vector<double> avails;
+      const auto considered =
+          std::min<std::size_t>(fifo.size(), static_cast<std::size_t>(need));
+      avails.reserve(considered);
+      for (std::size_t m = 0; m < considered; ++m) {
+        avails.push_back(fifo[m].available_s);
+      }
+      // More members can only come from requests still upstream in the
+      // stream; everything already buffered is in `considered`.
+      const bool more = queue.upstream(job.app) > 0;
+      const auto seal =
+          seal_batch(avails, need, cursor_s, max_wait_s, more);
+
+      const auto members =
+          queue.take(job.app, static_cast<std::size_t>(seal.count));
+      queue.on_dispatch(seal.start_s, members.size());
+
+      // Launch size: static-shape padding (MAX) bills the full kernel even
+      // for a partial batch; otherwise the runtime right-sizes the launch.
+      const int launch_size =
+          decision.pad_partial_launches ? job.kernel : seal.count;
+      const double clean_s =
+          cluster_.truth().batch_time_s(k, job.app, job.variant, launch_size);
+      const double noise =
+          config_.noise_sigma > 0.0
+              ? rng.lognormal(-0.5 * config_.noise_sigma * config_.noise_sigma,
+                              config_.noise_sigma)
+              : 1.0;
+      const double duration_s = clean_s * noise;
+      const double completion_s = seal.start_s + duration_s;
+      outcome.busy_s += duration_s;
+      outcome.loss += cluster_.zoo().variant(job.app, job.variant).loss *
+                      static_cast<double>(seal.count);
+
+      for (const auto& member : members) {
+        RequestRecord record;
+        record.item = member;
+        record.outcome = Outcome::kServed;
+        record.served_on = k;
+        record.variant = job.variant;
+        record.batch = seal.count;
+        record.formation_end_s = seal.formation_end_s;
+        record.start_s = seal.start_s;
+        record.completion_s = completion_s;
+        record.met_slo = record.sojourn_s() <= slo_s + 1e-12;
+        outcome.records.push_back(record);
+      }
+
+      if (first_launch && config_.report_observations) {
+        // Observed TIR per Eq. 1: the merged kernel processed `launch_size`
+        // items in duration_s versus gamma each when serial.
+        sim::TirObservation obs;
+        obs.device = k;
+        obs.app = job.app;
+        obs.variant = job.variant;
+        obs.batch = launch_size;
+        obs.observed_tir = static_cast<double>(launch_size) *
+                           cluster_.truth().gamma_s(k, job.app, job.variant) /
+                           duration_s;
+        outcome.observations.push_back(obs);
+        first_launch = false;
+      }
+
+      remaining -= seal.count;
+    }
+  }
+
+  // Backpressure drops.
+  for (const auto& item : queue.dropped()) {
+    RequestRecord record;
+    record.item = item;
+    record.outcome = Outcome::kQueueDrop;
+    record.served_on = k;
+    outcome.records.push_back(record);
+  }
+  // Stranded requests (stream larger than the decision's serve counts —
+  // only possible on a malformed repair): shed like planned drops so every
+  // arrival is accounted exactly once.
+  for (const auto& item : queue.drain_waiting()) {
+    RequestRecord record;
+    record.item = item;
+    record.outcome = Outcome::kPlannedDrop;
+    record.served_on = k;
+    outcome.records.push_back(record);
+  }
+  for (const auto& item : queue.drain_unprocessed()) {
+    RequestRecord record;
+    record.item = item;
+    record.outcome = Outcome::kPlannedDrop;
+    record.served_on = k;
+    outcome.records.push_back(record);
+  }
+  outcome.depth_stats = queue.depth_stats();
+  return outcome;
+}
+
+SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
+                                  metrics::RunMetrics* metrics) {
+  util::check(slot_ < trace_.slots(), "ServeEngine: horizon exhausted");
+  const int t = slot_;
+  const int K = cluster_.num_devices();
+  const double tau = cluster_.tau_s();
+
+  const auto arrivals =
+      workload::slot_arrivals(trace_, t, tau, config_.seed);
+
+  // Demand is derived from the arrivals (not read from the trace) so the
+  // scheduler sees exactly what the request stream contains.
+  sim::SlotState state;
+  state.slot = t;
+  state.demand =
+      util::Grid2<std::int64_t>(cluster_.num_apps(), K, 0);
+  for (const auto& a : arrivals) ++state.demand(a.app, a.device);
+  state.previous = previous_.has_value() ? &previous_.value() : nullptr;
+
+  SlotServeResult result;
+  result.decision = scheduler.decide(state);
+  result.repairs = sim::validate_and_repair(cluster_, state.demand,
+                                            state.previous, result.decision);
+
+  auto inputs = build_edge_inputs(arrivals, result.decision);
+
+  // Execute all edges concurrently; outcomes merge deterministically below.
+  std::vector<std::future<EdgeOutcome>> futures;
+  futures.reserve(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    futures.push_back(pool_.submit(
+        [this, k, t, &result, &inputs] {
+          return execute_edge(
+              k, result.decision, t,
+              std::move(inputs[static_cast<std::size_t>(k)].stream));
+        }));
+  }
+
+  result.feedback.slot = t;
+  result.feedback.busy_s.resize(static_cast<std::size_t>(K), 0.0);
+  double slot_loss = 0.0;
+  for (int k = 0; k < K; ++k) {
+    EdgeOutcome outcome = futures[static_cast<std::size_t>(k)].get();
+    result.feedback.busy_s[static_cast<std::size_t>(k)] = outcome.busy_s;
+    result.feedback.observations.insert(result.feedback.observations.end(),
+                                        outcome.observations.begin(),
+                                        outcome.observations.end());
+    slot_loss += outcome.loss;
+    for (const auto& record : outcome.records) {
+      switch (record.outcome) {
+        case Outcome::kServed:
+          ++result.served;
+          if (!record.met_slo) ++result.slo_failures;
+          if (metrics != nullptr) {
+            metrics->record_request(record.sojourn_s() / tau, record.met_slo);
+            metrics->record_request_waits(record.queue_wait_s() / tau,
+                                          record.dispatch_wait_s() / tau,
+                                          record.exec_s() / tau);
+          }
+          break;
+        case Outcome::kQueueDrop:
+          ++result.queue_drops;
+          ++result.slo_failures;
+          slot_loss += cluster_.zoo().worst_loss(record.item.app);
+          if (metrics != nullptr) metrics->record_queue_drop();
+          break;
+        case Outcome::kPlannedDrop:
+          ++result.planned_drops;
+          ++result.slo_failures;
+          slot_loss += cluster_.zoo().worst_loss(record.item.app);
+          if (metrics != nullptr) metrics->record_dropped();
+          break;
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->record_edge_busy(outcome.busy_s / tau);
+      metrics->record_energy(
+          cluster_.device(k).slot_energy_j(outcome.busy_s, tau));
+      metrics->merge_queue_depth(outcome.depth_stats);
+    }
+    if (config_.keep_records) {
+      result.records.insert(result.records.end(), outcome.records.begin(),
+                            outcome.records.end());
+    }
+  }
+
+  // Requests the decision shed at their origin (never routed anywhere).
+  for (int k = 0; k < K; ++k) {
+    for (const auto& item : inputs[static_cast<std::size_t>(k)].planned_drops) {
+      ++result.planned_drops;
+      ++result.slo_failures;
+      slot_loss += cluster_.zoo().worst_loss(item.app);
+      if (metrics != nullptr) metrics->record_dropped();
+      if (config_.keep_records) {
+        RequestRecord record;
+        record.item = item;
+        record.outcome = Outcome::kPlannedDrop;
+        result.records.push_back(record);
+      }
+    }
+  }
+  result.slot_loss = slot_loss;
+  if (metrics != nullptr) metrics->record_slot_loss(slot_loss);
+
+  scheduler.observe(result.feedback);
+  previous_ = result.decision;
+  ++slot_;
+  return result;
+}
+
+metrics::RunMetrics ServeEngine::run(sim::Scheduler& scheduler, int max_slots) {
+  const int horizon = max_slots > 0 ? std::min(max_slots, trace_.slots())
+                                    : trace_.slots();
+  metrics::RunMetrics metrics(horizon);
+  while (slot_ < horizon) step(scheduler, &metrics);
+  return metrics;
+}
+
+}  // namespace birp::serve

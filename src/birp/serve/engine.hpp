@@ -1,0 +1,135 @@
+// Request-level asynchronous serving engine.
+//
+// Where sim::Simulator scores a slot decision on merged per-slot batches,
+// the ServeEngine replays the trace as timestamped request arrivals inside
+// each slot and follows every request through admission, redistribution,
+// batch assembly, dispatch, and execution:
+//
+//   1. expand the slot's trace cells into arrivals (workload::slot_arrivals)
+//      and derive SlotState.demand from them;
+//   2. ask the scheduler for a SlotDecision and validate/repair it exactly
+//      like the simulator — schedulers are reused unchanged;
+//   3. split each cell's arrivals into serve-local / redistribute / shed
+//      streams according to the decision; redistributed requests reach
+//      their serving edge after the wireless transfer schedule;
+//   4. per edge, admit requests chronologically into a bounded admission
+//      queue (drop/backpressure policy), assemble batches of the decided
+//      kernel size with a max-wait timeout for partial batches, and execute
+//      them on the edge's accelerator using ground-truth TIR plus noise;
+//   5. record per-request queueing delay, batch-formation wait, execution
+//      latency, and SLO hit/miss, and feed busy-time + TIR observations
+//      back to the scheduler.
+//
+// Edges execute concurrently on runtime::ThreadPool. Determinism matches
+// the simulator's standard: all randomness comes from per-(slot, edge)
+// forked RNG streams and per-edge computation is sequential, so results
+// are bit-identical at any thread count.
+//
+// SLO semantics differ deliberately from the simulator: the simulator
+// checks completion within the slot (slot-relative), the engine checks each
+// request's end-to-end sojourn (arrival to completion) against
+// slo_fraction * tau — the quantity per-request SLOs are written against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "birp/device/cluster.hpp"
+#include "birp/metrics/run_metrics.hpp"
+#include "birp/runtime/thread_pool.hpp"
+#include "birp/serve/queue.hpp"
+#include "birp/serve/request.hpp"
+#include "birp/sim/decision.hpp"
+#include "birp/sim/scheduler.hpp"
+#include "birp/sim/validate.hpp"
+#include "birp/util/stats.hpp"
+#include "birp/workload/arrivals.hpp"
+#include "birp/workload/trace.hpp"
+
+namespace birp::serve {
+
+struct ServeConfig {
+  /// Lognormal sigma applied to every batch execution time.
+  double noise_sigma = 0.04;
+  /// Seeds both the arrival-timestamp expansion and the execution noise.
+  std::uint64_t seed = 0x51beef;
+  /// Worker threads for per-edge execution; 0 = hardware concurrency.
+  int threads = 0;
+  /// When false, per-batch TIR observations are not fed back.
+  bool report_observations = true;
+  /// Admission-queue capacity per edge (buffered requests); <= 0 unbounded.
+  std::int64_t queue_capacity = 0;
+  QueuePolicy queue_policy = QueuePolicy::kRejectNewest;
+  /// Partial-batch timeout as a fraction of tau; negative = wait for full
+  /// batches (launch early only when the request stream is exhausted).
+  double max_batch_wait_fraction = 0.05;
+  /// Retain per-request records in SlotServeResult (tests / deep dives).
+  bool keep_records = false;
+};
+
+/// Outcome of one served slot.
+struct SlotServeResult {
+  sim::SlotDecision decision;  ///< post-repair decision that executed
+  sim::ValidationReport repairs;
+  sim::SlotFeedback feedback;
+  double slot_loss = 0.0;
+  std::int64_t served = 0;
+  std::int64_t planned_drops = 0;  ///< shed by the decision (worst-model loss)
+  std::int64_t queue_drops = 0;    ///< backpressure drops (admission queue)
+  std::int64_t slo_failures = 0;
+  /// All request records in deterministic order; only when keep_records.
+  std::vector<RequestRecord> records;
+};
+
+class ServeEngine {
+ public:
+  ServeEngine(const device::ClusterSpec& cluster, const workload::Trace& trace,
+              ServeConfig config = {});
+
+  /// Runs the scheduler over the whole horizon (or `max_slots` if positive
+  /// and smaller) and returns aggregated request-level metrics.
+  metrics::RunMetrics run(sim::Scheduler& scheduler, int max_slots = -1);
+
+  /// Serves a single slot, advancing internal state.
+  SlotServeResult step(sim::Scheduler& scheduler,
+                       metrics::RunMetrics* metrics = nullptr);
+
+  [[nodiscard]] int current_slot() const noexcept { return slot_; }
+  [[nodiscard]] const device::ClusterSpec& cluster() const noexcept {
+    return cluster_;
+  }
+
+ private:
+  /// The serve-here stream of one edge plus what the decision shed there.
+  struct EdgeInput {
+    std::vector<ServeItem> stream;        ///< sorted by availability
+    std::vector<ServeItem> planned_drops; ///< rejected at arrival
+  };
+
+  /// Everything one edge produces in a slot; merged single-threaded.
+  struct EdgeOutcome {
+    std::vector<RequestRecord> records;  ///< served, queue drops, stranded
+    std::vector<sim::TirObservation> observations;
+    util::RunningStats depth_stats;
+    double busy_s = 0.0;
+    double loss = 0.0;  ///< served-request loss only
+  };
+
+  [[nodiscard]] std::vector<EdgeInput> build_edge_inputs(
+      const std::vector<workload::Arrival>& arrivals,
+      const sim::SlotDecision& decision) const;
+
+  [[nodiscard]] EdgeOutcome execute_edge(int k, const sim::SlotDecision& decision,
+                                         int slot,
+                                         std::vector<ServeItem> stream) const;
+
+  const device::ClusterSpec& cluster_;
+  const workload::Trace& trace_;
+  ServeConfig config_;
+  runtime::ThreadPool pool_;
+  int slot_ = 0;
+  std::optional<sim::SlotDecision> previous_;
+};
+
+}  // namespace birp::serve

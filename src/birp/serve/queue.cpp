@@ -1,0 +1,136 @@
+#include "birp/serve/queue.hpp"
+
+#include <algorithm>
+
+#include "birp/util/check.hpp"
+
+namespace birp::serve {
+
+AdmissionQueue::AdmissionQueue(int apps, std::vector<ServeItem> stream,
+                               std::int64_t capacity, QueuePolicy policy)
+    : apps_(apps),
+      stream_(std::move(stream)),
+      upstream_(static_cast<std::size_t>(apps), 0),
+      capacity_(capacity),
+      policy_(policy),
+      fifos_(static_cast<std::size_t>(apps)) {
+  util::check(apps > 0, "AdmissionQueue: need at least one app");
+  for (const auto& item : stream_) {
+    util::check(item.app >= 0 && item.app < apps_,
+                "AdmissionQueue: item app out of range");
+    ++upstream_[static_cast<std::size_t>(item.app)];
+  }
+}
+
+void AdmissionQueue::admit_next() {
+  util::check(next_ < stream_.size(), "AdmissionQueue: stream exhausted");
+  const ServeItem item = stream_[next_++];
+  --upstream_[static_cast<std::size_t>(item.app)];
+
+  // Apply departures (launch starts) that happened before this arrival.
+  while (!departures_.empty() &&
+         departures_.top().first <= item.available_s) {
+    depth_ -= departures_.top().second;
+    departures_.pop();
+  }
+
+  if (capacity_ > 0 && depth_ >= capacity_) {
+    if (policy_ == QueuePolicy::kEvictOldest) {
+      // Evict the longest-waiting buffered request (ties: lowest app).
+      int victim_app = -1;
+      for (int a = 0; a < apps_; ++a) {
+        const auto& fifo = fifos_[static_cast<std::size_t>(a)];
+        if (fifo.empty()) continue;
+        if (victim_app < 0 ||
+            fifo.front().available_s <
+                fifos_[static_cast<std::size_t>(victim_app)]
+                    .front()
+                    .available_s) {
+          victim_app = a;
+        }
+      }
+      if (victim_app >= 0) {
+        auto& fifo = fifos_[static_cast<std::size_t>(victim_app)];
+        dropped_.push_back(fifo.front());
+        fifo.pop_front();
+        --depth_;
+      } else {
+        // Every buffered request is already sealed into a launch; nothing
+        // is evictable, so the arrival bounces after all.
+        dropped_.push_back(item);
+        depth_stats_.add(static_cast<double>(depth_));
+        return;
+      }
+    } else {
+      dropped_.push_back(item);
+      depth_stats_.add(static_cast<double>(depth_));
+      return;
+    }
+  }
+
+  fifos_[static_cast<std::size_t>(item.app)].push_back(item);
+  ++depth_;
+  depth_stats_.add(static_cast<double>(depth_));
+}
+
+void AdmissionQueue::fill(int app, std::size_t want) {
+  auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  while (fifo.size() < want && upstream_[static_cast<std::size_t>(app)] > 0) {
+    admit_next();
+  }
+}
+
+void AdmissionQueue::fill_until(int app, std::size_t want, double threshold_s) {
+  auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  while (fifo.size() < want && upstream_[static_cast<std::size_t>(app)] > 0 &&
+         next_ < stream_.size() &&
+         stream_[next_].available_s <= threshold_s) {
+    admit_next();
+  }
+}
+
+bool AdmissionQueue::exhausted(int app) const {
+  return fifos_[static_cast<std::size_t>(app)].empty() &&
+         upstream_[static_cast<std::size_t>(app)] == 0;
+}
+
+const std::deque<ServeItem>& AdmissionQueue::waiting(int app) const {
+  return fifos_[static_cast<std::size_t>(app)];
+}
+
+std::vector<ServeItem> AdmissionQueue::take(int app, std::size_t count) {
+  auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  util::check(count <= fifo.size(), "AdmissionQueue: take beyond waiting");
+  std::vector<ServeItem> taken(fifo.begin(),
+                               fifo.begin() + static_cast<std::ptrdiff_t>(count));
+  fifo.erase(fifo.begin(), fifo.begin() + static_cast<std::ptrdiff_t>(count));
+  return taken;
+}
+
+void AdmissionQueue::on_dispatch(double start_s, std::size_t count) {
+  if (count == 0) return;
+  departures_.emplace(start_s, static_cast<std::int64_t>(count));
+}
+
+std::vector<ServeItem> AdmissionQueue::drain_unprocessed() {
+  std::vector<ServeItem> rest(stream_.begin() +
+                                  static_cast<std::ptrdiff_t>(next_),
+                              stream_.end());
+  for (const auto& item : rest) {
+    --upstream_[static_cast<std::size_t>(item.app)];
+  }
+  next_ = stream_.size();
+  return rest;
+}
+
+std::vector<ServeItem> AdmissionQueue::drain_waiting() {
+  std::vector<ServeItem> rest;
+  for (auto& fifo : fifos_) {
+    rest.insert(rest.end(), fifo.begin(), fifo.end());
+    depth_ -= static_cast<std::int64_t>(fifo.size());
+    fifo.clear();
+  }
+  return rest;
+}
+
+}  // namespace birp::serve

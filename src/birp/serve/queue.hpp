@@ -1,0 +1,103 @@
+// Per-edge admission queue for the serving runtime.
+//
+// One edge's requests (local arrivals plus redistributed imports) form a
+// single chronological stream; the queue admits them in availability order
+// against a shared capacity on buffered-not-yet-dispatched requests,
+// applying the configured backpressure policy when full. Admitted requests
+// wait in per-application FIFOs until the batch assembler takes them;
+// dispatch events (launch starts) free their capacity at the right point in
+// time via a deferred-departure heap, so an admission decision at time T
+// sees exactly the requests buffered at T.
+//
+// Everything here is sequential and deterministic: the engine runs one
+// AdmissionQueue per (slot, edge) on one worker thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "birp/serve/request.hpp"
+#include "birp/util/stats.hpp"
+
+namespace birp::serve {
+
+/// What to do with an arrival when the queue is at capacity.
+enum class QueuePolicy {
+  kRejectNewest,  ///< bounce the arriving request
+  kEvictOldest,   ///< evict the longest-waiting buffered request instead
+};
+
+class AdmissionQueue {
+ public:
+  /// `stream` must be sorted by (available_s, app, origin, seq).
+  /// `capacity` <= 0 means unbounded.
+  AdmissionQueue(int apps, std::vector<ServeItem> stream, std::int64_t capacity,
+                 QueuePolicy policy);
+
+  /// Processes arrivals chronologically until `app`'s FIFO holds `want`
+  /// admitted requests or the stream runs out.
+  void fill(int app, std::size_t want);
+
+  /// Like fill(), but stops before the first arrival with
+  /// available_s > threshold_s (that arrival stays unprocessed).
+  void fill_until(int app, std::size_t want, double threshold_s);
+
+  /// True when no request of `app` is waiting and none remains upstream.
+  [[nodiscard]] bool exhausted(int app) const;
+
+  /// Requests of `app` still unprocessed in the stream (not yet admitted
+  /// or dropped).
+  [[nodiscard]] std::int64_t upstream(int app) const {
+    return upstream_[static_cast<std::size_t>(app)];
+  }
+
+  /// Admitted requests of `app` waiting for batch assembly, oldest first.
+  [[nodiscard]] const std::deque<ServeItem>& waiting(int app) const;
+
+  /// Removes the first `count` waiting requests of `app` (sealed into a
+  /// batch). Capacity is not released here — call on_dispatch with the
+  /// launch start so the departure lands at the right time.
+  [[nodiscard]] std::vector<ServeItem> take(int app, std::size_t count);
+
+  /// Registers that `count` buffered requests leave the queue at `start_s`.
+  void on_dispatch(double start_s, std::size_t count);
+
+  /// Requests dropped by backpressure so far, in drop order.
+  [[nodiscard]] const std::vector<ServeItem>& dropped() const noexcept {
+    return dropped_;
+  }
+
+  /// Depth samples taken after every admission decision.
+  [[nodiscard]] const util::RunningStats& depth_stats() const noexcept {
+    return depth_stats_;
+  }
+
+  /// Requests never processed (stream leftovers); drains the stream.
+  [[nodiscard]] std::vector<ServeItem> drain_unprocessed();
+
+  /// Admitted requests still waiting across all apps.
+  [[nodiscard]] std::vector<ServeItem> drain_waiting();
+
+ private:
+  void admit_next();
+
+  int apps_;
+  std::vector<ServeItem> stream_;
+  std::size_t next_ = 0;  ///< first unprocessed stream index
+  std::vector<std::int64_t> upstream_;  ///< per-app count still in stream
+  std::int64_t capacity_;
+  QueuePolicy policy_;
+  std::int64_t depth_ = 0;
+  std::vector<std::deque<ServeItem>> fifos_;
+  /// Deferred departures: (launch start, members), earliest first.
+  std::priority_queue<std::pair<double, std::int64_t>,
+                      std::vector<std::pair<double, std::int64_t>>,
+                      std::greater<>>
+      departures_;
+  std::vector<ServeItem> dropped_;
+  util::RunningStats depth_stats_;
+};
+
+}  // namespace birp::serve

@@ -1,0 +1,61 @@
+// Request-level records for the serving runtime.
+//
+// The slot simulator (birp/sim) only tracks aggregate completion times; the
+// serving engine (birp/serve) follows every request from its timestamped
+// arrival through admission, batch formation, dispatch, and execution, and
+// records the full wait breakdown SLOs are written against.
+#pragma once
+
+#include <cstdint>
+
+namespace birp::serve {
+
+/// One request routed to an edge for service. All times are offsets from
+/// the slot start, in seconds.
+struct ServeItem {
+  int app = 0;
+  int origin = 0;         ///< edge whose region the request arrived in
+  std::int64_t seq = 0;   ///< arrival index in the origin (slot, app) stream
+  double arrival_s = 0.0; ///< arrival at the origin edge
+  /// Ready at the serving edge: equals arrival_s for locally served
+  /// requests; includes the wireless transfer delay for redistributed ones.
+  double available_s = 0.0;
+};
+
+enum class Outcome {
+  kServed,       ///< executed in a batch
+  kPlannedDrop,  ///< the slot decision shed this request (no feasible serve)
+  kQueueDrop,    ///< rejected/evicted by admission-queue backpressure
+};
+
+/// Full lifecycle of one request within its slot.
+struct RequestRecord {
+  ServeItem item;
+  Outcome outcome = Outcome::kServed;
+  int served_on = -1;            ///< serving edge; -1 for drops
+  int variant = -1;              ///< model variant; -1 for drops
+  int batch = 0;                 ///< members in its launch
+  double formation_end_s = 0.0;  ///< batch sealed (last co-member ready/timeout)
+  double start_s = 0.0;          ///< launch start on the accelerator
+  double completion_s = 0.0;     ///< launch completion
+  bool met_slo = false;
+
+  /// Batch-formation wait: ready at the edge until the batch sealed.
+  [[nodiscard]] double queue_wait_s() const noexcept {
+    return formation_end_s - item.available_s;
+  }
+  /// Dispatch wait: batch sealed until the accelerator was free.
+  [[nodiscard]] double dispatch_wait_s() const noexcept {
+    return start_s - formation_end_s;
+  }
+  /// Execution latency of the launch.
+  [[nodiscard]] double exec_s() const noexcept {
+    return completion_s - start_s;
+  }
+  /// End-to-end sojourn from the user's arrival to completion.
+  [[nodiscard]] double sojourn_s() const noexcept {
+    return completion_s - item.arrival_s;
+  }
+};
+
+}  // namespace birp::serve

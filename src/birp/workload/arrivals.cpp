@@ -1,0 +1,97 @@
+#include "birp/workload/arrivals.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "birp/util/check.hpp"
+#include "birp/util/csv.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::workload {
+namespace {
+
+/// Mixes (slot, app, device) into one stream id; the large odd multipliers
+/// keep sibling cells far apart in seed space (same recipe family as the
+/// simulator's per-(slot, edge) noise streams).
+std::uint64_t cell_stream(int slot, int app, int device) {
+  return 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(slot) + 1) +
+         0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(app) + 1) +
+         0x94d049bb133111ebULL * (static_cast<std::uint64_t>(device) + 1);
+}
+
+}  // namespace
+
+std::vector<Arrival> slot_arrivals(const Trace& trace, int slot, double tau_s,
+                                   std::uint64_t seed) {
+  util::check(slot >= 0 && slot < trace.slots(), "slot_arrivals: bad slot");
+  util::check(tau_s > 0.0, "slot_arrivals: tau must be positive");
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < trace.apps(); ++i) {
+    for (int k = 0; k < trace.devices(); ++k) {
+      const auto count = trace.at(slot, i, k);
+      if (count <= 0) continue;
+      util::Xoshiro256StarStar rng(seed ^ cell_stream(slot, i, k));
+      std::vector<double> offsets;
+      offsets.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t r = 0; r < count; ++r) {
+        offsets.push_back(rng.uniform(0.0, tau_s));
+      }
+      std::sort(offsets.begin(), offsets.end());
+      for (std::int64_t r = 0; r < count; ++r) {
+        arrivals.push_back(Arrival{slot, i, k, r,
+                                   offsets[static_cast<std::size_t>(r)]});
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.offset_s != b.offset_s) return a.offset_s < b.offset_s;
+              if (a.app != b.app) return a.app < b.app;
+              if (a.device != b.device) return a.device < b.device;
+              return a.seq < b.seq;
+            });
+  return arrivals;
+}
+
+std::vector<Arrival> expand_arrivals(const Trace& trace, double tau_s,
+                                     std::uint64_t seed) {
+  std::vector<Arrival> all;
+  all.reserve(static_cast<std::size_t>(trace.total()));
+  for (int t = 0; t < trace.slots(); ++t) {
+    auto slot = slot_arrivals(trace, t, tau_s, seed);
+    all.insert(all.end(), slot.begin(), slot.end());
+  }
+  return all;
+}
+
+void write_arrivals_csv(std::ostream& out,
+                        const std::vector<Arrival>& arrivals) {
+  util::CsvWriter writer(out);
+  writer.row({"slot", "app", "device", "seq", "offset_s"});
+  for (const auto& a : arrivals) {
+    writer.numeric_row({static_cast<double>(a.slot), static_cast<double>(a.app),
+                        static_cast<double>(a.device),
+                        static_cast<double>(a.seq), a.offset_s});
+  }
+}
+
+std::vector<Arrival> read_arrivals_csv(const std::string& text) {
+  const auto rows = util::parse_csv(text);
+  util::check(!rows.empty(), "read_arrivals_csv: empty document");
+  std::vector<Arrival> arrivals;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
+    util::check(row.size() == 5, "read_arrivals_csv: bad data row");
+    Arrival a;
+    a.slot = std::stoi(row[0]);
+    a.app = std::stoi(row[1]);
+    a.device = std::stoi(row[2]);
+    a.seq = std::stoll(row[3]);
+    a.offset_s = std::stod(row[4]);
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+}  // namespace birp::workload

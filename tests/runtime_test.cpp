@@ -143,5 +143,30 @@ TEST(ParallelFor, ConvenienceOverloadWorks) {
   EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPoolShutdown, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPoolShutdown, IsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a harmless no-op
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolShutdown, DrainsPreviouslySubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  pool.shutdown();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
 }  // namespace
 }  // namespace birp::runtime

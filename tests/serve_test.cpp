@@ -1,0 +1,455 @@
+// Tests for the request-level serving runtime: batch-seal rule, admission
+// queue, and the ServeEngine end to end.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birp/device/cluster.hpp"
+#include "birp/serve/batcher.hpp"
+#include "birp/serve/engine.hpp"
+#include "birp/serve/queue.hpp"
+#include "birp/serve/request.hpp"
+#include "birp/sim/scheduler.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/workload/arrivals.hpp"
+#include "birp/workload/trace.hpp"
+
+namespace birp::serve {
+namespace {
+
+device::ClusterSpec small_cluster(double tau = 6.0) {
+  return device::ClusterSpec(device::one_of_each(), model::Zoo::small_scale(),
+                             tau, 0x7e57);
+}
+
+/// Serves all local demand with variant 0 (batch == demand, capped at 16).
+/// Stateless, so the slot simulator and the serve engine reach identical
+/// decisions when fed identical demand.
+class LocalGreedyScheduler : public sim::Scheduler {
+ public:
+  explicit LocalGreedyScheduler(const device::ClusterSpec& cluster)
+      : cluster_(cluster) {}
+  [[nodiscard]] std::string name() const override { return "local-greedy"; }
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState& state) override {
+    sim::SlotDecision decision(cluster_.num_apps(),
+                               cluster_.zoo().max_variants(),
+                               cluster_.num_devices());
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        const auto demand = state.demand(i, k);
+        const auto take = std::min<std::int64_t>(demand, 16);
+        decision.served(i, 0, k) = take;
+        decision.kernel(i, 0, k) =
+            static_cast<int>(std::max<std::int64_t>(take, 1));
+        decision.drops(i, k) = demand - take;
+      }
+    }
+    return decision;
+  }
+
+ private:
+  const device::ClusterSpec& cluster_;
+};
+
+/// Replays a fixed decision every slot.
+class FixedScheduler : public sim::Scheduler {
+ public:
+  explicit FixedScheduler(sim::SlotDecision decision)
+      : decision_(std::move(decision)) {}
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState&) override {
+    return decision_;
+  }
+
+ private:
+  sim::SlotDecision decision_;
+};
+
+workload::Trace uniform_trace(const device::ClusterSpec& cluster, int slots,
+                              std::int64_t per_cell) {
+  workload::Trace trace(slots, cluster.num_apps(), cluster.num_devices());
+  for (int t = 0; t < slots; ++t) {
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        trace.set(t, i, k, per_cell);
+      }
+    }
+  }
+  return trace;
+}
+
+ServeItem item_at(int app, double avail, std::int64_t seq = 0) {
+  ServeItem item;
+  item.app = app;
+  item.seq = seq;
+  item.arrival_s = avail;
+  item.available_s = avail;
+  return item;
+}
+
+// ------------------------------------------------------------ seal_batch ----
+
+TEST(SealBatch, FullBatchLaunchesAtLastMember) {
+  const std::vector<double> avails{0.1, 0.2, 0.3};
+  const auto seal = seal_batch(avails, 3, 0.0, 1.0, true);
+  EXPECT_EQ(seal.count, 3);
+  EXPECT_FALSE(seal.timed_out);
+  EXPECT_DOUBLE_EQ(seal.formation_end_s, 0.3);
+  EXPECT_DOUBLE_EQ(seal.start_s, 0.3);
+}
+
+TEST(SealBatch, BusyAcceleratorExtendsTheWindow) {
+  // The accelerator frees at t=6; a request ready at t=5 still joins even
+  // though the timeout alone would have sealed the batch at t=0.1.
+  const std::vector<double> avails{0.0, 5.0};
+  const auto seal = seal_batch(avails, 2, 6.0, 0.1, true);
+  EXPECT_EQ(seal.count, 2);
+  EXPECT_DOUBLE_EQ(seal.start_s, 6.0);
+}
+
+TEST(SealBatch, TimeoutSealsPartialBatch) {
+  const std::vector<double> avails{0.25};
+  const auto seal = seal_batch(avails, 4, 0.0, 0.5, true);
+  EXPECT_EQ(seal.count, 1);
+  EXPECT_TRUE(seal.timed_out);
+  EXPECT_DOUBLE_EQ(seal.start_s, 0.75);         // deadline = 0.25 + 0.5
+  EXPECT_DOUBLE_EQ(seal.formation_end_s, 0.75);
+}
+
+TEST(SealBatch, ExhaustedStreamLaunchesImmediately) {
+  const std::vector<double> avails{0.25};
+  const auto seal = seal_batch(avails, 4, 0.0, 0.5, false);
+  EXPECT_EQ(seal.count, 1);
+  EXPECT_FALSE(seal.timed_out);
+  EXPECT_DOUBLE_EQ(seal.start_s, 0.25);
+}
+
+TEST(SealBatch, NegativeWaitMeansWaitForFullBatch) {
+  const std::vector<double> avails{0.0, 9.0};
+  const auto seal = seal_batch(avails, 2, 0.0, -1.0, true);
+  EXPECT_EQ(seal.count, 2);
+  EXPECT_DOUBLE_EQ(seal.start_s, 9.0);
+}
+
+TEST(SealBatch, ConsidersAtMostNeedMembers) {
+  const std::vector<double> avails{0.1, 0.2, 0.3, 0.4};
+  const auto seal = seal_batch(avails, 2, 0.0, 1.0, true);
+  EXPECT_EQ(seal.count, 2);
+  EXPECT_DOUBLE_EQ(seal.formation_end_s, 0.2);
+}
+
+// -------------------------------------------------------- AdmissionQueue ----
+
+TEST(AdmissionQueue, UnboundedAdmitsEverything) {
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(1, 0.1, 0),
+                                item_at(0, 0.2, 1)};
+  AdmissionQueue queue(2, stream, 0, QueuePolicy::kRejectNewest);
+  queue.fill(0, 2);
+  EXPECT_EQ(queue.waiting(0).size(), 2u);
+  EXPECT_EQ(queue.waiting(1).size(), 1u);  // admitted chronologically en route
+  EXPECT_TRUE(queue.dropped().empty());
+  EXPECT_EQ(queue.upstream(0), 0);
+}
+
+TEST(AdmissionQueue, RejectNewestBouncesArrivalWhenFull) {
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1),
+                                item_at(0, 0.2, 2)};
+  AdmissionQueue queue(1, stream, 2, QueuePolicy::kRejectNewest);
+  queue.fill(0, 3);
+  EXPECT_EQ(queue.waiting(0).size(), 2u);
+  ASSERT_EQ(queue.dropped().size(), 1u);
+  EXPECT_EQ(queue.dropped().front().seq, 2);  // the arriving request bounced
+}
+
+TEST(AdmissionQueue, EvictOldestKeepsTheArrival) {
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1),
+                                item_at(0, 0.2, 2)};
+  AdmissionQueue queue(1, stream, 2, QueuePolicy::kEvictOldest);
+  queue.fill(0, 3);
+  ASSERT_EQ(queue.waiting(0).size(), 2u);
+  EXPECT_EQ(queue.waiting(0).front().seq, 1);  // seq 0 was evicted
+  ASSERT_EQ(queue.dropped().size(), 1u);
+  EXPECT_EQ(queue.dropped().front().seq, 0);
+}
+
+TEST(AdmissionQueue, DispatchFreesCapacityAtLaunchStart) {
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 1.0, 1)};
+  AdmissionQueue queue(1, stream, 1, QueuePolicy::kRejectNewest);
+  queue.fill(0, 1);
+  const auto batch = queue.take(0, 1);
+  ASSERT_EQ(batch.size(), 1u);
+  queue.on_dispatch(0.5, batch.size());  // leaves the buffer at t=0.5
+  queue.fill(0, 1);                      // arrival at t=1.0 sees a free slot
+  EXPECT_EQ(queue.waiting(0).size(), 1u);
+  EXPECT_TRUE(queue.dropped().empty());
+}
+
+TEST(AdmissionQueue, SealedButNotYetLaunchedStillHoldsCapacity) {
+  // The launch starts at t=0.5, after the second arrival at t=0.2: at that
+  // arrival's admission instant the buffer is still occupied.
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.2, 1)};
+  AdmissionQueue queue(1, stream, 1, QueuePolicy::kRejectNewest);
+  queue.fill(0, 1);
+  const auto batch = queue.take(0, 1);
+  queue.on_dispatch(0.5, batch.size());
+  queue.fill(0, 1);
+  EXPECT_TRUE(queue.waiting(0).empty());
+  ASSERT_EQ(queue.dropped().size(), 1u);
+  EXPECT_EQ(queue.dropped().front().seq, 1);
+}
+
+TEST(AdmissionQueue, FillUntilRespectsThreshold) {
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.9, 1)};
+  AdmissionQueue queue(1, stream, 0, QueuePolicy::kRejectNewest);
+  queue.fill_until(0, 2, 0.5);
+  EXPECT_EQ(queue.waiting(0).size(), 1u);  // t=0.9 stays upstream
+  EXPECT_EQ(queue.upstream(0), 1);
+  const auto rest = queue.drain_unprocessed();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest.front().seq, 1);
+}
+
+TEST(AdmissionQueue, DepthStatsTrackBufferedRequests) {
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1)};
+  AdmissionQueue queue(1, stream, 0, QueuePolicy::kRejectNewest);
+  queue.fill(0, 2);
+  EXPECT_EQ(queue.depth_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(queue.depth_stats().max(), 2.0);
+}
+
+// ----------------------------------------------------------- ServeEngine ----
+
+class ServeEngineFixture : public ::testing::Test {
+ protected:
+  ServeEngineFixture() : cluster_(small_cluster()) {}
+  device::ClusterSpec cluster_;
+};
+
+TEST_F(ServeEngineFixture, EveryArrivalResolvesExactlyOnce) {
+  const auto trace = uniform_trace(cluster_, 2, 12);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.keep_records = true;
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  metrics::RunMetrics metrics;
+  for (int t = 0; t < trace.slots(); ++t) {
+    const auto result = engine.step(scheduler, &metrics);
+    EXPECT_EQ(result.served + result.planned_drops + result.queue_drops,
+              trace.slot_total(t));
+    EXPECT_EQ(static_cast<std::int64_t>(result.records.size()),
+              trace.slot_total(t));
+  }
+  EXPECT_EQ(metrics.total_requests(), trace.total());
+}
+
+TEST_F(ServeEngineFixture, BitIdenticalAcrossThreadCounts) {
+  const auto trace = uniform_trace(cluster_, 4, 12);
+  ServeConfig one;
+  one.threads = 1;
+  ServeConfig many;
+  many.threads = 8;
+  LocalGreedyScheduler s1(cluster_);
+  LocalGreedyScheduler s2(cluster_);
+  const auto m1 = ServeEngine(cluster_, trace, one).run(s1);
+  const auto m2 = ServeEngine(cluster_, trace, many).run(s2);
+  EXPECT_EQ(m1.total_requests(), m2.total_requests());
+  EXPECT_EQ(m1.slo_failures(), m2.slo_failures());
+  EXPECT_EQ(m1.dropped(), m2.dropped());
+  EXPECT_EQ(m1.queue_dropped(), m2.queue_dropped());
+  EXPECT_DOUBLE_EQ(m1.total_loss(), m2.total_loss());
+  EXPECT_DOUBLE_EQ(m1.total_energy_j(), m2.total_energy_j());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(m1.latency_quantile(q), m2.latency_quantile(q));
+    EXPECT_DOUBLE_EQ(m1.queue_wait().quantile(q), m2.queue_wait().quantile(q));
+    EXPECT_DOUBLE_EQ(m1.exec_latency().quantile(q),
+                     m2.exec_latency().quantile(q));
+  }
+  EXPECT_EQ(m1.queue_depth().count(), m2.queue_depth().count());
+  EXPECT_DOUBLE_EQ(m1.queue_depth().mean(), m2.queue_depth().mean());
+  EXPECT_DOUBLE_EQ(m1.queue_depth().max(), m2.queue_depth().max());
+}
+
+TEST_F(ServeEngineFixture, CountsMatchSlotSimulatorWithoutNoise) {
+  // Same scheduler, same demand, zero noise, ample queue: the request-level
+  // engine must agree with the slot simulator on what got served/dropped.
+  const auto trace = uniform_trace(cluster_, 3, 20);  // greedy drops 4/cell
+  sim::SimulatorConfig sim_config;
+  sim_config.noise_sigma = 0.0;
+  LocalGreedyScheduler sim_sched(cluster_);
+  const auto sim_metrics =
+      sim::Simulator(cluster_, trace, sim_config).run(sim_sched);
+
+  ServeConfig serve_config;
+  serve_config.noise_sigma = 0.0;
+  LocalGreedyScheduler serve_sched(cluster_);
+  const auto serve_metrics =
+      ServeEngine(cluster_, trace, serve_config).run(serve_sched);
+
+  EXPECT_EQ(serve_metrics.total_requests(), sim_metrics.total_requests());
+  EXPECT_EQ(serve_metrics.dropped(), sim_metrics.dropped());
+  EXPECT_EQ(serve_metrics.total_requests() - serve_metrics.dropped(),
+            sim_metrics.total_requests() - sim_metrics.dropped());
+  EXPECT_EQ(serve_metrics.queue_dropped(), 0);
+}
+
+TEST_F(ServeEngineFixture, BackpressureDropsAccountedExactlyOnce) {
+  const auto trace = uniform_trace(cluster_, 2, 20);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.queue_capacity = 2;  // far below the 16-deep batches greedy wants
+  config.keep_records = true;
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  metrics::RunMetrics metrics;
+  std::int64_t served = 0;
+  std::int64_t queue_drops = 0;
+  std::int64_t planned = 0;
+  std::int64_t late_served = 0;
+  while (engine.current_slot() < trace.slots()) {
+    const auto result = engine.step(scheduler, &metrics);
+    served += result.served;
+    queue_drops += result.queue_drops;
+    planned += result.planned_drops;
+    for (const auto& record : result.records) {
+      if (record.outcome == Outcome::kServed && !record.met_slo) ++late_served;
+    }
+  }
+  ASSERT_GT(queue_drops, 0);
+  // Each arrival lands in exactly one bucket.
+  EXPECT_EQ(served + queue_drops + planned, trace.total());
+  EXPECT_EQ(metrics.total_requests(), trace.total());
+  // A queue drop is a drop and an SLO failure — never double-counted.
+  EXPECT_EQ(metrics.queue_dropped(), queue_drops);
+  EXPECT_EQ(metrics.dropped(), queue_drops + planned);
+  EXPECT_EQ(metrics.slo_failures(), late_served + queue_drops + planned);
+  EXPECT_EQ(metrics.completion().count(), static_cast<std::size_t>(served));
+}
+
+TEST_F(ServeEngineFixture, EvictOldestIsAccountedLikeRejectNewest) {
+  const auto trace = uniform_trace(cluster_, 1, 20);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.queue_capacity = 2;
+  config.queue_policy = QueuePolicy::kEvictOldest;
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  metrics::RunMetrics metrics;
+  const auto result = engine.step(scheduler, &metrics);
+  EXPECT_EQ(result.served + result.planned_drops + result.queue_drops,
+            trace.slot_total(0));
+  EXPECT_EQ(metrics.dropped(), result.planned_drops + result.queue_drops);
+}
+
+TEST_F(ServeEngineFixture, NoiseFreeObservationsMatchGroundTruthTir) {
+  const auto trace = uniform_trace(cluster_, 1, 6);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.max_batch_wait_fraction = -1.0;  // full batches only
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  const auto result = engine.step(scheduler);
+  ASSERT_FALSE(result.feedback.observations.empty());
+  for (const auto& obs : result.feedback.observations) {
+    const auto& truth = cluster_.truth().tir(obs.device, obs.app, obs.variant);
+    EXPECT_NEAR(obs.observed_tir, truth.tir(obs.batch), 1e-9);
+  }
+}
+
+TEST_F(ServeEngineFixture, RedistributedRequestsWaitForTransfer) {
+  // All of edge 0's demand is served at edge 1; requests cannot start
+  // before the wireless stream delivers them.
+  workload::Trace trace(1, cluster_.num_apps(), cluster_.num_devices());
+  trace.set(0, 0, 0, 8);
+  sim::SlotDecision decision(cluster_.num_apps(), cluster_.zoo().max_variants(),
+                             cluster_.num_devices());
+  decision.served(0, 0, 1) = 8;
+  decision.kernel(0, 0, 1) = 8;
+  decision.flows.push_back({0, 0, 1, 8});
+  FixedScheduler scheduler(decision);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.max_batch_wait_fraction = -1.0;
+  config.keep_records = true;
+  ServeEngine engine(cluster_, trace, config);
+  const auto result = engine.step(scheduler);
+  ASSERT_EQ(result.served, 8);
+  for (const auto& record : result.records) {
+    if (record.outcome != Outcome::kServed) continue;
+    EXPECT_EQ(record.served_on, 1);
+    EXPECT_GE(record.item.available_s, record.item.arrival_s);
+    EXPECT_GE(record.start_s + 1e-12, record.item.available_s);
+  }
+}
+
+TEST_F(ServeEngineFixture, PartialBatchTimeoutBoundsFormationWait) {
+  const auto trace = uniform_trace(cluster_, 1, 10);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.max_batch_wait_fraction = 0.02;
+  config.keep_records = true;
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  const auto result = engine.step(scheduler);
+  const double max_wait_s = 0.02 * cluster_.tau_s();
+  for (const auto& record : result.records) {
+    if (record.outcome != Outcome::kServed) continue;
+    // No request waits in formation much longer than the timeout: the batch
+    // seals at the latest max_wait after its oldest member became ready.
+    EXPECT_LE(record.queue_wait_s(), max_wait_s + 1e-9);
+  }
+}
+
+TEST_F(ServeEngineFixture, SeedChangesArrivalPattern) {
+  const auto trace = uniform_trace(cluster_, 2, 10);
+  ServeConfig a;
+  a.noise_sigma = 0.0;
+  a.seed = 1;
+  ServeConfig b;
+  b.noise_sigma = 0.0;
+  b.seed = 2;
+  LocalGreedyScheduler s1(cluster_);
+  LocalGreedyScheduler s2(cluster_);
+  const auto m1 = ServeEngine(cluster_, trace, a).run(s1);
+  const auto m2 = ServeEngine(cluster_, trace, b).run(s2);
+  EXPECT_NE(m1.latency_quantile(0.5), m2.latency_quantile(0.5));
+}
+
+TEST_F(ServeEngineFixture, RunHonorsMaxSlots) {
+  const auto trace = uniform_trace(cluster_, 6, 3);
+  ServeEngine engine(cluster_, trace);
+  LocalGreedyScheduler scheduler(cluster_);
+  const auto metrics = engine.run(scheduler, 2);
+  EXPECT_EQ(metrics.slot_loss().size(), 2u);
+  EXPECT_EQ(engine.current_slot(), 2);
+}
+
+TEST_F(ServeEngineFixture, StepBeyondHorizonThrows) {
+  const auto trace = uniform_trace(cluster_, 1, 1);
+  ServeEngine engine(cluster_, trace);
+  LocalGreedyScheduler scheduler(cluster_);
+  engine.step(scheduler);
+  EXPECT_THROW(engine.step(scheduler), std::logic_error);
+}
+
+TEST_F(ServeEngineFixture, MismatchedTraceRejected) {
+  workload::Trace trace(1, cluster_.num_apps() + 1, cluster_.num_devices());
+  EXPECT_THROW(ServeEngine(cluster_, trace), std::logic_error);
+}
+
+TEST_F(ServeEngineFixture, LatencyPercentilesAndDepthStatsPopulated) {
+  const auto trace = uniform_trace(cluster_, 3, 8);
+  ServeEngine engine(cluster_, trace);
+  LocalGreedyScheduler scheduler(cluster_);
+  const auto metrics = engine.run(scheduler);
+  EXPECT_GT(metrics.latency_quantile(0.5), 0.0);
+  EXPECT_LE(metrics.latency_quantile(0.5), metrics.latency_quantile(0.95));
+  EXPECT_LE(metrics.latency_quantile(0.95), metrics.latency_quantile(0.99));
+  EXPECT_GT(metrics.queue_depth().count(), 0u);
+  EXPECT_GT(metrics.exec_latency().count(), 0u);
+}
+
+}  // namespace
+}  // namespace birp::serve

@@ -482,6 +482,49 @@ TEST_F(SimulatorFixture, CarryoverAgedRequestsFailForGood) {
   EXPECT_GT(metrics.dropped(), 0);
 }
 
+TEST_F(SimulatorFixture, CarryoverReentersDemandExactlyOnce) {
+  // A scheduler that serves nothing, spying on the demand it is offered.
+  class DemandSpy : public Scheduler {
+   public:
+    explicit DemandSpy(const device::ClusterSpec& cluster)
+        : cluster_(cluster) {}
+    [[nodiscard]] std::string name() const override { return "spy"; }
+    [[nodiscard]] SlotDecision decide(const SlotState& state) override {
+      std::int64_t total = 0;
+      for (int i = 0; i < cluster_.num_apps(); ++i) {
+        for (int k = 0; k < cluster_.num_devices(); ++k) {
+          total += state.demand(i, k);
+        }
+      }
+      demands.push_back(total);
+      return SlotDecision(cluster_.num_apps(), cluster_.zoo().max_variants(),
+                          cluster_.num_devices());
+    }
+    std::vector<std::int64_t> demands;
+
+   private:
+    const device::ClusterSpec& cluster_;
+  };
+
+  // Demand only in slot 0; nothing is ever served. Deferred requests must
+  // re-enter the demand exactly once (slot 1) and fail for good on the
+  // second miss — slot 2 sees zero demand.
+  workload::Trace trace(3, 1, cluster_.num_devices());
+  for (int k = 0; k < cluster_.num_devices(); ++k) trace.set(0, 0, k, 7);
+  SimulatorConfig config;
+  config.noise_sigma = 0.0;
+  config.carryover_unserved = true;
+  DemandSpy scheduler(cluster_);
+  const auto metrics = Simulator(cluster_, trace, config).run(scheduler);
+  const std::int64_t total = 7 * cluster_.num_devices();
+  ASSERT_EQ(scheduler.demands.size(), 3u);
+  EXPECT_EQ(scheduler.demands[0], total);
+  EXPECT_EQ(scheduler.demands[1], total);  // deferred once
+  EXPECT_EQ(scheduler.demands[2], 0);      // failed for good, no re-entry
+  EXPECT_EQ(metrics.dropped(), total);     // each request fails exactly once
+  EXPECT_EQ(metrics.total_requests(), trace.total());
+}
+
 TEST_F(SimulatorFixture, MismatchedTraceRejected) {
   workload::Trace trace(1, 2, 2);  // wrong apps/devices
   EXPECT_THROW(Simulator(cluster_, trace), std::logic_error);
