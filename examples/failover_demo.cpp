@@ -1,0 +1,76 @@
+// Fault injection and failover in a nutshell: crash one edge mid-run and
+// watch BIRP reroute around it — first with orphans failing terminally,
+// then with failover re-admitting them at the surviving edges.
+//
+//   ./examples/failover_demo
+#include <iostream>
+#include <sstream>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/fault/fault_plan.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/util/table.hpp"
+#include "birp/workload/generator.hpp"
+
+int main() {
+  const auto cluster = birp::device::ClusterSpec::paper_small();
+
+  birp::workload::GeneratorConfig trace_config;
+  trace_config.slots = 60;
+  trace_config.mean_per_edge =
+      birp::workload::suggested_mean_per_edge(cluster, 0.6);
+  const auto trace = birp::workload::generate(cluster, trace_config);
+
+  // Edge 1 goes dark for slots [15, 30). Everything routed there in that
+  // window — local arrivals, imports in transit — is orphaned.
+  const auto plan = birp::fault::FaultPlan::single_edge_crash(1, 15, 30);
+
+  // Plans are pure data and round-trip through CSV, so scenarios can be
+  // authored in a spreadsheet and replayed bit-for-bit.
+  std::ostringstream csv;
+  plan.write_csv(csv);
+  std::cout << "fault plan (CSV form):\n" << csv.str() << '\n';
+
+  const auto run = [&](bool failover) {
+    birp::sim::SimulatorConfig config;
+    config.fault_plan = plan;
+    config.failover.enabled = failover;
+    config.failover.retry_budget = 1;
+    birp::core::BirpScheduler scheduler(cluster);
+    birp::sim::Simulator simulator(cluster, trace, config);
+    return simulator.run(scheduler);
+  };
+  const auto terminal = run(false);
+  const auto readmit = run(true);
+
+  birp::util::TextTable table(
+      {"metric", "orphans terminal", "failover (budget 1)"});
+  const auto row = [&](const std::string& name, auto get) {
+    table.add_row({name, get(terminal), get(readmit)});
+  };
+  row("SLO failure p%", [](const birp::metrics::RunMetrics& m) {
+    return birp::util::fixed(m.failure_percent(), 2);
+  });
+  row("orphaned for good", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.orphan_dropped());
+  });
+  row("failover retries", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.retries());
+  });
+  row("total loss", [](const birp::metrics::RunMetrics& m) {
+    return birp::util::fixed(m.total_loss(), 1);
+  });
+  row("availability %", [](const birp::metrics::RunMetrics& m) {
+    return birp::util::fixed(m.availability_percent(), 2);
+  });
+  row("edge 1 downtime (slots)", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.downtime_slots(1));
+  });
+  table.print(std::cout, "single-edge crash, slots [15, 30)");
+
+  std::cout << "\nFailover re-admits the crashed edge's requests at the "
+               "surviving edges next\nslot (one retry each), so far fewer "
+               "requests are lost outright.\n";
+  return 0;
+}

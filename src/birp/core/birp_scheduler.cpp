@@ -47,8 +47,14 @@ sim::SlotDecision BirpScheduler::decide(const sim::SlotState& state) {
     return believed_tir(k, i, j);
   };
 
+  // Graceful degradation: when the heartbeat view reports down edges, the
+  // slot problem is rebuilt with their capacity masked to zero, so the IP
+  // redistributes around the failure instead of planning work it will lose.
+  ProblemOptions options = config_.problem;
+  if (state.any_down()) options.edge_up = state.edge_up;
+
   const BuiltProblem problem = build_slot_problem(
-      cluster_, state.demand, state.previous, lookup, config_.problem);
+      cluster_, state.demand, state.previous, lookup, options);
 
   // The BIRP-aware round-and-repair heuristic seeds branch-and-bound with
   // feasible incumbents, keeping the per-slot solve real-time.
@@ -56,7 +62,7 @@ sim::SlotDecision BirpScheduler::decide(const sim::SlotState& state) {
   solver_options.incumbent_heuristic =
       [&](std::span<const double> lp_values) {
         return heuristic_incumbent(problem, lp_values, cluster_, state.demand,
-                                   state.previous, lookup, config_.problem);
+                                   state.previous, lookup, options);
       };
   const solver::Solution solution =
       solver::solve_milp(problem.model, solver_options);
@@ -87,6 +93,11 @@ sim::SlotDecision BirpScheduler::greedy_fallback(
   sim::SlotDecision decision(I, cluster_.zoo().max_variants(), K);
 
   for (int k = 0; k < K; ++k) {
+    if (!state.is_up(k)) {
+      // Down edge: its region's demand has nowhere to go in fallback mode.
+      for (int i = 0; i < I; ++i) decision.drops(i, k) = state.demand(i, k);
+      continue;
+    }
     double compute_left = cluster_.tau_s();
     double weights_used = 0.0;
     double peak_mu = 0.0;

@@ -18,6 +18,7 @@
 // Objective: Σ loss_{ij} z_{ijk} + Σ penalty_i d_{ik}   (Eq. 10).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -66,6 +67,18 @@ struct ProblemOptions {
   /// When false, exports/imports are pinned to zero — the NO-REDIST
   /// ablation that isolates batching benefit from redistribution benefit.
   bool allow_redistribution = true;
+  /// Edge liveness mask (empty = every edge up). A down edge's serving,
+  /// deployments, exports, and imports are all pinned to zero, so
+  /// conservation forces its whole demand into drops — the capacity → 0
+  /// masking that lets BIRP re-solve around a failed edge.
+  std::vector<std::uint8_t> edge_up;
+
+  /// Liveness of edge k under the "empty means all up" rule.
+  [[nodiscard]] bool is_up(int k) const noexcept {
+    return edge_up.empty() ||
+           (k >= 0 && k < static_cast<int>(edge_up.size()) &&
+            edge_up[static_cast<std::size_t>(k)] != 0);
+  }
 };
 
 /// A built model plus the variable index maps needed to read a solution.

@@ -1,0 +1,106 @@
+#include "birp/fault/failover.hpp"
+
+#include <algorithm>
+
+#include "birp/util/check.hpp"
+
+namespace birp::fault {
+
+FailoverPolicy::FailoverPolicy(const FailoverConfig& config, int apps,
+                               int devices)
+    : config_(config), apps_(apps), devices_(devices) {
+  util::check(apps >= 0 && devices >= 0,
+              "FailoverPolicy: negative dimensions");
+  util::check(config.retry_budget >= 0,
+              "FailoverPolicy: negative retry budget");
+  pending_.assign(static_cast<std::size_t>(config.retry_budget) + 1,
+                  std::vector<std::int64_t>(static_cast<std::size_t>(apps), 0));
+  injected_.assign(static_cast<std::size_t>(config.retry_budget) + 1,
+                   util::Grid2<std::int64_t>(apps, devices));
+  readmit_ = util::Grid2<std::int64_t>(apps, devices);
+}
+
+const util::Grid2<std::int64_t>& FailoverPolicy::begin_slot(
+    int slot, const std::vector<std::uint8_t>& up) {
+  readmit_.fill(0);
+  for (auto& grid : injected_) grid.fill(0);
+  if (!config_.enabled) return readmit_;
+
+  std::vector<int> up_edges;
+  for (int k = 0; k < devices_ && k < static_cast<int>(up.size()); ++k) {
+    if (up[static_cast<std::size_t>(k)] != 0) up_edges.push_back(k);
+  }
+  // Nowhere to go: orphans stay pending until an edge recovers (they are
+  // flushed as drops at the horizon if none ever does).
+  if (up_edges.empty()) return readmit_;
+
+  const auto n_up = static_cast<std::int64_t>(up_edges.size());
+  for (std::size_t a = 1; a < pending_.size(); ++a) {
+    for (int i = 0; i < apps_; ++i) {
+      const std::int64_t count = pending_[a][static_cast<std::size_t>(i)];
+      if (count == 0) continue;
+      pending_[a][static_cast<std::size_t>(i)] = 0;
+      const std::int64_t base = count / n_up;
+      const std::int64_t extra = count % n_up;
+      const std::int64_t start = (static_cast<std::int64_t>(slot) + i) % n_up;
+      for (std::int64_t j = 0; j < n_up; ++j) {
+        const int k = up_edges[static_cast<std::size_t>((start + j) % n_up)];
+        const std::int64_t share = base + (j < extra ? 1 : 0);
+        if (share == 0) continue;
+        injected_[a](i, k) += share;
+        readmit_(i, k) += share;
+      }
+      total_retries_ += count;
+    }
+  }
+  return readmit_;
+}
+
+FailoverPolicy::OrphanOutcome FailoverPolicy::on_orphans(int app, int edge,
+                                                         std::int64_t count) {
+  util::check(count >= 0, "FailoverPolicy: negative orphan count");
+  if (count == 0) return {};
+  if (!config_.enabled) return {.retried = 0, .dropped = count};
+  util::check(app >= 0 && app < apps_ && edge >= 0 && edge < devices_,
+              "FailoverPolicy: orphan index out of range");
+
+  OrphanOutcome outcome;
+  std::int64_t remaining = count;
+  // Pessimistic attribution: charge the highest-attempt cohort first so no
+  // request can be re-admitted more than retry_budget times.
+  for (std::size_t a = injected_.size(); a-- > 1 && remaining > 0;) {
+    const std::int64_t take = std::min(remaining, injected_[a](app, edge));
+    if (take == 0) continue;
+    injected_[a](app, edge) -= take;
+    remaining -= take;
+    if (static_cast<int>(a) + 1 <= config_.retry_budget) {
+      pending_[a + 1][static_cast<std::size_t>(app)] += take;
+      outcome.retried += take;
+    } else {
+      outcome.dropped += take;
+    }
+  }
+  // The rest are fresh demand on their first failure.
+  if (remaining > 0) {
+    if (config_.retry_budget >= 1) {
+      pending_[1][static_cast<std::size_t>(app)] += remaining;
+      outcome.retried += remaining;
+    } else {
+      outcome.dropped += remaining;
+    }
+  }
+  return outcome;
+}
+
+std::int64_t FailoverPolicy::drain_pending() {
+  std::int64_t total = 0;
+  for (auto& level : pending_) {
+    for (auto& count : level) {
+      total += count;
+      count = 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace birp::fault

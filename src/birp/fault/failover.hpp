@@ -1,0 +1,79 @@
+// Failover re-admission of orphaned requests after edge failures.
+//
+// When an edge goes down mid-horizon, every request that was routed to it —
+// buffered locally, in transit from a peer, or newly arrived in its region —
+// is *orphaned*: the runtime can no longer serve it where the scheduler put
+// it. FailoverPolicy decides what happens next. With failover disabled the
+// orphans are terminal drops (charged the worst-model loss plus an SLO
+// failure, like any other drop). With failover enabled each orphan is
+// re-admitted into the next slot's demand at a surviving edge, at most
+// `retry_budget` times; a request whose re-admission target fails again past
+// the budget is dropped.
+//
+// Bookkeeping mirrors the simulator's carryover mode: re-admitted cohorts are
+// tracked per attempt level, and when orphans occur at an (app, edge) cell
+// they are attributed to the highest-attempt cohort first (pessimistic —
+// never lets a request exceed the budget). Distribution across survivors is
+// deterministic: a round-robin split whose starting edge rotates with
+// (slot + app), so repeated failures do not pile every retry on one edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "birp/util/grid.hpp"
+
+namespace birp::fault {
+
+struct FailoverConfig {
+  /// Disabled: orphans are terminal drops.
+  bool enabled = false;
+  /// Maximum re-admissions per request before it is dropped.
+  int retry_budget = 1;
+};
+
+class FailoverPolicy {
+ public:
+  FailoverPolicy() = default;
+  FailoverPolicy(const FailoverConfig& config, int apps, int devices);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+  /// Starts a slot: distributes pending orphans across the edges that are up
+  /// this slot and returns the per-(app, edge) counts to add to the slot's
+  /// demand. If no edge is up the orphans stay pending. The returned
+  /// reference is valid until the next begin_slot call.
+  const util::Grid2<std::int64_t>& begin_slot(
+      int slot, const std::vector<std::uint8_t>& up);
+
+  struct OrphanOutcome {
+    std::int64_t retried = 0;  ///< queued for re-admission next slot
+    std::int64_t dropped = 0;  ///< retry budget exhausted (or disabled)
+  };
+
+  /// Reports `count` orphaned requests of app `app` at edge `edge` in the
+  /// current slot. Splits them into retried vs terminally dropped.
+  OrphanOutcome on_orphans(int app, int edge, std::int64_t count);
+
+  /// Flushes requests still awaiting re-admission (end of horizon); returns
+  /// how many were pending. They become terminal drops at the caller.
+  std::int64_t drain_pending();
+
+  /// Cumulative re-admissions injected into demand so far.
+  [[nodiscard]] std::int64_t total_retries() const noexcept {
+    return total_retries_;
+  }
+
+ private:
+  FailoverConfig config_;
+  int apps_ = 0;
+  int devices_ = 0;
+  /// pending_[a][i]: app-i requests awaiting their a-th re-admission.
+  std::vector<std::vector<std::int64_t>> pending_;
+  /// injected_[a]: cohort currently in demand on its a-th re-admission.
+  std::vector<util::Grid2<std::int64_t>> injected_;
+  util::Grid2<std::int64_t> readmit_;
+  std::int64_t total_retries_ = 0;
+};
+
+}  // namespace birp::fault

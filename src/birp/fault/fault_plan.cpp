@@ -1,0 +1,227 @@
+#include "birp/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "birp/util/check.hpp"
+#include "birp/util/csv.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::fault {
+namespace {
+
+constexpr double kMinBandwidthFloor = 0.01;
+
+bool covers(const FaultEvent& e, int device, int slot) noexcept {
+  return e.device == device && slot >= e.from_slot && slot < e.to_slot;
+}
+
+FaultKind kind_from_string(std::string_view text) {
+  if (text == "down") return FaultKind::kDown;
+  if (text == "bandwidth") return FaultKind::kBandwidth;
+  if (text == "straggler") return FaultKind::kStraggler;
+  util::check(false, "FaultPlan: unknown fault kind in CSV");
+  return FaultKind::kDown;
+}
+
+int parse_int(const std::string& field) {
+  int value = 0;
+  const auto* end = field.data() + field.size();
+  const auto result = std::from_chars(field.data(), end, value);
+  util::check(result.ec == std::errc{} && result.ptr == end,
+              "FaultPlan: malformed integer field in CSV");
+  return value;
+}
+
+double parse_double(const std::string& field) {
+  std::istringstream in(field);
+  double value = 0.0;
+  in >> value;
+  util::check(!in.fail(), "FaultPlan: malformed numeric field in CSV");
+  return value;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDown:
+      return "down";
+    case FaultKind::kBandwidth:
+      return "bandwidth";
+    case FaultKind::kStraggler:
+      return "straggler";
+  }
+  return "down";
+}
+
+void FaultPlan::add(const FaultEvent& event) {
+  util::check(event.device >= 0, "FaultPlan: negative device index");
+  util::check(event.from_slot >= 0 && event.from_slot < event.to_slot,
+              "FaultPlan: event interval must satisfy 0 <= from < to");
+  switch (event.kind) {
+    case FaultKind::kDown:
+      break;
+    case FaultKind::kBandwidth:
+      util::check(event.factor > 0.0 && event.factor <= 1.0,
+                  "FaultPlan: bandwidth factor must be in (0, 1]");
+      break;
+    case FaultKind::kStraggler:
+      util::check(event.factor >= 1.0,
+                  "FaultPlan: straggler factor must be >= 1");
+      break;
+  }
+  events_.push_back(event);
+}
+
+void FaultPlan::add_down(int device, int from_slot, int to_slot) {
+  add({FaultKind::kDown, device, from_slot, to_slot, 1.0});
+}
+
+void FaultPlan::add_bandwidth(int device, int from_slot, int to_slot,
+                              double factor) {
+  add({FaultKind::kBandwidth, device, from_slot, to_slot, factor});
+}
+
+void FaultPlan::add_straggler(int device, int from_slot, int to_slot,
+                              double factor) {
+  add({FaultKind::kStraggler, device, from_slot, to_slot, factor});
+}
+
+bool FaultPlan::is_down(int device, int slot) const noexcept {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDown && covers(e, device, slot)) return true;
+  }
+  return false;
+}
+
+double FaultPlan::bandwidth_factor(int device, int slot) const noexcept {
+  double factor = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kBandwidth && covers(e, device, slot)) {
+      factor *= e.factor;
+    }
+  }
+  return std::max(factor, kMinBandwidthFloor);
+}
+
+double FaultPlan::straggler_factor(int device, int slot) const noexcept {
+  double factor = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kStraggler && covers(e, device, slot)) {
+      factor *= e.factor;
+    }
+  }
+  return std::max(factor, 1.0);
+}
+
+std::vector<std::uint8_t> FaultPlan::up_mask(int devices, int slot) const {
+  util::check(devices >= 0, "FaultPlan: negative device count");
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(devices), 1);
+  for (int k = 0; k < devices; ++k) {
+    if (is_down(k, slot)) mask[static_cast<std::size_t>(k)] = 0;
+  }
+  return mask;
+}
+
+int FaultPlan::down_slots(int device, int slots) const noexcept {
+  int down = 0;
+  for (int t = 0; t < slots; ++t) {
+    if (is_down(device, t)) ++down;
+  }
+  return down;
+}
+
+FaultPlan FaultPlan::single_edge_crash(int device, int from_slot,
+                                       int to_slot) {
+  FaultPlan plan;
+  plan.add_down(device, from_slot, to_slot);
+  return plan;
+}
+
+FaultPlan FaultPlan::flapping_edge(int device, int from_slot, int horizon,
+                                   int down_slots, int up_slots) {
+  util::check(down_slots > 0 && up_slots > 0,
+              "FaultPlan: flapping periods must be positive");
+  FaultPlan plan;
+  for (int t = from_slot; t < horizon; t += down_slots + up_slots) {
+    plan.add_down(device, t, std::min(t + down_slots, horizon));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::degraded_bandwidth(int device, int from_slot, int to_slot,
+                                        double factor) {
+  FaultPlan plan;
+  plan.add_bandwidth(device, from_slot, to_slot, factor);
+  return plan;
+}
+
+FaultPlan FaultPlan::generate(const FaultPlanOptions& options) {
+  util::check(options.slots >= 0 && options.devices >= 0,
+              "FaultPlan: negative horizon or device count");
+  FaultPlan plan;
+  for (int k = 0; k < options.devices; ++k) {
+    // One independent stream per device so adding a device does not perturb
+    // the others' fault history.
+    util::Xoshiro256StarStar rng(options.seed ^
+                                 (0x9e3779b97f4a7c15ULL *
+                                  (static_cast<std::uint64_t>(k) + 1)));
+    int busy_until = 0;  // no overlapping outages on one device
+    for (int t = 0; t < options.slots; ++t) {
+      if (t >= busy_until && rng.bernoulli(options.crash_rate)) {
+        const int len = static_cast<int>(rng.uniform_int(
+            options.min_outage_slots, options.max_outage_slots));
+        plan.add_down(k, t, std::min(t + len, options.slots));
+        busy_until = t + len;
+      }
+      if (rng.bernoulli(options.degrade_rate)) {
+        const int len = static_cast<int>(rng.uniform_int(
+            options.min_degrade_slots, options.max_degrade_slots));
+        const double factor =
+            rng.uniform(options.min_bandwidth_factor, 1.0);
+        plan.add_bandwidth(k, t, std::min(t + len, options.slots), factor);
+      }
+      if (rng.bernoulli(options.straggler_rate)) {
+        const int len = static_cast<int>(rng.uniform_int(
+            options.min_straggler_slots, options.max_straggler_slots));
+        const double factor =
+            rng.uniform(1.0, options.max_straggler_factor);
+        plan.add_straggler(k, t, std::min(t + len, options.slots), factor);
+      }
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.row({"kind", "device", "from_slot", "to_slot", "factor"});
+  for (const FaultEvent& e : events_) {
+    writer.row({to_string(e.kind), std::to_string(e.device),
+                std::to_string(e.from_slot), std::to_string(e.to_slot),
+                util::format_double(e.factor)});
+  }
+}
+
+FaultPlan FaultPlan::from_csv(std::string_view text) {
+  const auto rows = util::parse_csv(text);
+  util::check(!rows.empty(), "FaultPlan: empty CSV document");
+  FaultPlan plan;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    util::check(row.size() == 5, "FaultPlan: CSV row must have 5 fields");
+    FaultEvent event;
+    event.kind = kind_from_string(row[0]);
+    event.device = parse_int(row[1]);
+    event.from_slot = parse_int(row[2]);
+    event.to_slot = parse_int(row[3]);
+    event.factor = parse_double(row[4]);
+    plan.add(event);
+  }
+  return plan;
+}
+
+}  // namespace birp::fault

@@ -1,0 +1,126 @@
+// Deterministic fault injection for the slotted simulator and the serving
+// runtime.
+//
+// A FaultPlan is a list of timed fault events against edge devices:
+//
+//   * kDown       — the device is offline for [from_slot, to_slot): it serves
+//                   nothing, receives nothing, and every request that was
+//                   destined for it in those slots is orphaned.
+//   * kBandwidth  — the device's uplink/downlink bandwidth is multiplied by
+//                   `factor` in (0, 1] for the interval (degradation).
+//   * kStraggler  — batch completion times on the device are multiplied by
+//                   `factor` >= 1 for the interval (slow node).
+//
+// Plans are pure data: the runtime (sim::Simulator / serve::ServeEngine)
+// applies the observable effects, while schedulers only ever see the
+// consequences (a liveness mask in SlotState, degraded TIR observations,
+// longer busy times). Plans can be authored directly, generated from a seeded
+// config, or round-tripped through CSV, and all queries are deterministic so
+// a fixed (plan, seed) pair reproduces a run bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace birp::fault {
+
+enum class FaultKind {
+  kDown,
+  kBandwidth,
+  kStraggler,
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDown;
+  int device = 0;
+  int from_slot = 0;  ///< inclusive
+  int to_slot = 0;    ///< exclusive
+  /// kBandwidth: multiplier in (0, 1]; kStraggler: multiplier >= 1;
+  /// ignored for kDown.
+  double factor = 1.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Seeded random plan generation: each device independently enters outages,
+/// bandwidth dips, and straggler episodes with per-slot hazard rates.
+struct FaultPlanOptions {
+  int slots = 0;
+  int devices = 0;
+  std::uint64_t seed = 0xfa017;
+  /// Per-slot probability that an idle device starts an outage.
+  double crash_rate = 0.0;
+  int min_outage_slots = 5;
+  int max_outage_slots = 30;
+  /// Per-slot probability that a device starts a bandwidth dip.
+  double degrade_rate = 0.0;
+  double min_bandwidth_factor = 0.25;
+  int min_degrade_slots = 10;
+  int max_degrade_slots = 60;
+  /// Per-slot probability that a device starts a straggler episode.
+  double straggler_rate = 0.0;
+  double max_straggler_factor = 3.0;
+  int min_straggler_slots = 10;
+  int max_straggler_slots = 60;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// True when the plan carries no events; runtimes skip all fault paths.
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Appends an event (validated: device >= 0, from_slot < to_slot, factor
+  /// positive, straggler factor >= 1).
+  void add(const FaultEvent& event);
+  void add_down(int device, int from_slot, int to_slot);
+  void add_bandwidth(int device, int from_slot, int to_slot, double factor);
+  void add_straggler(int device, int from_slot, int to_slot, double factor);
+
+  /// Device is offline during `slot`.
+  [[nodiscard]] bool is_down(int device, int slot) const noexcept;
+  /// Effective bandwidth multiplier at `slot` (overlapping events combine
+  /// multiplicatively, floored at 0.01).
+  [[nodiscard]] double bandwidth_factor(int device, int slot) const noexcept;
+  /// Effective completion-time multiplier at `slot` (overlapping events
+  /// combine multiplicatively, never below 1).
+  [[nodiscard]] double straggler_factor(int device, int slot) const noexcept;
+  /// Liveness mask for one slot: mask[k] == 1 iff device k is up.
+  [[nodiscard]] std::vector<std::uint8_t> up_mask(int devices, int slot) const;
+  /// Total down slots for `device` over [0, slots).
+  [[nodiscard]] int down_slots(int device, int slots) const noexcept;
+
+  /// Canonical scenario: one edge hard-down for [from_slot, to_slot).
+  [[nodiscard]] static FaultPlan single_edge_crash(int device, int from_slot,
+                                                   int to_slot);
+  /// Canonical scenario: edge alternates `down_slots` down / `up_slots` up
+  /// starting at `from_slot` until `horizon`.
+  [[nodiscard]] static FaultPlan flapping_edge(int device, int from_slot,
+                                               int horizon, int down_slots,
+                                               int up_slots);
+  /// Canonical scenario: bandwidth multiplied by `factor` on [from, to).
+  [[nodiscard]] static FaultPlan degraded_bandwidth(int device, int from_slot,
+                                                    int to_slot, double factor);
+  /// Seeded random plan; same options -> same plan.
+  [[nodiscard]] static FaultPlan generate(const FaultPlanOptions& options);
+
+  /// CSV round-trip: header "kind,device,from_slot,to_slot,factor".
+  void write_csv(std::ostream& out) const;
+  [[nodiscard]] static FaultPlan from_csv(std::string_view text);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace birp::fault

@@ -1,5 +1,6 @@
 #include "birp/metrics/report_csv.hpp"
 
+#include <array>
 #include <ostream>
 
 #include "birp/util/check.hpp"
@@ -101,9 +102,11 @@ void write_latency_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
     util::check(run.metrics != nullptr, "csv export: null metrics");
     const auto& m = *run.metrics;
     const bool depth_sampled = m.queue_depth().count() > 0;
-    writer.row({run.name, util::format_double(m.latency_quantile(0.5)),
-                util::format_double(m.latency_quantile(0.95)),
-                util::format_double(m.latency_quantile(0.99)),
+    const std::array<double, 3> qs = {0.5, 0.95, 0.99};
+    const std::vector<double> taus = m.latency_quantiles(qs);
+    writer.row({run.name, util::format_double(taus[0]),
+                util::format_double(taus[1]),
+                util::format_double(taus[2]),
                 util::format_double(m.slo_attainment_percent()),
                 std::to_string(m.dropped()),
                 std::to_string(m.queue_dropped()),

@@ -27,6 +27,43 @@ void RunMetrics::record_queue_drop() {
   ++queue_dropped_;
 }
 
+void RunMetrics::record_orphan_drop() {
+  ++total_requests_;
+  ++slo_failures_;
+  ++dropped_;
+  ++orphan_dropped_;
+}
+
+void RunMetrics::record_retries(std::int64_t count) { retries_ += count; }
+
+void RunMetrics::record_edge_slot(int edge, bool up) {
+  if (edge < 0) return;
+  const auto index = static_cast<std::size_t>(edge);
+  if (index >= edge_up_slots_.size()) {
+    edge_up_slots_.resize(index + 1, 0);
+    edge_down_slots_.resize(index + 1, 0);
+  }
+  ++(up ? edge_up_slots_ : edge_down_slots_)[index];
+}
+
+std::int64_t RunMetrics::downtime_slots(int edge) const noexcept {
+  if (edge < 0 || static_cast<std::size_t>(edge) >= edge_down_slots_.size()) {
+    return 0;
+  }
+  return edge_down_slots_[static_cast<std::size_t>(edge)];
+}
+
+double RunMetrics::availability_percent() const noexcept {
+  std::int64_t up = 0;
+  std::int64_t total = 0;
+  for (std::size_t k = 0; k < edge_up_slots_.size(); ++k) {
+    up += edge_up_slots_[k];
+    total += edge_up_slots_[k] + edge_down_slots_[k];
+  }
+  if (total == 0) return 100.0;
+  return 100.0 * static_cast<double>(up) / static_cast<double>(total);
+}
+
 void RunMetrics::record_request_waits(double queue_wait_tau,
                                       double dispatch_wait_tau,
                                       double exec_tau) {
@@ -43,6 +80,16 @@ void RunMetrics::merge_queue_depth(const util::RunningStats& stats) {
 
 double RunMetrics::latency_quantile(double q) const {
   return completion_.empty() ? 0.0 : completion_.quantile(q);
+}
+
+std::vector<double> RunMetrics::latency_quantiles(
+    std::span<const double> qs) const {
+  std::vector<double> result;
+  result.reserve(qs.size());
+  // Ecdf::quantile sorts once and reads in place afterwards, so the batch
+  // form is one sort for the whole report row.
+  for (const double q : qs) result.push_back(latency_quantile(q));
+  return result;
 }
 
 void RunMetrics::record_slot_loss(double loss) {

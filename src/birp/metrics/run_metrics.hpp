@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "birp/util/ecdf.hpp"
@@ -28,6 +29,17 @@ class RunMetrics {
   /// Counts exactly once as a drop and an SLO failure — a queue drop must
   /// never additionally be recorded through record_dropped().
   void record_queue_drop();
+  /// Records a request terminally lost to an edge failure (orphaned with the
+  /// failover retry budget exhausted, or failover disabled). Counts exactly
+  /// once as a drop and an SLO failure, like record_queue_drop().
+  void record_orphan_drop();
+  /// Records `count` failover re-admissions (requests moved to a surviving
+  /// edge). Retries are bookkeeping, not terminal outcomes: a retried request
+  /// still resolves exactly once via record_request / record_*_drop.
+  void record_retries(std::int64_t count);
+  /// Records one edge's liveness for one slot (per-edge downtime
+  /// attribution and cluster availability).
+  void record_edge_slot(int edge, bool up);
 
   /// Records the wait breakdown of one served request (units of tau):
   /// batch-formation wait, dispatch wait (accelerator contention), and
@@ -71,6 +83,22 @@ class RunMetrics {
   [[nodiscard]] std::int64_t queue_dropped() const noexcept {
     return queue_dropped_;
   }
+  /// Subset of dropped() terminally lost to edge failures.
+  [[nodiscard]] std::int64_t orphan_dropped() const noexcept {
+    return orphan_dropped_;
+  }
+  /// Failover re-admissions performed over the run.
+  [[nodiscard]] std::int64_t retries() const noexcept { return retries_; }
+
+  /// Down slots recorded for `edge` (0 for edges never sampled).
+  [[nodiscard]] std::int64_t downtime_slots(int edge) const noexcept;
+  /// Edges with at least one liveness sample.
+  [[nodiscard]] int sampled_edges() const noexcept {
+    return static_cast<int>(edge_up_slots_.size());
+  }
+  /// Cluster availability: up edge-slots / total edge-slots * 100;
+  /// 100 when no liveness was sampled (fault-free runs).
+  [[nodiscard]] double availability_percent() const noexcept;
 
   /// SLO failure percentage p% = failures / total * 100; 0 when empty.
   [[nodiscard]] double failure_percent() const noexcept;
@@ -82,6 +110,9 @@ class RunMetrics {
   /// q-quantile of the served-request latency distribution (units of tau);
   /// 0 when no request was served. p50/p95/p99 = latency_quantile(.5/.95/.99).
   [[nodiscard]] double latency_quantile(double q) const;
+  /// Batch form: one result per entry of `qs`, in order (one sort pass).
+  [[nodiscard]] std::vector<double> latency_quantiles(
+      std::span<const double> qs) const;
 
   [[nodiscard]] const util::Ecdf& queue_wait() const noexcept {
     return queue_wait_;
@@ -120,6 +151,11 @@ class RunMetrics {
   std::int64_t slo_failures_ = 0;
   std::int64_t dropped_ = 0;
   std::int64_t queue_dropped_ = 0;
+  std::int64_t orphan_dropped_ = 0;
+  std::int64_t retries_ = 0;
+  /// Per-edge (up, down) slot counts; grown on first sample of each edge.
+  std::vector<std::int64_t> edge_up_slots_;
+  std::vector<std::int64_t> edge_down_slots_;
   util::RunningStats edge_busy_;
   util::RunningStats queue_depth_;
   double energy_j_ = 0.0;

@@ -32,11 +32,14 @@ ServeEngine::ServeEngine(const device::ClusterSpec& cluster,
   util::check(trace.devices() == cluster.num_devices(),
               "ServeEngine: trace devices != cluster devices");
   util::check(config_.noise_sigma >= 0.0, "ServeEngine: negative noise");
+  failover_ = fault::FailoverPolicy(config_.failover, cluster.num_apps(),
+                                    cluster.num_devices());
 }
 
 std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
     const std::vector<workload::Arrival>& arrivals,
-    const sim::SlotDecision& decision) const {
+    const sim::SlotDecision& decision,
+    const std::vector<double>& bandwidth_factors) const {
   const int I = cluster_.num_apps();
   const int K = cluster_.num_devices();
 
@@ -108,8 +111,11 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
     for (const auto& item : in) {
       total_mb += cluster_.zoo().app(item.app).request_mb;
     }
+    const double bw_factor =
+        bandwidth_factors.empty() ? 1.0
+                                  : bandwidth_factors[static_cast<std::size_t>(k)];
     const double transfer_total_s =
-        total_mb * 8.0 / cluster_.device(k).bandwidth_mbps;
+        total_mb * 8.0 / (cluster_.device(k).bandwidth_mbps * bw_factor);
     const auto total = static_cast<double>(in.size());
     for (std::size_t q = 0; q < in.size(); ++q) {
       auto& item = in[q];
@@ -145,7 +151,7 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
 
 ServeEngine::EdgeOutcome ServeEngine::execute_edge(
     int k, const sim::SlotDecision& decision, int slot,
-    std::vector<ServeItem> stream) const {
+    std::vector<ServeItem> stream, double straggler_factor) const {
   const double tau = cluster_.tau_s();
   EdgeOutcome outcome;
 
@@ -223,7 +229,9 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
               ? rng.lognormal(-0.5 * config_.noise_sigma * config_.noise_sigma,
                               config_.noise_sigma)
               : 1.0;
-      const double duration_s = clean_s * noise;
+      // Straggler faults stretch the launch; visible downstream as longer
+      // busy time and a depressed observed TIR.
+      const double duration_s = clean_s * noise * straggler_factor;
       const double completion_s = seal.start_s + duration_s;
       outcome.busy_s += duration_s;
       outcome.loss += cluster_.zoo().variant(job.app, job.variant).loss *
@@ -298,8 +306,18 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
   const int K = cluster_.num_devices();
   const double tau = cluster_.tau_s();
 
-  const auto arrivals =
-      workload::slot_arrivals(trace_, t, tau, config_.seed);
+  const int I = cluster_.num_apps();
+  auto arrivals = workload::slot_arrivals(trace_, t, tau, config_.seed);
+
+  // Resolve this slot's fault picture. With an empty plan every branch below
+  // degenerates to the fault-free path.
+  const bool have_faults = !config_.fault_plan.empty();
+  const std::vector<std::uint8_t> up =
+      have_faults ? config_.fault_plan.up_mask(K, t)
+                  : std::vector<std::uint8_t>(static_cast<std::size_t>(K), 1);
+  const auto is_up = [&up](int k) {
+    return up[static_cast<std::size_t>(k)] != 0;
+  };
 
   // Demand is derived from the arrivals (not read from the trace) so the
   // scheduler sees exactly what the request stream contains.
@@ -308,31 +326,114 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
   state.demand =
       util::Grid2<std::int64_t>(cluster_.num_apps(), K, 0);
   for (const auto& a : arrivals) ++state.demand(a.app, a.device);
-  state.previous = previous_.has_value() ? &previous_.value() : nullptr;
 
   SlotServeResult result;
+  if (have_faults) {
+    state.edge_up = up;
+    if (failover_.enabled()) {
+      // Orphans queued by earlier failures re-enter as synthetic arrivals at
+      // surviving edges: available at the slot start (they have been waiting
+      // since their failure), with fresh sequence numbers after the cell's
+      // real arrivals.
+      const auto& readmit = failover_.begin_slot(t, up);
+      for (int i = 0; i < I; ++i) {
+        for (int k = 0; k < K; ++k) {
+          const std::int64_t count = readmit(i, k);
+          if (count == 0) continue;
+          for (std::int64_t r = 0; r < count; ++r) {
+            workload::Arrival a;
+            a.slot = t;
+            a.app = i;
+            a.device = k;
+            a.seq = state.demand(i, k) + r;
+            a.offset_s = 0.0;
+            arrivals.push_back(a);
+          }
+          state.demand(i, k) += count;
+        }
+      }
+    }
+  }
+  state.previous = previous_.has_value() ? &previous_.value() : nullptr;
+
   result.decision = scheduler.decide(state);
   result.repairs = sim::validate_and_repair(cluster_, state.demand,
                                             state.previous, result.decision);
 
-  auto inputs = build_edge_inputs(arrivals, result.decision);
+  std::vector<double> bandwidth_factors;
+  if (have_faults) {
+    bandwidth_factors.resize(static_cast<std::size_t>(K), 1.0);
+    for (int k = 0; k < K; ++k) {
+      bandwidth_factors[static_cast<std::size_t>(k)] =
+          config_.fault_plan.bandwidth_factor(k, t);
+    }
+  }
+  auto inputs = build_edge_inputs(arrivals, result.decision,
+                                  bandwidth_factors);
 
-  // Execute all edges concurrently; outcomes merge deterministically below.
-  std::vector<std::future<EdgeOutcome>> futures;
-  futures.reserve(static_cast<std::size_t>(K));
+  // Orphans: a down edge loses its whole stream (nothing executes there) and
+  // its region's planned drops (the region is dark, not shed); a live edge
+  // loses the imports whose origin died (lost in transit). Attribution is by
+  // origin cell, which is also where failover injects retries.
+  std::vector<std::vector<ServeItem>> orphan_items;
+  if (have_faults) {
+    orphan_items.assign(
+        static_cast<std::size_t>(I) * static_cast<std::size_t>(K), {});
+    const auto cell = [K](int i, int k) {
+      return static_cast<std::size_t>(i) * static_cast<std::size_t>(K) +
+             static_cast<std::size_t>(k);
+    };
+    for (int k = 0; k < K; ++k) {
+      auto& input = inputs[static_cast<std::size_t>(k)];
+      if (!is_up(k)) {
+        for (const auto& item : input.stream) {
+          orphan_items[cell(item.app, item.origin)].push_back(item);
+        }
+        input.stream.clear();
+        for (const auto& item : input.planned_drops) {
+          orphan_items[cell(item.app, item.origin)].push_back(item);
+        }
+        input.planned_drops.clear();
+        continue;
+      }
+      // Live edge: strip imports from dead origins out of the stream.
+      auto dead_origin = [&](const ServeItem& item) {
+        return !is_up(item.origin);
+      };
+      auto it = std::stable_partition(
+          input.stream.begin(), input.stream.end(),
+          [&](const ServeItem& item) { return !dead_origin(item); });
+      for (auto lost = it; lost != input.stream.end(); ++lost) {
+        orphan_items[cell(lost->app, lost->origin)].push_back(*lost);
+      }
+      input.stream.erase(it, input.stream.end());
+    }
+  }
+
+  // Execute the live edges concurrently; outcomes merge deterministically
+  // below. Down edges execute nothing this slot.
+  std::vector<std::future<EdgeOutcome>> futures(static_cast<std::size_t>(K));
   for (int k = 0; k < K; ++k) {
-    futures.push_back(pool_.submit(
-        [this, k, t, &result, &inputs] {
+    if (!is_up(k)) continue;
+    const double straggler =
+        have_faults ? config_.fault_plan.straggler_factor(k, t) : 1.0;
+    futures[static_cast<std::size_t>(k)] =
+        pool_.submit([this, k, t, &result, &inputs, straggler] {
           return execute_edge(
               k, result.decision, t,
-              std::move(inputs[static_cast<std::size_t>(k)].stream));
-        }));
+              std::move(inputs[static_cast<std::size_t>(k)].stream),
+              straggler);
+        });
   }
 
   result.feedback.slot = t;
   result.feedback.busy_s.resize(static_cast<std::size_t>(K), 0.0);
   double slot_loss = 0.0;
   for (int k = 0; k < K; ++k) {
+    if (have_faults && metrics != nullptr) {
+      metrics->record_edge_slot(k, is_up(k));
+    }
+    if (!is_up(k)) continue;  // dead edge: zero busy, no energy, no samples
     EdgeOutcome outcome = futures[static_cast<std::size_t>(k)].get();
     result.feedback.busy_s[static_cast<std::size_t>(k)] = outcome.busy_s;
     result.feedback.observations.insert(result.feedback.observations.end(),
@@ -363,6 +464,10 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
           slot_loss += cluster_.zoo().worst_loss(record.item.app);
           if (metrics != nullptr) metrics->record_dropped();
           break;
+        case Outcome::kOrphaned:
+          // Orphans are resolved below from orphan_items, never inside
+          // execute_edge.
+          break;
       }
     }
     if (metrics != nullptr) {
@@ -392,6 +497,43 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
       }
     }
   }
+
+  // Resolve orphans: the failover policy splits each origin cell's losses
+  // into retries (vanish here, reappear as synthetic arrivals next slot) and
+  // terminal drops (worst-model loss + SLO failure). The oldest requests get
+  // the retry slots.
+  if (have_faults) {
+    for (int i = 0; i < I; ++i) {
+      const double worst = cluster_.zoo().worst_loss(i);
+      for (int k = 0; k < K; ++k) {
+        auto& items = orphan_items[static_cast<std::size_t>(i) *
+                                       static_cast<std::size_t>(K) +
+                                   static_cast<std::size_t>(k)];
+        if (items.empty()) continue;
+        std::sort(items.begin(), items.end(),
+                  [](const ServeItem& a, const ServeItem& b) {
+                    return a.seq < b.seq;
+                  });
+        const auto outcome = failover_.on_orphans(
+            i, k, static_cast<std::int64_t>(items.size()));
+        result.retried += outcome.retried;
+        if (metrics != nullptr) metrics->record_retries(outcome.retried);
+        for (std::size_t r = static_cast<std::size_t>(outcome.retried);
+             r < items.size(); ++r) {
+          ++result.orphaned;
+          ++result.slo_failures;
+          slot_loss += worst;
+          if (metrics != nullptr) metrics->record_orphan_drop();
+          if (config_.keep_records) {
+            RequestRecord record;
+            record.item = items[r];
+            record.outcome = Outcome::kOrphaned;
+            result.records.push_back(record);
+          }
+        }
+      }
+    }
+  }
   result.slot_loss = slot_loss;
   if (metrics != nullptr) metrics->record_slot_loss(slot_loss);
 
@@ -406,6 +548,11 @@ metrics::RunMetrics ServeEngine::run(sim::Scheduler& scheduler, int max_slots) {
                                     : trace_.slots();
   metrics::RunMetrics metrics(horizon);
   while (slot_ < horizon) step(scheduler, &metrics);
+  // Flush failover: orphans still awaiting re-admission at the horizon are
+  // terminal losses.
+  for (std::int64_t d = failover_.drain_pending(); d > 0; --d) {
+    metrics.record_orphan_drop();
+  }
   return metrics;
 }
 

@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "birp/device/cluster.hpp"
+#include "birp/fault/failover.hpp"
+#include "birp/fault/fault_plan.hpp"
 #include "birp/metrics/run_metrics.hpp"
 #include "birp/runtime/thread_pool.hpp"
 #include "birp/serve/queue.hpp"
@@ -66,6 +68,15 @@ struct ServeConfig {
   double max_batch_wait_fraction = 0.05;
   /// Retain per-request records in SlotServeResult (tests / deep dives).
   bool keep_records = false;
+  /// Fault injection: edge outages orphan the requests routed to them,
+  /// bandwidth faults stretch transfer schedules, stragglers stretch
+  /// launches. Empty plan = the fault-free engine, bit for bit.
+  fault::FaultPlan fault_plan;
+  /// Orphan handling: terminal drops (disabled, default) or re-admission as
+  /// fresh arrivals at surviving edges next slot. A re-admitted request's
+  /// sojourn clock restarts at re-admission (its deadline is renewed, like
+  /// the simulator's carryover mode).
+  fault::FailoverConfig failover;
 };
 
 /// Outcome of one served slot.
@@ -77,6 +88,8 @@ struct SlotServeResult {
   std::int64_t served = 0;
   std::int64_t planned_drops = 0;  ///< shed by the decision (worst-model loss)
   std::int64_t queue_drops = 0;    ///< backpressure drops (admission queue)
+  std::int64_t orphaned = 0;       ///< terminal losses to edge failures
+  std::int64_t retried = 0;        ///< orphans re-admitted for next slot
   std::int64_t slo_failures = 0;
   /// All request records in deterministic order; only when keep_records.
   std::vector<RequestRecord> records;
@@ -116,13 +129,16 @@ class ServeEngine {
     double loss = 0.0;  ///< served-request loss only
   };
 
+  /// `bandwidth_factors` scales each edge's wireless bandwidth for the
+  /// transfer schedule (empty = no degradation).
   [[nodiscard]] std::vector<EdgeInput> build_edge_inputs(
       const std::vector<workload::Arrival>& arrivals,
-      const sim::SlotDecision& decision) const;
+      const sim::SlotDecision& decision,
+      const std::vector<double>& bandwidth_factors) const;
 
   [[nodiscard]] EdgeOutcome execute_edge(int k, const sim::SlotDecision& decision,
-                                         int slot,
-                                         std::vector<ServeItem> stream) const;
+                                         int slot, std::vector<ServeItem> stream,
+                                         double straggler_factor) const;
 
   const device::ClusterSpec& cluster_;
   const workload::Trace& trace_;
@@ -130,6 +146,8 @@ class ServeEngine {
   runtime::ThreadPool pool_;
   int slot_ = 0;
   std::optional<sim::SlotDecision> previous_;
+  /// Re-admission of requests orphaned by edge failures.
+  fault::FailoverPolicy failover_;
 };
 
 }  // namespace birp::serve

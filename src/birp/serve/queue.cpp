@@ -58,19 +58,19 @@ void AdmissionQueue::admit_next() {
         // Every buffered request is already sealed into a launch; nothing
         // is evictable, so the arrival bounces after all.
         dropped_.push_back(item);
-        depth_stats_.add(static_cast<double>(depth_));
+        sample_depth();
         return;
       }
     } else {
       dropped_.push_back(item);
-      depth_stats_.add(static_cast<double>(depth_));
+      sample_depth();
       return;
     }
   }
 
   fifos_[static_cast<std::size_t>(item.app)].push_back(item);
   ++depth_;
-  depth_stats_.add(static_cast<double>(depth_));
+  sample_depth();
 }
 
 void AdmissionQueue::fill(int app, std::size_t want) {
@@ -112,7 +112,20 @@ void AdmissionQueue::on_dispatch(double start_s, std::size_t count) {
   departures_.emplace(start_s, static_cast<std::int64_t>(count));
 }
 
+void AdmissionQueue::settle_departures() {
+  // End-of-slot: every registered launch has started, so all deferred
+  // departures release their capacity now. Without this, a drained queue
+  // kept a stale heap and a depth_ still counting requests that left long
+  // ago.
+  while (!departures_.empty()) {
+    depth_ -= departures_.top().second;
+    departures_.pop();
+  }
+  util::check(depth_ >= 0, "AdmissionQueue: departures exceed admissions");
+}
+
 std::vector<ServeItem> AdmissionQueue::drain_unprocessed() {
+  settle_departures();
   std::vector<ServeItem> rest(stream_.begin() +
                                   static_cast<std::ptrdiff_t>(next_),
                               stream_.end());
@@ -124,12 +137,14 @@ std::vector<ServeItem> AdmissionQueue::drain_unprocessed() {
 }
 
 std::vector<ServeItem> AdmissionQueue::drain_waiting() {
+  settle_departures();
   std::vector<ServeItem> rest;
   for (auto& fifo : fifos_) {
     rest.insert(rest.end(), fifo.begin(), fifo.end());
     depth_ -= static_cast<std::int64_t>(fifo.size());
     fifo.clear();
   }
+  util::check(depth_ == 0, "AdmissionQueue: depth inconsistent after drain");
   return rest;
 }
 

@@ -69,19 +69,35 @@ class AdmissionQueue {
     return dropped_;
   }
 
-  /// Depth samples taken after every admission decision.
+  /// Depth samples taken after every admission decision. Every decision path
+  /// (admit, bounce, evict-then-admit) contributes exactly one sample: the
+  /// buffered count after the decision.
   [[nodiscard]] const util::RunningStats& depth_stats() const noexcept {
     return depth_stats_;
   }
 
+  /// Requests currently occupying buffer capacity: admitted-and-waiting plus
+  /// taken-but-not-yet-departed (their launch has not started).
+  [[nodiscard]] std::int64_t depth() const noexcept { return depth_; }
+
   /// Requests never processed (stream leftovers); drains the stream.
+  /// Terminal: settles all pending departures first, so a fully drained
+  /// queue reports depth() == waiting count (0 after drain_waiting too).
   [[nodiscard]] std::vector<ServeItem> drain_unprocessed();
 
-  /// Admitted requests still waiting across all apps.
+  /// Admitted requests still waiting across all apps. Terminal like
+  /// drain_unprocessed(): settles pending departures before removing, so
+  /// depth() drops to exactly the in-flight count released by those
+  /// departures — never stale.
   [[nodiscard]] std::vector<ServeItem> drain_waiting();
 
  private:
   void admit_next();
+  /// Applies every pending departure regardless of time (used by the drains:
+  /// end-of-slot means all registered launches have started).
+  void settle_departures();
+  /// One depth sample per admission decision (shared by all decision paths).
+  void sample_depth() { depth_stats_.add(static_cast<double>(depth_)); }
 
   int apps_;
   std::vector<ServeItem> stream_;

@@ -26,6 +26,7 @@ enum class Outcome {
   kServed,       ///< executed in a batch
   kPlannedDrop,  ///< the slot decision shed this request (no feasible serve)
   kQueueDrop,    ///< rejected/evicted by admission-queue backpressure
+  kOrphaned,     ///< terminally lost to an edge failure (retry budget spent)
 };
 
 /// Full lifecycle of one request within its slot.

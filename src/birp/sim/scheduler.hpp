@@ -2,6 +2,7 @@
 // redistribution algorithm (BIRP, BIRP-OFF, OAEI, MAX, ablations).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,26 @@ struct SlotState {
   /// Previous slot's decision (empty tensors at t = 0): needed for the
   /// model-switch network terms (Eq. 9 / 13 / 14).
   const SlotDecision* previous = nullptr;
+  /// Edge liveness observed at the slot boundary (heartbeat view): edge_up[k]
+  /// == 0 means edge k is down this slot and cannot serve, import, or export.
+  /// Empty means every edge is up (the fault-free default). Schedulers are
+  /// free to ignore it; the runtime orphans work routed to down edges either
+  /// way.
+  std::vector<std::uint8_t> edge_up;
+
+  /// Convenience: liveness of edge k under the "empty means all up" rule.
+  [[nodiscard]] bool is_up(int k) const noexcept {
+    return edge_up.empty() ||
+           (k >= 0 && k < static_cast<int>(edge_up.size()) &&
+            edge_up[static_cast<std::size_t>(k)] != 0);
+  }
+  /// True when at least one edge is marked down.
+  [[nodiscard]] bool any_down() const noexcept {
+    for (const auto up : edge_up) {
+      if (up == 0) return true;
+    }
+    return false;
+  }
 };
 
 /// One TIR measurement the runtime produced by executing a merged batch:

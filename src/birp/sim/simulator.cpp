@@ -35,11 +35,13 @@ Simulator::Simulator(const device::ClusterSpec& cluster,
   util::check(config_.noise_sigma >= 0.0, "Simulator: negative noise");
   carried_ = util::Grid2<std::int64_t>(cluster.num_apps(),
                                        cluster.num_devices(), 0);
+  failover_ = fault::FailoverPolicy(config_.failover, cluster.num_apps(),
+                                    cluster.num_devices());
 }
 
-Simulator::EdgeOutcome Simulator::execute_edge(int k,
-                                               const SlotDecision& decision,
-                                               int slot) const {
+Simulator::EdgeOutcome Simulator::execute_edge(
+    int k, const SlotDecision& decision, int slot,
+    const EdgeFaultEffects& faults) const {
   const double tau = cluster_.tau_s();
   EdgeOutcome outcome;
 
@@ -57,8 +59,17 @@ Simulator::EdgeOutcome Simulator::execute_edge(int k,
   std::vector<double> import_bytes_mb(
       static_cast<std::size_t>(cluster_.num_apps()), 0.0);
   double total_import_mb = 0.0;
+  std::int64_t total_imports = 0;
   for (int i = 0; i < cluster_.num_apps(); ++i) {
-    imports_left[static_cast<std::size_t>(i)] = decision.imports(i, k);
+    // Imports whose origin edge died this slot never arrive: they fill no
+    // batch slots and are billed no transfer time (orphan accounting happens
+    // in step()).
+    const std::int64_t lost =
+        faults.lost_imports.empty()
+            ? 0
+            : faults.lost_imports[static_cast<std::size_t>(i)];
+    imports_left[static_cast<std::size_t>(i)] = decision.imports(i, k) - lost;
+    total_imports += imports_left[static_cast<std::size_t>(i)];
     import_bytes_mb[static_cast<std::size_t>(i)] =
         cluster_.zoo().app(i).request_mb;
     total_import_mb += import_bytes_mb[static_cast<std::size_t>(i)] *
@@ -76,6 +87,19 @@ Simulator::EdgeOutcome Simulator::execute_edge(int k,
     }
   }
 
+  // Lost imports shrink the jobs that would have hosted them (same reverse
+  // order as import attribution below, so exactly the import-backed batch
+  // slots go away).
+  if (!faults.lost_imports.empty()) {
+    auto lost = faults.lost_imports;
+    for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) {
+      auto& left = lost[static_cast<std::size_t>(it->app)];
+      const auto take = std::min(left, it->served);
+      it->served -= take;
+      left -= take;
+    }
+  }
+
   // Attribute imported requests to jobs (later jobs of the same app first so
   // early launches run on local data while transfers are still in flight).
   for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) {
@@ -87,12 +111,10 @@ Simulator::EdgeOutcome Simulator::execute_edge(int k,
 
   // Transfer schedule: imported requests stream over the edge's wireless
   // link back-to-back; request q of Q arrives at (q/Q) * total transfer time.
-  const double bw_mbps = cluster_.device(k).bandwidth_mbps;
+  // Bandwidth-degradation faults stretch the schedule.
+  const double bw_mbps =
+      cluster_.device(k).bandwidth_mbps * faults.bandwidth_factor;
   const double transfer_total_s = total_import_mb * 8.0 / bw_mbps;
-  std::int64_t total_imports = 0;
-  for (int i = 0; i < cluster_.num_apps(); ++i) {
-    total_imports += decision.imports(i, k);
-  }
 
   // Deterministic execution order.
   rng.shuffle(jobs);
@@ -133,7 +155,9 @@ Simulator::EdgeOutcome Simulator::execute_edge(int k,
               ? rng.lognormal(-0.5 * config_.noise_sigma * config_.noise_sigma,
                               config_.noise_sigma)
               : 1.0;
-      const double duration_s = clean_s * noise;
+      // Straggler faults stretch every launch; the slowdown is visible to the
+      // scheduler through longer busy time and a depressed observed TIR.
+      const double duration_s = clean_s * noise * faults.straggler_factor;
 
       const double start_s = std::max(cursor_s, ready_s);
       cursor_s = start_s + duration_s;
@@ -181,6 +205,16 @@ SlotResult Simulator::step(Scheduler& scheduler, metrics::RunMetrics* metrics) {
   const int I = cluster_.num_apps();
   const int K = cluster_.num_devices();
 
+  // Resolve this slot's fault picture. With an empty plan every branch below
+  // degenerates to the fault-free path (all edges up, unit factors).
+  const bool have_faults = !config_.fault_plan.empty();
+  const std::vector<std::uint8_t> up =
+      have_faults ? config_.fault_plan.up_mask(K, t)
+                  : std::vector<std::uint8_t>(static_cast<std::size_t>(K), 1);
+  const auto is_up = [&up](int k) {
+    return up[static_cast<std::size_t>(k)] != 0;
+  };
+
   SlotState state;
   state.slot = t;
   state.demand = util::Grid2<std::int64_t>(I, K, 0);
@@ -190,6 +224,18 @@ SlotResult Simulator::step(Scheduler& scheduler, metrics::RunMetrics* metrics) {
       state.demand(i, k) = trace_.at(t, i, k) + carried_(i, k);
     }
   }
+  if (have_faults) {
+    // Heartbeat view: schedulers learn the liveness mask at the slot
+    // boundary. Fault-free runs keep edge_up empty (all up).
+    state.edge_up = up;
+    if (failover_.enabled()) {
+      // Orphans queued by earlier failures re-enter demand at survivors.
+      const auto& readmit = failover_.begin_slot(t, up);
+      for (int i = 0; i < I; ++i) {
+        for (int k = 0; k < K; ++k) state.demand(i, k) += readmit(i, k);
+      }
+    }
+  }
   state.previous = previous_.has_value() ? &previous_.value() : nullptr;
 
   SlotResult result;
@@ -197,18 +243,43 @@ SlotResult Simulator::step(Scheduler& scheduler, metrics::RunMetrics* metrics) {
   result.repairs = validate_and_repair(cluster_, state.demand,
                                        state.previous, result.decision);
 
-  // Execute all edges concurrently; outcomes merge deterministically below.
-  std::vector<std::future<EdgeOutcome>> futures;
-  futures.reserve(static_cast<std::size_t>(K));
+  // Per-edge fault effects: factors plus imports lost to dead origins.
+  std::vector<EdgeFaultEffects> effects(static_cast<std::size_t>(K));
+  if (have_faults) {
+    for (int k = 0; k < K; ++k) {
+      auto& e = effects[static_cast<std::size_t>(k)];
+      e.bandwidth_factor = config_.fault_plan.bandwidth_factor(k, t);
+      e.straggler_factor = config_.fault_plan.straggler_factor(k, t);
+    }
+    for (const Flow& flow : result.decision.flows) {
+      if (!is_up(flow.from) && is_up(flow.to)) {
+        auto& lost = effects[static_cast<std::size_t>(flow.to)].lost_imports;
+        if (lost.empty()) lost.assign(static_cast<std::size_t>(I), 0);
+        lost[static_cast<std::size_t>(flow.app)] += flow.count;
+      }
+    }
+  }
+
+  // Execute the live edges concurrently; outcomes merge deterministically
+  // below. Down edges execute nothing this slot.
+  std::vector<std::future<EdgeOutcome>> futures(static_cast<std::size_t>(K));
   for (int k = 0; k < K; ++k) {
-    futures.push_back(pool_.submit(
-        [this, k, t, &result] { return execute_edge(k, result.decision, t); }));
+    if (!is_up(k)) continue;
+    futures[static_cast<std::size_t>(k)] = pool_.submit([this, k, t, &result,
+                                                         &effects] {
+      return execute_edge(k, result.decision, t,
+                          effects[static_cast<std::size_t>(k)]);
+    });
   }
 
   result.feedback.slot = t;
   result.feedback.busy_s.resize(static_cast<std::size_t>(K), 0.0);
   double slot_loss = 0.0;
   for (int k = 0; k < K; ++k) {
+    if (have_faults && metrics != nullptr) {
+      metrics->record_edge_slot(k, is_up(k));
+    }
+    if (!is_up(k)) continue;  // dead edge: zero busy, no energy, no samples
     EdgeOutcome outcome = futures[static_cast<std::size_t>(k)].get();
     result.feedback.busy_s[static_cast<std::size_t>(k)] = outcome.busy_s;
     result.feedback.observations.insert(result.feedback.observations.end(),
@@ -230,13 +301,55 @@ SlotResult Simulator::step(Scheduler& scheduler, metrics::RunMetrics* metrics) {
     }
   }
 
+  // Orphans: everything in a dead edge's region this slot (local serving,
+  // exports, planned drops — the radio is down, nothing gets in or out) plus
+  // requests a live edge shipped toward a dead one (lost in transit,
+  // attributed to their origin so failover's retry-budget bookkeeping stays
+  // pessimistic). The failover policy splits them into retries and terminal
+  // drops.
+  if (have_faults) {
+    util::Grid2<std::int64_t> orphans(I, K, 0);
+    for (int i = 0; i < I; ++i) {
+      for (int k = 0; k < K; ++k) {
+        if (!is_up(k)) orphans(i, k) = state.demand(i, k);
+      }
+    }
+    for (const Flow& flow : result.decision.flows) {
+      if (is_up(flow.from) && !is_up(flow.to)) {
+        orphans(flow.app, flow.from) += flow.count;
+      }
+    }
+    for (int i = 0; i < I; ++i) {
+      const double worst = cluster_.zoo().worst_loss(i);
+      for (int k = 0; k < K; ++k) {
+        if (orphans(i, k) == 0) continue;
+        const auto outcome = failover_.on_orphans(i, k, orphans(i, k));
+        result.retried += outcome.retried;
+        result.orphaned += outcome.dropped;
+        result.slo_failures += outcome.dropped;
+        slot_loss += worst * static_cast<double>(outcome.dropped);
+        if (metrics != nullptr) {
+          metrics->record_retries(outcome.retried);
+          for (std::int64_t d = 0; d < outcome.dropped; ++d) {
+            metrics->record_orphan_drop();
+          }
+        }
+        // Carryover mode: a dead edge's deferred requests are orphans now,
+        // not carryover candidates.
+        if (!is_up(k)) carried_(i, k) = 0;
+      }
+    }
+  }
+
   // Dropped requests. Paper semantics: every unserved request fails this
   // slot (worst-model loss, SLO failure). Carryover mode (retry-once
   // extension): fresh unserved requests defer to the next slot with a
-  // renewed deadline; requests already deferred once fail for good.
+  // renewed deadline; requests already deferred once fail for good. Down
+  // edges are excluded: their whole demand was already orphaned above.
   for (int i = 0; i < I; ++i) {
     const double worst = cluster_.zoo().worst_loss(i);
     for (int k = 0; k < K; ++k) {
+      if (!is_up(k)) continue;
       const auto dropped = result.decision.drops(i, k);
       std::int64_t failed = dropped;
       if (config_.carryover_unserved) {
@@ -282,6 +395,11 @@ metrics::RunMetrics Simulator::run(Scheduler& scheduler, int max_slots) {
         carried_(i, k) = 0;
       }
     }
+  }
+  // Flush failover: orphans still awaiting re-admission at the horizon are
+  // terminal losses.
+  for (std::int64_t d = failover_.drain_pending(); d > 0; --d) {
+    metrics.record_orphan_drop();
   }
   return metrics;
 }

@@ -14,6 +14,8 @@
 #include <optional>
 
 #include "birp/device/cluster.hpp"
+#include "birp/fault/failover.hpp"
+#include "birp/fault/fault_plan.hpp"
 #include "birp/metrics/run_metrics.hpp"
 #include "birp/runtime/thread_pool.hpp"
 #include "birp/sim/decision.hpp"
@@ -38,6 +40,13 @@ struct SimulatorConfig {
   /// instead of failing immediately. A request that cannot be served in its
   /// second slot fails for good. Default off (paper semantics).
   bool carryover_unserved = false;
+  /// Fault injection (extension beyond the paper's always-up cluster): timed
+  /// edge outages, bandwidth degradation, and straggler episodes. An empty
+  /// plan leaves every code path bit-identical to the fault-free simulator.
+  fault::FaultPlan fault_plan;
+  /// What happens to requests orphaned by an edge failure: terminal drops
+  /// (disabled, the default) or re-admission at surviving edges next slot.
+  fault::FailoverConfig failover;
 };
 
 /// Outcome of one slot, exposed for tests and fine-grained experiments.
@@ -48,7 +57,9 @@ struct SlotResult {
   double slot_loss = 0.0;
   std::int64_t slo_failures = 0;
   std::int64_t served = 0;
-  std::int64_t dropped = 0;
+  std::int64_t dropped = 0;          ///< scheduler drops charged this slot
+  std::int64_t orphaned = 0;         ///< terminal losses to edge failures
+  std::int64_t retried = 0;          ///< orphans re-admitted for next slot
 };
 
 class Simulator {
@@ -81,8 +92,20 @@ class Simulator {
     double loss = 0.0;
   };
 
+  /// Per-edge fault effects for one slot, resolved from the FaultPlan before
+  /// execution. Defaults describe a healthy edge.
+  struct EdgeFaultEffects {
+    double bandwidth_factor = 1.0;
+    double straggler_factor = 1.0;
+    /// Imports into this edge whose origin edge is down this slot (per app):
+    /// they never arrive, so the batch slots they were meant to fill stay
+    /// empty and no transfer time is billed for them. Empty = none.
+    std::vector<std::int64_t> lost_imports;
+  };
+
   [[nodiscard]] EdgeOutcome execute_edge(int k, const SlotDecision& decision,
-                                         int slot) const;
+                                         int slot,
+                                         const EdgeFaultEffects& faults) const;
 
   const device::ClusterSpec& cluster_;
   const workload::Trace& trace_;
@@ -93,6 +116,8 @@ class Simulator {
   /// Requests deferred from the previous slot (carryover mode): these fail
   /// for good if unserved again.
   util::Grid2<std::int64_t> carried_;
+  /// Re-admission of requests orphaned by edge failures.
+  fault::FailoverPolicy failover_;
 };
 
 }  // namespace birp::sim

@@ -42,7 +42,9 @@ double Ecdf::tail_fraction(double x) const { return 1.0 - cdf(x); }
 double Ecdf::quantile(double q) const {
   check(!samples_.empty(), "quantile of empty ECDF");
   ensure_sorted();
-  return percentile(samples_, q);
+  // samples_ is sorted here; re-sorting through percentile() would copy the
+  // whole sample set on every query.
+  return percentile_sorted(samples_, q);
 }
 
 std::vector<Ecdf::Point> Ecdf::curve(double lo, double hi,

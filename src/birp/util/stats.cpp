@@ -50,17 +50,37 @@ double RunningStats::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
 
 double RunningStats::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
 
-double percentile(std::span<const double> values, double q) {
-  check(!values.empty(), "percentile of empty range");
+double percentile_sorted(std::span<const double> sorted, double q) {
+  check(!sorted.empty(), "percentile of empty range");
   check(q >= 0.0 && q <= 1.0, "percentile quantile must be in [0,1]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
+  // Endpoints exactly: pos arithmetic at q = 1 can land a hair below n-1
+  // and interpolate the max against itself with a rounding wobble.
+  if (q == 0.0) return sorted.front();
+  if (q == 1.0) return sorted.back();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lower = static_cast<std::size_t>(pos);
   const std::size_t upper = std::min(lower + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lower);
   return sorted[lower] * (1.0 - frac) + sorted[upper] * frac;
+}
+
+double percentile(std::span<const double> values, double q) {
+  check(!values.empty(), "percentile of empty range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> qs) {
+  check(!values.empty(), "percentile of empty range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> result;
+  result.reserve(qs.size());
+  for (const double q : qs) result.push_back(percentile_sorted(sorted, q));
+  return result;
 }
 
 double mean(std::span<const double> values) noexcept {

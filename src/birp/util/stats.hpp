@@ -34,8 +34,21 @@ class RunningStats {
 };
 
 /// Linear-interpolated percentile of `values` (copied and sorted).
-/// `q` in [0, 1]. Requires a non-empty input.
+/// `q` in [0, 1]. Requires a non-empty input. q = 0 and q = 1 return the
+/// exact minimum and maximum (no interpolation artifacts).
+/// For repeated queries over the same data, sort once and use
+/// percentile_sorted() or batch the quantiles through percentiles().
 [[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// percentile() over input that is already sorted ascending — no copy, no
+/// re-sort. Precondition: `sorted` is non-empty and sorted.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// Multiple quantiles of `values` with a single copy + sort. Returns one
+/// result per entry of `qs`, in order. Requires a non-empty input.
+[[nodiscard]] std::vector<double> percentiles(std::span<const double> values,
+                                              std::span<const double> qs);
 
 /// Mean of `values`; 0 for empty input.
 [[nodiscard]] double mean(std::span<const double> values) noexcept;

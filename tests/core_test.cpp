@@ -54,6 +54,28 @@ TEST(TirEstimator, PaddingShrinksWithObservations) {
   EXPECT_EQ(estimator.within_count(), 200);
 }
 
+TEST(TirEstimator, SlotZeroAndColdCountsApplyNoPadding) {
+  // Cold-start guard: a zero observation count contributes no padding.
+  // Without it, sqrt(eps2 ln(t+1) / (0+1)) grows forever on an arm whose
+  // beyond-threshold branch never fired, shrinking its LCB every slot.
+  TirEstimator estimator;
+  // Only within-threshold observations: n2 stays 0, so beta and C reach
+  // the optimizer unpadded no matter how late the slot.
+  for (int t = 0; t < 50; ++t) estimator.update(1.1, 2, t);
+  EXPECT_EQ(estimator.beyond_count(), 0);
+  EXPECT_GT(estimator.within_count(), 0);
+  const auto mean = estimator.mean_estimate();
+  const auto lcb = estimator.lower_confidence(100000);
+  EXPECT_EQ(lcb.beta, mean.beta);
+  EXPECT_DOUBLE_EQ(lcb.c, mean.c);
+  // And at slot 0 the ln(t+1) factor is zero: even a sampled arm gets its
+  // plain mean back.
+  TirEstimator fresh;
+  fresh.update(1.1, 2, 0);
+  EXPECT_DOUBLE_EQ(fresh.lower_confidence(0).eta,
+                   fresh.mean_estimate().eta);
+}
+
 TEST(TirEstimator, WithinThresholdUpdatesEta) {
   // Observations along TIR = b^0.25, below the init ceiling (1+eps1)*1.316:
   // use b = 3 so b^0.25 = 1.316 < 1.369.

@@ -143,6 +143,41 @@ TEST(ParallelFor, ConvenienceOverloadWorks) {
   EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPool, EnqueueFromInsideWorkerDoesNotDeadlock) {
+  // Workers run task() with no pool lock held, so a task may submit a
+  // continuation into the same pool. Single worker on purpose: the
+  // continuation can only run after the submitting task returns.
+  ThreadPool pool(1);
+  std::atomic<int> stage{0};
+  std::future<void> inner;
+  auto outer = pool.submit([&] {
+    inner = pool.submit([&stage] { stage.store(2); });
+    stage.store(1);
+  });
+  outer.get();
+  inner.get();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(ThreadPool, WaitIdleRacesWithProducer) {
+  // wait_idle() must be callable while another thread is still submitting:
+  // each call returns at some genuinely idle instant (queue empty, no task
+  // running) without hanging or missing wakeups.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      (void)pool.submit([&done] { done.fetch_add(1); });
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 50; ++i) pool.wait_idle();
+  producer.join();
+  pool.wait_idle();  // everything is submitted now: idle means all done
+  EXPECT_EQ(done.load(), kTasks);
+}
+
 TEST(ThreadPoolShutdown, SubmitAfterShutdownThrows) {
   ThreadPool pool(2);
   pool.shutdown();
@@ -166,6 +201,25 @@ TEST(ThreadPoolShutdown, DrainsPreviouslySubmittedTasks) {
   pool.shutdown();
   for (auto& future : futures) future.get();
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolShutdown, NonEmptyQueueIsDrainedNotDropped) {
+  // Contract: shutdown drains. Tasks already accepted run to completion
+  // even when they are still queued behind a busy worker at the moment
+  // shutdown() is called — their futures never starve.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done.fetch_add(1);
+  }));
+  for (int i = 0; i < 8; ++i) {  // backlog sitting behind the sleeper
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  pool.shutdown();  // returns only after the backlog ran
+  EXPECT_EQ(done.load(), 9);
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
 }
 
 }  // namespace

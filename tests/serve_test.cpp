@@ -219,6 +219,73 @@ TEST(AdmissionQueue, DepthStatsTrackBufferedRequests) {
   EXPECT_DOUBLE_EQ(queue.depth_stats().max(), 2.0);
 }
 
+TEST(AdmissionQueue, DrainsSettleDeferredDepartures) {
+  // Regression: a batch sealed with a future launch start left its count in
+  // depth_ and its event in the departure heap; the drains never applied
+  // them, so a drained queue still reported nonzero depth.
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1),
+                                item_at(0, 5.0, 2)};
+  AdmissionQueue queue(1, stream, 2, QueuePolicy::kRejectNewest);
+  queue.fill(0, 2);
+  const auto batch = queue.take(0, 2);
+  queue.on_dispatch(10.0, batch.size());  // launch far beyond every arrival
+  EXPECT_EQ(queue.depth(), 2);            // sealed, not yet launched
+  EXPECT_TRUE(queue.drain_waiting().empty());
+  EXPECT_EQ(queue.depth(), 0);  // departures settled, not stale
+  const auto rest = queue.drain_unprocessed();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest.front().seq, 2);
+  EXPECT_EQ(queue.depth(), 0);
+}
+
+TEST(AdmissionQueue, DrainWaitingReturnsBufferedAndZeroesDepth) {
+  // Mixed state at drain time: one taken-and-dispatched, one still waiting.
+  std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1)};
+  AdmissionQueue queue(1, stream, 0, QueuePolicy::kRejectNewest);
+  queue.fill(0, 2);
+  const auto batch = queue.take(0, 1);
+  queue.on_dispatch(3.0, batch.size());
+  EXPECT_EQ(queue.depth(), 2);  // 1 waiting + 1 undeparted
+  const auto rest = queue.drain_waiting();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest.front().seq, 1);
+  EXPECT_EQ(queue.depth(), 0);
+}
+
+TEST(AdmissionQueue, EveryDecisionPathSamplesDepthOnce) {
+  // admit, bounce, and evict-then-admit each record exactly one depth
+  // sample, so sample count == processed arrivals on every policy.
+  {
+    std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1),
+                                  item_at(0, 0.2, 2)};
+    AdmissionQueue queue(1, stream, 2, QueuePolicy::kRejectNewest);
+    queue.fill(0, 3);
+    EXPECT_EQ(queue.depth_stats().count(), 3u);        // 2 admits + 1 bounce
+    EXPECT_DOUBLE_EQ(queue.depth_stats().max(), 2.0);  // never over capacity
+  }
+  {
+    std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.1, 1),
+                                  item_at(0, 0.2, 2)};
+    AdmissionQueue queue(1, stream, 2, QueuePolicy::kEvictOldest);
+    queue.fill(0, 3);
+    EXPECT_EQ(queue.depth_stats().count(), 3u);  // 2 admits + 1 evict+admit
+    EXPECT_DOUBLE_EQ(queue.depth_stats().max(), 2.0);
+  }
+  {
+    // Evict policy with nothing evictable (all buffered already sealed):
+    // the arrival bounces and still contributes exactly one sample.
+    std::vector<ServeItem> stream{item_at(0, 0.0, 0), item_at(0, 0.2, 1)};
+    AdmissionQueue queue(1, stream, 1, QueuePolicy::kEvictOldest);
+    queue.fill(0, 1);
+    const auto batch = queue.take(0, 1);
+    queue.on_dispatch(0.5, batch.size());
+    queue.fill(0, 1);
+    ASSERT_EQ(queue.dropped().size(), 1u);
+    EXPECT_EQ(queue.dropped().front().seq, 1);
+    EXPECT_EQ(queue.depth_stats().count(), 2u);
+  }
+}
+
 // ----------------------------------------------------------- ServeEngine ----
 
 class ServeEngineFixture : public ::testing::Test {

@@ -201,6 +201,48 @@ TEST(Percentile, RejectsEmptyAndBadQuantile) {
   EXPECT_THROW((void)percentile(v, 1.5), std::logic_error);
 }
 
+TEST(Percentile, EndpointsAreExactMinAndMax) {
+  // Awkward sizes on purpose: q * (n - 1) at q = 1 must not interpolate
+  // through floating-point wobble — the endpoints are returned exactly.
+  Xoshiro256StarStar rng(17);
+  for (const int n : {2, 3, 7, 97, 1013}) {
+    std::vector<double> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) v.push_back(rng.uniform(-1e6, 1e6));
+    const double lo = *std::min_element(v.begin(), v.end());
+    const double hi = *std::max_element(v.begin(), v.end());
+    EXPECT_EQ(percentile(v, 0.0), lo) << "n=" << n;
+    EXPECT_EQ(percentile(v, 1.0), hi) << "n=" << n;
+  }
+}
+
+TEST(Percentile, SortedVariantMatchesGeneralForm) {
+  Xoshiro256StarStar rng(23);
+  std::vector<double> v;
+  for (int i = 0; i < 257; ++i) v.push_back(rng.uniform(0.0, 10.0));
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(v, q));
+  }
+  EXPECT_THROW((void)percentile_sorted({}, 0.5), std::logic_error);
+}
+
+TEST(Percentile, BatchMatchesIndividualQueries) {
+  Xoshiro256StarStar rng(31);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.uniform(0.0, 1.0));
+  const std::vector<double> qs{0.0, 0.5, 0.95, 0.99, 1.0};
+  const auto batch = percentiles(v, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, qs[i]));
+  }
+  EXPECT_THROW((void)percentiles({}, qs), std::logic_error);
+  const std::vector<double> bad{0.5, 2.0};
+  EXPECT_THROW((void)percentiles(v, bad), std::logic_error);
+}
+
 TEST(LeastSquares, RecoversLine) {
   std::vector<double> x;
   std::vector<double> y;
@@ -265,6 +307,27 @@ TEST(Ecdf, QuantileMatchesConstruction) {
   Ecdf ecdf;
   for (int i = 0; i <= 100; ++i) ecdf.add(static_cast<double>(i));
   EXPECT_NEAR(ecdf.quantile(0.5), 50.0, 1e-9);
+}
+
+TEST(Ecdf, QuantileEndpointsExactAndStableAcrossAdds) {
+  // quantile() reads the sorted samples in place; interleaving adds (which
+  // invalidate the sort) with queries must keep endpoints exact.
+  Ecdf ecdf;
+  Xoshiro256StarStar rng(5);
+  double lo = 1e30;
+  double hi = -1e30;
+  for (int i = 0; i < 317; ++i) {
+    const double v = rng.uniform(-3.0, 9.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ecdf.add(v);
+    if (i % 50 == 0) {
+      EXPECT_EQ(ecdf.quantile(0.0), lo);
+      EXPECT_EQ(ecdf.quantile(1.0), hi);
+    }
+  }
+  EXPECT_EQ(ecdf.quantile(0.0), lo);
+  EXPECT_EQ(ecdf.quantile(1.0), hi);
 }
 
 // -------------------------------------------------------- piecewise fit ----
@@ -371,6 +434,36 @@ TEST(Csv, ParsesEmptyFieldsAndCrlf) {
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
   EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(Csv, CrlfFileRoundTripsLikeLfFile) {
+  // A writer-produced file re-saved by a CRLF editor must parse to the
+  // identical rows — \r is line-ending decoration, never field content.
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"kind", "device", "factor"});
+  writer.row({"down", "2", "0.5"});
+  writer.row({"straggler", "0", "2.25"});
+  const std::string lf = out.str();
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  EXPECT_EQ(parse_csv(crlf), parse_csv(lf));
+}
+
+TEST(Csv, FinalRowWithoutTrailingNewlineIsKept) {
+  const auto rows = parse_csv("a,b\n1,2\n3,4");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"3", "4"}));
+  // Same for CRLF bodies and for a quoted field that runs to EOF.
+  const auto crlf_rows = parse_csv("a,b\r\n1,2");
+  ASSERT_EQ(crlf_rows.size(), 2u);
+  EXPECT_EQ(crlf_rows[1], (std::vector<std::string>{"1", "2"}));
+  const auto quoted = parse_csv("a,\"x,y\"");
+  ASSERT_EQ(quoted.size(), 1u);
+  EXPECT_EQ(quoted[0], (std::vector<std::string>{"a", "x,y"}));
 }
 
 TEST(Csv, FormatDoubleIntegersAreClean) {
