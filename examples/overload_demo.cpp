@@ -1,0 +1,132 @@
+// Overload protection in a nutshell: hit the request-level serving engine
+// with a flash crowd and watch the birp/guard ladder absorb it — deadline
+// sheds replace blind queue drops, circuit breakers quarantine failing
+// (app, edge) pairs, and the degradation ladder trades variant accuracy
+// for survival until the surge passes.
+//
+//   ./examples/overload_demo
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "birp/device/cluster.hpp"
+#include "birp/serve/engine.hpp"
+#include "birp/sim/validate.hpp"
+#include "birp/util/table.hpp"
+#include "birp/workload/generator.hpp"
+
+namespace {
+
+// Serve everything locally with the most accurate variant that fits the
+// edge's memory and that the guard's degradation hints allow. No drop
+// planning: overload lands on the admission queues, which is exactly the
+// regime the guard layer protects.
+class GreedyRouter : public birp::sim::Scheduler {
+ public:
+  explicit GreedyRouter(const birp::device::ClusterSpec& cluster)
+      : cluster_(cluster) {}
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] birp::sim::SlotDecision decide(
+      const birp::sim::SlotState& state) override {
+    birp::sim::SlotDecision decision(cluster_.num_apps(),
+                                     cluster_.zoo().max_variants(),
+                                     cluster_.num_devices());
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        const auto demand = state.demand(i, k);
+        if (demand <= 0) continue;
+        const int kernel =
+            static_cast<int>(std::clamp<std::int64_t>(demand, 1, 16));
+        for (int j = cluster_.zoo().num_variants(i) - 1; j >= 0; --j) {
+          if (!state.variant_allowed(i, j)) continue;
+          birp::sim::SlotDecision trial(cluster_.num_apps(),
+                                        cluster_.zoo().max_variants(),
+                                        cluster_.num_devices());
+          trial.served(i, j, k) = demand;
+          trial.kernel(i, j, k) = kernel;
+          if (j > 0 && birp::sim::decision_memory_mb(cluster_, trial, k) >
+                           cluster_.memory_mb(k)) {
+            continue;
+          }
+          decision.served(i, j, k) = demand;
+          decision.kernel(i, j, k) = kernel;
+          break;
+        }
+      }
+    }
+    return decision;
+  }
+
+ private:
+  const birp::device::ClusterSpec& cluster_;
+};
+
+}  // namespace
+
+int main() {
+  const auto cluster = birp::device::ClusterSpec::paper_small();
+
+  // A calm baseline with a 4x flash crowd in slots [20, 32).
+  birp::workload::GeneratorConfig gen;
+  gen.slots = 48;
+  gen.mean_per_edge = 40.0;
+  auto trace = birp::workload::generate(cluster, gen);
+  for (int t = 20; t < 32; ++t) {
+    for (int i = 0; i < trace.apps(); ++i) {
+      for (int k = 0; k < trace.devices(); ++k) {
+        trace.set(t, i, k, trace.at(t, i, k) * 4);
+      }
+    }
+  }
+
+  const auto run = [&](bool guarded) {
+    birp::serve::ServeConfig config;
+    config.queue_capacity = 64;
+    if (guarded) {
+      config.guard.admission.enabled = true;   // shed doomed requests early
+      config.guard.breaker.enabled = true;     // quarantine failing cells
+      config.guard.breaker.window_slots = 4;
+      config.guard.breaker.trip_threshold = 0.3;
+      config.guard.degradation.enabled = true; // cheaper variants under stress
+    }
+    GreedyRouter router(cluster);
+    birp::serve::ServeEngine engine(cluster, trace, config);
+    return engine.run(router);
+  };
+  const auto plain = run(false);
+  const auto guarded = run(true);
+
+  birp::util::TextTable table({"metric", "unguarded", "full guard"});
+  const auto row = [&](const std::string& name, auto get) {
+    table.add_row({name, get(plain), get(guarded)});
+  };
+  row("SLO failure p%", [](const birp::metrics::RunMetrics& m) {
+    return birp::util::fixed(m.failure_percent(), 2);
+  });
+  row("goodput (served)", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.total_requests() - m.dropped());
+  });
+  row("deadline sheds", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.deadline_shed());
+  });
+  row("blind queue drops", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.queue_dropped());
+  });
+  row("breaker trips", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.breaker_trips());
+  });
+  row("degraded slots", [](const birp::metrics::RunMetrics& m) {
+    return std::to_string(m.degraded_slots());
+  });
+  row("p95 sojourn (tau)", [](const birp::metrics::RunMetrics& m) {
+    return birp::util::fixed(m.latency_quantile(0.95), 3);
+  });
+  table.print(std::cout, "flash crowd, 4x surge in slots [20, 32)");
+
+  std::cout << "\nThe guard sheds requests that are already doomed to miss "
+               "their deadline,\ntrips breakers on (app, edge) pairs whose "
+               "failure rate spikes, and steps\napps down to cheaper variants "
+               "until the surge passes — so the engine\nserves more requests "
+               "on time instead of burning accelerator time on\nlate work.\n";
+  return 0;
+}

@@ -52,6 +52,12 @@ sim::SlotDecision BirpScheduler::decide(const sim::SlotState& state) {
   // redistributes around the failure instead of planning work it will lose.
   ProblemOptions options = config_.problem;
   if (state.any_down()) options.edge_up = state.edge_up;
+  // Overload-protection hints: breaker-open (app, edge) pairs refuse
+  // imports; degradation-ladder caps pin the most expensive variants off.
+  if (state.hints != nullptr && !state.hints->empty()) {
+    options.avoid_import = state.hints->avoid_import;
+    options.variant_cap = state.hints->variant_cap;
+  }
 
   const BuiltProblem problem = build_slot_problem(
       cluster_, state.demand, state.previous, lookup, options);
@@ -106,6 +112,7 @@ sim::SlotDecision BirpScheduler::greedy_fallback(
       std::int64_t remaining = state.demand(i, k);
       const int J = cluster_.zoo().num_variants(i);
       for (int j = 0; j < J && remaining > 0; ++j) {
+        if (!state.variant_allowed(i, j)) continue;
         const auto believed = believed_tir(k, i, j);
         const auto& variant = cluster_.zoo().variant(i, j);
         const int mem_cap = std::max(

@@ -65,7 +65,7 @@ class BirpScheduler : public sim::Scheduler {
   [[nodiscard]] std::int64_t total_nodes() const noexcept {
     return total_nodes_;
   }
-  [[nodiscard]] std::int64_t fallback_count() const noexcept {
+  [[nodiscard]] std::int64_t fallback_count() const noexcept override {
     return fallbacks_;
   }
 

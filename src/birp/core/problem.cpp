@@ -64,11 +64,11 @@ BuiltProblem build_slot_problem(const device::ClusterSpec& cluster,
         const int batch_cap =
             std::min({options.max_batch, believed.beta, mem_cap});
         // A down edge has zero serving capacity: z's bound collapses and the
-        // deployment binary is pinned off below.
+        // deployment binary is pinned off below. A variant above the
+        // degradation-ladder cap is pinned the same way on every edge.
+        const bool usable = options.is_up(k) && options.variant_allowed(i, j);
         const int serve_cap =
-            options.is_up(k)
-                ? batch_cap * std::max(1, options.launch_multiplier)
-                : 0;
+            usable ? batch_cap * std::max(1, options.launch_multiplier) : 0;
         built.kernel_cap(i, j, k) = batch_cap;
         const std::string tag = "_i" + std::to_string(i) + "j" +
                                 std::to_string(j) + "k" + std::to_string(k);
@@ -76,7 +76,7 @@ BuiltProblem build_slot_problem(const device::ClusterSpec& cluster,
         built.z(i, j, k) =
             model.add_integer("z" + tag, 0.0, static_cast<double>(serve_cap));
         model.set_objective(built.z(i, j, k), variant.loss);
-        if (!options.is_up(k)) {
+        if (!usable) {
           model.add_constraint({{built.x(i, j, k), 1.0}},
                                solver::Relation::LessEqual, 0.0,
                                "down" + tag);
@@ -98,10 +98,13 @@ BuiltProblem build_slot_problem(const device::ClusterSpec& cluster,
     for (int k = 0; k < K; ++k) {
       const std::string tag = "_i" + std::to_string(i) + "k" + std::to_string(k);
       // Down edges exchange nothing: their region's demand can only drop.
+      // A breaker-open (app, edge) pair additionally refuses imports while
+      // still serving and exporting its own region.
       const bool can_flow = options.allow_redistribution && options.is_up(k);
       const double export_cap =
           can_flow ? static_cast<double>(demand(i, k)) : 0.0;
-      const double import_cap = can_flow ? solver::kInfinity : 0.0;
+      const double import_cap =
+          can_flow && options.import_allowed(i, k) ? solver::kInfinity : 0.0;
       built.e(i, k) = model.add_continuous("e" + tag, 0.0, export_cap);
       built.m(i, k) = model.add_continuous("m" + tag, 0.0, import_cap);
       built.d(i, k) = model.add_continuous("d" + tag, 0.0, solver::kInfinity);
@@ -273,6 +276,7 @@ std::vector<double> heuristic_incumbent(const BuiltProblem& problem,
   // How many extra requests (i, j, k) can absorb under every budget.
   const auto headroom = [&](int k, int i, int j) -> std::int64_t {
     if (!options.is_up(k)) return 0;  // down edge: nothing serves here
+    if (!options.variant_allowed(i, j)) return 0;  // above the ladder cap
     const auto& b = budget[static_cast<std::size_t>(k)];
     const auto& variant = cluster.zoo().variant(i, j);
     const auto z = decision.served(i, j, k);

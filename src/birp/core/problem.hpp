@@ -72,12 +72,32 @@ struct ProblemOptions {
   /// conservation forces its whole demand into drops — the capacity → 0
   /// masking that lets BIRP re-solve around a failed edge.
   std::vector<std::uint8_t> edge_up;
+  /// Circuit-breaker avoidance (empty = none): avoid_import(i, k) != 0 pins
+  /// app i's imports into edge k to zero, so the flow matching routes
+  /// redistribution traffic around a tripped edge. Unlike edge_up this is
+  /// one-directional: the edge still serves its own region and may export.
+  util::Grid2<std::uint8_t> avoid_import;
+  /// Degradation-ladder variant caps (empty = none): variant_cap[i] >= 0
+  /// forbids variants with index > cap for app i (index order is smallest /
+  /// cheapest first, so the ladder removes the most expensive variants).
+  /// Disallowed variants get their serving and deployment pinned to zero.
+  std::vector<int> variant_cap;
 
   /// Liveness of edge k under the "empty means all up" rule.
   [[nodiscard]] bool is_up(int k) const noexcept {
     return edge_up.empty() ||
            (k >= 0 && k < static_cast<int>(edge_up.size()) &&
             edge_up[static_cast<std::size_t>(k)] != 0);
+  }
+  /// Import permission under the "empty means unconstrained" rule.
+  [[nodiscard]] bool import_allowed(int i, int k) const noexcept {
+    return avoid_import.rows() == 0 || avoid_import(i, k) == 0;
+  }
+  /// Variant permission under the "empty means unconstrained" rule.
+  [[nodiscard]] bool variant_allowed(int i, int j) const noexcept {
+    if (i >= static_cast<int>(variant_cap.size())) return true;
+    const int cap = variant_cap[static_cast<std::size_t>(i)];
+    return cap < 0 || j <= cap;
   }
 };
 

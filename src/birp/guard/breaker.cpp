@@ -1,0 +1,72 @@
+#include "birp/guard/breaker.hpp"
+
+namespace birp::guard {
+
+std::int64_t CircuitBreaker::window_total() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& sample : window_) total += sample.total;
+  return total;
+}
+
+std::int64_t CircuitBreaker::window_failed() const noexcept {
+  std::int64_t failed = 0;
+  for (const auto& sample : window_) failed += sample.failed;
+  return failed;
+}
+
+CircuitBreaker::Transition CircuitBreaker::advance() {
+  Transition transition;
+
+  // Fold the slot's outcomes into the sliding window (zero-sample slots are
+  // pushed too: the window is measured in slots, not in requests).
+  window_.push_back({slot_total_, slot_failed_});
+  slot_total_ = 0;
+  slot_failed_ = 0;
+  while (static_cast<int>(window_.size()) > config_.window_slots) {
+    window_.pop_front();
+  }
+
+  const std::int64_t total = window_total();
+  const std::int64_t failed = window_failed();
+  const double rate =
+      total > 0 ? static_cast<double>(failed) / static_cast<double>(total)
+                : 0.0;
+
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (total >= config_.min_samples && rate >= config_.trip_threshold) {
+        state_ = BreakerState::kOpen;
+        open_for_ = 0;
+        window_.clear();
+        transition.tripped = true;
+      }
+      break;
+    case BreakerState::kOpen:
+      // Quarantine: outcomes observed while open (local traffic keeps
+      // flowing) do not count against the probe verdict.
+      window_.clear();
+      if (++open_for_ >= config_.open_slots) {
+        state_ = BreakerState::kHalfOpen;
+        transition.probed = true;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // Probe verdict as soon as any traffic flowed: recovered -> closed,
+      // still failing -> open again. No traffic: keep probing.
+      if (total > 0) {
+        if (rate >= config_.trip_threshold) {
+          state_ = BreakerState::kOpen;
+          open_for_ = 0;
+          transition.reopened = true;
+        } else {
+          state_ = BreakerState::kClosed;
+          transition.recovered = true;
+        }
+        window_.clear();
+      }
+      break;
+  }
+  return transition;
+}
+
+}  // namespace birp::guard

@@ -1,0 +1,66 @@
+// Circuit-breaker state machine for one (app, edge) pair.
+//
+// Outcomes from the serving path (request met its SLO / failed it) are
+// recorded during the slot; `advance` runs once at the slot boundary and
+// performs at most one transition. See BreakerConfig for the semantics of
+// the three states.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "birp/guard/config.hpp"
+
+namespace birp::guard {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+
+  [[nodiscard]] BreakerState state() const noexcept { return state_; }
+  /// Redistribution / retries should avoid this pair (open only — a
+  /// half-open breaker deliberately lets probe traffic through).
+  [[nodiscard]] bool avoid() const noexcept {
+    return state_ == BreakerState::kOpen;
+  }
+
+  /// Records this slot's serving-path outcomes for the pair.
+  void record(std::int64_t total, std::int64_t failed) noexcept {
+    slot_total_ += total;
+    slot_failed_ += failed;
+  }
+
+  /// What `advance` did at the last slot boundary.
+  struct Transition {
+    bool tripped = false;     ///< closed -> open
+    bool reopened = false;    ///< half-open -> open
+    bool probed = false;      ///< open -> half-open
+    bool recovered = false;   ///< half-open -> closed
+  };
+
+  /// Slot-boundary evaluation: folds the slot's outcomes into the sliding
+  /// window and applies at most one transition.
+  Transition advance();
+
+  /// Window totals (diagnostics / tests).
+  [[nodiscard]] std::int64_t window_total() const noexcept;
+  [[nodiscard]] std::int64_t window_failed() const noexcept;
+
+ private:
+  struct SlotSample {
+    std::int64_t total = 0;
+    std::int64_t failed = 0;
+  };
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<SlotSample> window_;
+  std::int64_t slot_total_ = 0;
+  std::int64_t slot_failed_ = 0;
+  int open_for_ = 0;  ///< slots spent in the open state
+};
+
+}  // namespace birp::guard

@@ -77,7 +77,7 @@ void write_summary_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
   util::check(!runs.empty(), "csv export: no runs");
   util::CsvWriter writer(out);
   writer.row({"algorithm", "total_loss", "failure_percent", "dropped",
-              "mean_busy", "median_tau", "p95_tau"});
+              "mean_busy", "median_tau", "p95_tau", "solver_fallbacks"});
   for (const auto& run : runs) {
     const auto& m = *run.metrics;
     const bool sampled = m.completion().count() > 0;
@@ -88,7 +88,8 @@ void write_summary_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
                 sampled ? util::format_double(m.completion().quantile(0.5))
                         : "",
                 sampled ? util::format_double(m.completion().quantile(0.95))
-                        : ""});
+                        : "",
+                std::to_string(m.solver_fallbacks())});
   }
 }
 
@@ -97,6 +98,7 @@ void write_latency_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
   util::CsvWriter writer(out);
   writer.row({"algorithm", "p50_tau", "p95_tau", "p99_tau",
               "slo_attainment_percent", "dropped", "queue_dropped",
+              "deadline_shed", "breaker_trips", "degraded_slots",
               "mean_queue_depth", "max_queue_depth"});
   for (const auto& run : runs) {
     util::check(run.metrics != nullptr, "csv export: null metrics");
@@ -110,6 +112,9 @@ void write_latency_csv(std::ostream& out, const std::vector<NamedRun>& runs) {
                 util::format_double(m.slo_attainment_percent()),
                 std::to_string(m.dropped()),
                 std::to_string(m.queue_dropped()),
+                std::to_string(m.deadline_shed()),
+                std::to_string(m.breaker_trips()),
+                std::to_string(m.degraded_slots()),
                 depth_sampled ? util::format_double(m.queue_depth().mean()) : "",
                 depth_sampled ? util::format_double(m.queue_depth().max())
                               : ""});

@@ -34,6 +34,28 @@ void RunMetrics::record_orphan_drop() {
   ++orphan_dropped_;
 }
 
+void RunMetrics::record_deadline_shed() {
+  ++total_requests_;
+  ++slo_failures_;
+  ++dropped_;
+  ++deadline_shed_;
+}
+
+void RunMetrics::record_breaker_events(std::int64_t trips,
+                                       std::int64_t reopens,
+                                       std::int64_t probes,
+                                       std::int64_t recoveries) {
+  breaker_trips_ += trips;
+  breaker_reopens_ += reopens;
+  breaker_probes_ += probes;
+  breaker_recoveries_ += recoveries;
+}
+
+void RunMetrics::record_degradation(int degraded_apps, int max_level) {
+  if (degraded_apps > 0) ++degraded_slots_;
+  if (max_level > max_degradation_level_) max_degradation_level_ = max_level;
+}
+
 void RunMetrics::record_retries(std::int64_t count) { retries_ += count; }
 
 void RunMetrics::record_edge_slot(int edge, bool up) {

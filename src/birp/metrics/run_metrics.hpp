@@ -33,6 +33,21 @@ class RunMetrics {
   /// failover retry budget exhausted, or failover disabled). Counts exactly
   /// once as a drop and an SLO failure, like record_queue_drop().
   void record_orphan_drop();
+  /// Records a request shed at enqueue by the deadline-aware admission
+  /// controller (birp/guard). Counts exactly once as a drop and an SLO
+  /// failure, like record_queue_drop().
+  void record_deadline_shed();
+  /// Records one slot's circuit-breaker transitions (birp/guard).
+  void record_breaker_events(std::int64_t trips, std::int64_t reopens,
+                             std::int64_t probes, std::int64_t recoveries);
+  /// Records one slot's degradation-ladder status: how many apps are
+  /// degraded and the highest active level.
+  void record_degradation(int degraded_apps, int max_level);
+  /// Sets the scheduler's cumulative degraded-mode fallback count for the
+  /// run (e.g. BIRP's greedy net when the MILP solve fails).
+  void set_solver_fallbacks(std::int64_t count) noexcept {
+    solver_fallbacks_ = count;
+  }
   /// Records `count` failover re-admissions (requests moved to a surviving
   /// edge). Retries are bookkeeping, not terminal outcomes: a retried request
   /// still resolves exactly once via record_request / record_*_drop.
@@ -87,8 +102,38 @@ class RunMetrics {
   [[nodiscard]] std::int64_t orphan_dropped() const noexcept {
     return orphan_dropped_;
   }
+  /// Subset of dropped() shed by deadline-aware admission control.
+  [[nodiscard]] std::int64_t deadline_shed() const noexcept {
+    return deadline_shed_;
+  }
   /// Failover re-admissions performed over the run.
   [[nodiscard]] std::int64_t retries() const noexcept { return retries_; }
+
+  /// Circuit-breaker transition totals over the run (birp/guard).
+  [[nodiscard]] std::int64_t breaker_trips() const noexcept {
+    return breaker_trips_;
+  }
+  [[nodiscard]] std::int64_t breaker_reopens() const noexcept {
+    return breaker_reopens_;
+  }
+  [[nodiscard]] std::int64_t breaker_probes() const noexcept {
+    return breaker_probes_;
+  }
+  [[nodiscard]] std::int64_t breaker_recoveries() const noexcept {
+    return breaker_recoveries_;
+  }
+  /// Slots during which at least one app ran degraded (ladder level > 0).
+  [[nodiscard]] std::int64_t degraded_slots() const noexcept {
+    return degraded_slots_;
+  }
+  /// Highest degradation-ladder level observed over the run.
+  [[nodiscard]] int max_degradation_level() const noexcept {
+    return max_degradation_level_;
+  }
+  /// Scheduler degraded-mode fallback decisions over the run.
+  [[nodiscard]] std::int64_t solver_fallbacks() const noexcept {
+    return solver_fallbacks_;
+  }
 
   /// Down slots recorded for `edge` (0 for edges never sampled).
   [[nodiscard]] std::int64_t downtime_slots(int edge) const noexcept;
@@ -152,7 +197,15 @@ class RunMetrics {
   std::int64_t dropped_ = 0;
   std::int64_t queue_dropped_ = 0;
   std::int64_t orphan_dropped_ = 0;
+  std::int64_t deadline_shed_ = 0;
   std::int64_t retries_ = 0;
+  std::int64_t breaker_trips_ = 0;
+  std::int64_t breaker_reopens_ = 0;
+  std::int64_t breaker_probes_ = 0;
+  std::int64_t breaker_recoveries_ = 0;
+  std::int64_t degraded_slots_ = 0;
+  int max_degradation_level_ = 0;
+  std::int64_t solver_fallbacks_ = 0;
   /// Per-edge (up, down) slot counts; grown on first sample of each edge.
   std::vector<std::int64_t> edge_up_slots_;
   std::vector<std::int64_t> edge_down_slots_;

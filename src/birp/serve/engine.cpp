@@ -32,8 +32,15 @@ ServeEngine::ServeEngine(const device::ClusterSpec& cluster,
   util::check(trace.devices() == cluster.num_devices(),
               "ServeEngine: trace devices != cluster devices");
   util::check(config_.noise_sigma >= 0.0, "ServeEngine: negative noise");
+  util::check(config_.threads >= 0, "ServeEngine: negative thread count");
+  util::check(config_.queue_capacity >= 0,
+              "ServeEngine: negative queue capacity (0 = unbounded)");
+  guard::validate(config_.guard);
   failover_ = fault::FailoverPolicy(config_.failover, cluster.num_apps(),
                                     cluster.num_devices());
+  if (config_.guard.any_enabled()) {
+    guard_.emplace(cluster, config_.guard, config_.guard_predictor);
+  }
 }
 
 std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
@@ -178,10 +185,51 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
                                 ? -1.0
                                 : config_.max_batch_wait_fraction * tau;
 
-  AdmissionQueue queue(cluster_.num_apps(), std::move(stream),
-                       config_.queue_capacity, config_.queue_policy);
-
+  // Accelerator-free time on this edge: launches dispatched so far end at
+  // cursor_s, and the next one cannot start earlier. Declared ahead of the
+  // admission gate so the gate can fold the execution backlog into its
+  // sojourn prediction (admissions interleave with launches on this one
+  // worker, so the captured reference is always current and race-free).
   double cursor_s = 0.0;
+
+  // Deadline-aware admission: predict each arrival's sojourn against the
+  // deployment the decision planned for its app on this edge (the variant
+  // serving the most requests; ties to the cheaper one). GuardController::
+  // admit is const and reads only immutable tables, so calling it from
+  // concurrent per-edge workers is safe.
+  AdmissionGate gate;
+  if (guard_.has_value() && guard_->config().admission.enabled) {
+    const int I = cluster_.num_apps();
+    std::vector<int> gate_variant(static_cast<std::size_t>(I), -1);
+    std::vector<int> gate_kernel(static_cast<std::size_t>(I), 1);
+    for (int i = 0; i < I; ++i) {
+      std::int64_t best = 0;
+      for (int j = 0; j < cluster_.zoo().num_variants(i); ++j) {
+        const auto served = decision.served(i, j, k);
+        if (served > best) {
+          best = served;
+          gate_variant[static_cast<std::size_t>(i)] = j;
+          gate_kernel[static_cast<std::size_t>(i)] =
+              std::max(1, decision.kernel(i, j, k));
+        }
+      }
+    }
+    gate = [this, k, &cursor_s, gate_variant = std::move(gate_variant),
+            gate_kernel = std::move(gate_kernel)](
+               const ServeItem& item, std::int64_t buffered_ahead) {
+      const int variant = gate_variant[static_cast<std::size_t>(item.app)];
+      if (variant < 0) return true;  // no deployment: stranded path anyway
+      return guard_->admit(k, item.app, variant,
+                           gate_kernel[static_cast<std::size_t>(item.app)],
+                           item.arrival_s, item.available_s, cursor_s,
+                           buffered_ahead);
+    };
+  }
+
+  AdmissionQueue queue(cluster_.num_apps(), std::move(stream),
+                       config_.queue_capacity, config_.queue_policy,
+                       std::move(gate));
+
   for (const auto& job : jobs) {
     std::int64_t remaining = job.served;
     bool first_launch = true;
@@ -233,6 +281,10 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
       // busy time and a depressed observed TIR.
       const double duration_s = clean_s * noise * straggler_factor;
       const double completion_s = seal.start_s + duration_s;
+      // The accelerator is serial: the next launch on this edge cannot start
+      // before this one completes (batcher.hpp's cursor contract; the slot
+      // simulator advances its cursor the same way).
+      cursor_s = completion_s;
       outcome.busy_s += duration_s;
       outcome.loss += cluster_.zoo().variant(job.app, job.variant).loss *
                       static_cast<double>(seal.count);
@@ -275,6 +327,14 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
     RequestRecord record;
     record.item = item;
     record.outcome = Outcome::kQueueDrop;
+    record.served_on = k;
+    outcome.records.push_back(record);
+  }
+  // Deadline-aware admission sheds.
+  for (const auto& item : queue.deadline_shed()) {
+    RequestRecord record;
+    record.item = item;
+    record.outcome = Outcome::kDeadlineShed;
     record.served_on = k;
     outcome.records.push_back(record);
   }
@@ -327,15 +387,25 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
       util::Grid2<std::int64_t>(cluster_.num_apps(), K, 0);
   for (const auto& a : arrivals) ++state.demand(a.app, a.device);
 
+  // Overload protection: hints derived from earlier slots' outcomes steer
+  // this slot's decision (breaker avoid mask, ladder variant caps) and the
+  // failover re-admission targets.
+  const sim::SchedulerHints* hints = nullptr;
+  if (guard_.has_value()) {
+    hints = &guard_->begin_slot(t);
+    state.hints = hints;
+  }
+
   SlotServeResult result;
   if (have_faults) {
     state.edge_up = up;
     if (failover_.enabled()) {
-      // Orphans queued by earlier failures re-enter as synthetic arrivals at
-      // surviving edges: available at the slot start (they have been waiting
-      // since their failure), with fresh sequence numbers after the cell's
-      // real arrivals.
-      const auto& readmit = failover_.begin_slot(t, up);
+      // Orphans whose backoff window elapsed re-enter as synthetic arrivals
+      // at surviving edges (routed around breaker-open pairs): available at
+      // the slot start (they have been waiting since their failure), with
+      // fresh sequence numbers after the cell's real arrivals.
+      const auto& readmit = failover_.begin_slot(
+          t, up, hints != nullptr ? &hints->avoid_import : nullptr);
       for (int i = 0; i < I; ++i) {
         for (int k = 0; k < K; ++k) {
           const std::int64_t count = readmit(i, k);
@@ -429,6 +499,21 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
   result.feedback.slot = t;
   result.feedback.busy_s.resize(static_cast<std::size_t>(K), 0.0);
   double slot_loss = 0.0;
+
+  // Serving-path outcome tallies feeding the guard's breakers and ladder.
+  util::Grid2<guard::GuardController::CellStats> guard_cells;
+  std::vector<std::int64_t> app_demand;
+  std::vector<std::int64_t> app_shed;
+  if (guard_.has_value()) {
+    guard_cells = util::Grid2<guard::GuardController::CellStats>(I, K);
+    app_demand.assign(static_cast<std::size_t>(I), 0);
+    app_shed.assign(static_cast<std::size_t>(I), 0);
+    for (int i = 0; i < I; ++i) {
+      for (int k = 0; k < K; ++k) {
+        app_demand[static_cast<std::size_t>(i)] += state.demand(i, k);
+      }
+    }
+  }
   for (int k = 0; k < K; ++k) {
     if (have_faults && metrics != nullptr) {
       metrics->record_edge_slot(k, is_up(k));
@@ -464,10 +549,31 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
           slot_loss += cluster_.zoo().worst_loss(record.item.app);
           if (metrics != nullptr) metrics->record_dropped();
           break;
+        case Outcome::kDeadlineShed:
+          ++result.deadline_sheds;
+          ++result.slo_failures;
+          slot_loss += cluster_.zoo().worst_loss(record.item.app);
+          if (metrics != nullptr) metrics->record_deadline_shed();
+          break;
         case Outcome::kOrphaned:
           // Orphans are resolved below from orphan_items, never inside
           // execute_edge.
           break;
+      }
+      // Breaker food: serving-path verdicts only (served / backpressure /
+      // deadline shed). Planned drops are the scheduler's doing, not the
+      // serving edge's, and feed the ladder's shed signal instead.
+      if (guard_.has_value() && (record.outcome == Outcome::kServed ||
+                                 record.outcome == Outcome::kQueueDrop ||
+                                 record.outcome == Outcome::kDeadlineShed)) {
+        auto& cell_stats = guard_cells(record.item.app, k);
+        ++cell_stats.total;
+        if (record.outcome != Outcome::kServed || !record.met_slo) {
+          ++cell_stats.failed;
+        }
+        if (record.outcome == Outcome::kDeadlineShed) {
+          ++app_shed[static_cast<std::size_t>(record.item.app)];
+        }
       }
     }
     if (metrics != nullptr) {
@@ -534,6 +640,18 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
       }
     }
   }
+  // Slot-boundary guard bookkeeping: breakers fold this slot's outcomes
+  // into their windows, the ladder reacts to shed pressure and open
+  // breakers; transitions land in the metrics.
+  if (guard_.has_value()) {
+    const auto summary = guard_->end_slot(guard_cells, app_demand, app_shed);
+    if (metrics != nullptr) {
+      metrics->record_breaker_events(summary.trips, summary.reopens,
+                                     summary.probes, summary.recoveries);
+      metrics->record_degradation(summary.degraded_apps, summary.max_level);
+    }
+  }
+
   result.slot_loss = slot_loss;
   if (metrics != nullptr) metrics->record_slot_loss(slot_loss);
 
@@ -553,6 +671,7 @@ metrics::RunMetrics ServeEngine::run(sim::Scheduler& scheduler, int max_slots) {
   for (std::int64_t d = failover_.drain_pending(); d > 0; --d) {
     metrics.record_orphan_drop();
   }
+  metrics.set_solver_fallbacks(scheduler.fallback_count());
   return metrics;
 }
 

@@ -32,13 +32,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "birp/device/cluster.hpp"
 #include "birp/fault/failover.hpp"
 #include "birp/fault/fault_plan.hpp"
+#include "birp/guard/controller.hpp"
 #include "birp/metrics/run_metrics.hpp"
+#include "birp/predictor/latency_predictor.hpp"
 #include "birp/runtime/thread_pool.hpp"
 #include "birp/serve/queue.hpp"
 #include "birp/serve/request.hpp"
@@ -60,7 +63,8 @@ struct ServeConfig {
   int threads = 0;
   /// When false, per-batch TIR observations are not fed back.
   bool report_observations = true;
-  /// Admission-queue capacity per edge (buffered requests); <= 0 unbounded.
+  /// Admission-queue capacity per edge (buffered requests); 0 = unbounded.
+  /// Negative is rejected by config validation.
   std::int64_t queue_capacity = 0;
   QueuePolicy queue_policy = QueuePolicy::kRejectNewest;
   /// Partial-batch timeout as a fraction of tau; negative = wait for full
@@ -73,10 +77,17 @@ struct ServeConfig {
   /// launches. Empty plan = the fault-free engine, bit for bit.
   fault::FaultPlan fault_plan;
   /// Orphan handling: terminal drops (disabled, default) or re-admission as
-  /// fresh arrivals at surviving edges next slot. A re-admitted request's
-  /// sojourn clock restarts at re-admission (its deadline is renewed, like
-  /// the simulator's carryover mode).
+  /// fresh arrivals at surviving edges after seeded exponential backoff. A
+  /// re-admitted request's sojourn clock restarts at re-admission (its
+  /// deadline is renewed, like the simulator's carryover mode).
   fault::FailoverConfig failover;
+  /// Overload protection (birp/guard): deadline-aware admission, per-edge
+  /// circuit breakers, and the graceful-degradation ladder. All-default =
+  /// disabled, and the engine is byte-identical to a guard-free build.
+  guard::GuardConfig guard;
+  /// Believed batch latencies for the admission formula (the nn-Meter
+  /// role); null = the cluster's exact gamma table.
+  std::shared_ptr<const predictor::LatencyPredictor> guard_predictor;
 };
 
 /// Outcome of one served slot.
@@ -88,8 +99,9 @@ struct SlotServeResult {
   std::int64_t served = 0;
   std::int64_t planned_drops = 0;  ///< shed by the decision (worst-model loss)
   std::int64_t queue_drops = 0;    ///< backpressure drops (admission queue)
+  std::int64_t deadline_sheds = 0; ///< shed by deadline-aware admission
   std::int64_t orphaned = 0;       ///< terminal losses to edge failures
-  std::int64_t retried = 0;        ///< orphans re-admitted for next slot
+  std::int64_t retried = 0;        ///< orphans re-admitted after backoff
   std::int64_t slo_failures = 0;
   /// All request records in deterministic order; only when keep_records.
   std::vector<RequestRecord> records;
@@ -111,6 +123,10 @@ class ServeEngine {
   [[nodiscard]] int current_slot() const noexcept { return slot_; }
   [[nodiscard]] const device::ClusterSpec& cluster() const noexcept {
     return cluster_;
+  }
+  /// The guard controller, when any guard feature is enabled (tests/demos).
+  [[nodiscard]] const guard::GuardController* guard() const noexcept {
+    return guard_.has_value() ? &guard_.value() : nullptr;
   }
 
  private:
@@ -148,6 +164,9 @@ class ServeEngine {
   std::optional<sim::SlotDecision> previous_;
   /// Re-admission of requests orphaned by edge failures.
   fault::FailoverPolicy failover_;
+  /// Overload protection; engaged only when a guard feature is enabled, so
+  /// the default path stays byte-identical to the guard-free engine.
+  std::optional<guard::GuardController> guard_;
 };
 
 }  // namespace birp::serve

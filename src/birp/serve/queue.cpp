@@ -7,12 +7,14 @@
 namespace birp::serve {
 
 AdmissionQueue::AdmissionQueue(int apps, std::vector<ServeItem> stream,
-                               std::int64_t capacity, QueuePolicy policy)
+                               std::int64_t capacity, QueuePolicy policy,
+                               AdmissionGate gate)
     : apps_(apps),
       stream_(std::move(stream)),
       upstream_(static_cast<std::size_t>(apps), 0),
       capacity_(capacity),
       policy_(policy),
+      gate_(std::move(gate)),
       fifos_(static_cast<std::size_t>(apps)) {
   util::check(apps > 0, "AdmissionQueue: need at least one app");
   for (const auto& item : stream_) {
@@ -32,6 +34,17 @@ void AdmissionQueue::admit_next() {
          departures_.top().first <= item.available_s) {
     depth_ -= departures_.top().second;
     departures_.pop();
+  }
+
+  // Deadline-aware shedding happens before the capacity check: a request
+  // predicted to miss its SLO is cheap to reject here, and must not evict a
+  // still-viable buffered request to make room for itself.
+  if (gate_ &&
+      !gate_(item, static_cast<std::int64_t>(
+                       fifos_[static_cast<std::size_t>(item.app)].size()))) {
+    deadline_shed_.push_back(item);
+    sample_depth();
+    return;
   }
 
   if (capacity_ > 0 && depth_ >= capacity_) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -29,12 +30,19 @@ enum class QueuePolicy {
   kEvictOldest,   ///< evict the longest-waiting buffered request instead
 };
 
+/// Deadline-aware admission verdict, consulted for each arrival before the
+/// capacity check. Receives the arrival and the count of same-app requests
+/// already buffered ahead of it; returning false sheds the request (it lands
+/// in deadline_shed(), not in dropped()). A null gate admits everything.
+using AdmissionGate =
+    std::function<bool(const ServeItem& item, std::int64_t buffered_ahead)>;
+
 class AdmissionQueue {
  public:
   /// `stream` must be sorted by (available_s, app, origin, seq).
   /// `capacity` <= 0 means unbounded.
   AdmissionQueue(int apps, std::vector<ServeItem> stream, std::int64_t capacity,
-                 QueuePolicy policy);
+                 QueuePolicy policy, AdmissionGate gate = nullptr);
 
   /// Processes arrivals chronologically until `app`'s FIFO holds `want`
   /// admitted requests or the stream runs out.
@@ -67,6 +75,11 @@ class AdmissionQueue {
   /// Requests dropped by backpressure so far, in drop order.
   [[nodiscard]] const std::vector<ServeItem>& dropped() const noexcept {
     return dropped_;
+  }
+
+  /// Requests the admission gate shed at enqueue time, in shed order.
+  [[nodiscard]] const std::vector<ServeItem>& deadline_shed() const noexcept {
+    return deadline_shed_;
   }
 
   /// Depth samples taken after every admission decision. Every decision path
@@ -105,6 +118,7 @@ class AdmissionQueue {
   std::vector<std::int64_t> upstream_;  ///< per-app count still in stream
   std::int64_t capacity_;
   QueuePolicy policy_;
+  AdmissionGate gate_;
   std::int64_t depth_ = 0;
   std::vector<std::deque<ServeItem>> fifos_;
   /// Deferred departures: (launch start, members), earliest first.
@@ -113,6 +127,7 @@ class AdmissionQueue {
                       std::greater<>>
       departures_;
   std::vector<ServeItem> dropped_;
+  std::vector<ServeItem> deadline_shed_;
   util::RunningStats depth_stats_;
 };
 

@@ -23,10 +23,11 @@ struct ServeItem {
 };
 
 enum class Outcome {
-  kServed,       ///< executed in a batch
-  kPlannedDrop,  ///< the slot decision shed this request (no feasible serve)
-  kQueueDrop,    ///< rejected/evicted by admission-queue backpressure
-  kOrphaned,     ///< terminally lost to an edge failure (retry budget spent)
+  kServed,        ///< executed in a batch
+  kPlannedDrop,   ///< the slot decision shed this request (no feasible serve)
+  kQueueDrop,     ///< rejected/evicted by admission-queue backpressure
+  kOrphaned,      ///< terminally lost to an edge failure (retry budget spent)
+  kDeadlineShed,  ///< shed at enqueue: predicted wait already blew the SLO
 };
 
 /// Full lifecycle of one request within its slot.

@@ -12,6 +12,34 @@
 
 namespace birp::sim {
 
+/// Soft routing guidance produced by the overload-protection layer
+/// (birp/guard) and offered to the scheduler alongside the slot state.
+/// Unlike SlotState::edge_up (a hard liveness fact), hints are advisory:
+/// schedulers are free to ignore them, and the runtime enforces nothing —
+/// the guard layer simply measures the consequences.
+struct SchedulerHints {
+  /// avoid_import(i, k) != 0: the circuit breaker for app i at edge k is
+  /// open — route redistribution traffic around it instead of importing.
+  /// Empty = no avoidance.
+  util::Grid2<std::uint8_t> avoid_import;
+  /// Per-app inclusive cap on the usable variant index (the degradation
+  /// ladder: level L forbids the L most expensive variants). Empty vector
+  /// or a negative/large entry = all variants usable.
+  std::vector<int> variant_cap;
+
+  [[nodiscard]] bool empty() const noexcept {
+    if (avoid_import.rows() > 0) {
+      for (const auto v : avoid_import.raw()) {
+        if (v != 0) return false;
+      }
+    }
+    for (const auto cap : variant_cap) {
+      if (cap >= 0) return false;
+    }
+    return true;
+  }
+};
+
 /// Inputs visible to a scheduler at the start of slot t.
 struct SlotState {
   int slot = 0;
@@ -26,6 +54,22 @@ struct SlotState {
   /// free to ignore it; the runtime orphans work routed to down edges either
   /// way.
   std::vector<std::uint8_t> edge_up;
+  /// Advisory overload-protection hints (null = none active this slot).
+  const SchedulerHints* hints = nullptr;
+
+  /// Hint accessors under the "null/empty means unconstrained" rule.
+  [[nodiscard]] bool import_avoided(int i, int k) const noexcept {
+    return hints != nullptr && hints->avoid_import.rows() > 0 &&
+           hints->avoid_import(i, k) != 0;
+  }
+  [[nodiscard]] bool variant_allowed(int i, int j) const noexcept {
+    if (hints == nullptr ||
+        i >= static_cast<int>(hints->variant_cap.size())) {
+      return true;
+    }
+    const int cap = hints->variant_cap[static_cast<std::size_t>(i)];
+    return cap < 0 || j <= cap;
+  }
 
   /// Convenience: liveness of edge k under the "empty means all up" rule.
   [[nodiscard]] bool is_up(int k) const noexcept {
@@ -73,6 +117,13 @@ class Scheduler {
 
   /// Receives execution feedback; default no-op for offline schedulers.
   virtual void observe(const SlotFeedback& feedback) { (void)feedback; }
+
+  /// How many slots this scheduler answered with a degraded-mode fallback
+  /// decision (e.g. BIRP's greedy net when the MILP solve fails). Surfaced
+  /// through RunMetrics so degraded slots are observable in reports.
+  [[nodiscard]] virtual std::int64_t fallback_count() const noexcept {
+    return 0;
+  }
 };
 
 }  // namespace birp::sim

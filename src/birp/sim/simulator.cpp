@@ -401,6 +401,7 @@ metrics::RunMetrics Simulator::run(Scheduler& scheduler, int max_slots) {
   for (std::int64_t d = failover_.drain_pending(); d > 0; --d) {
     metrics.record_orphan_drop();
   }
+  metrics.set_solver_fallbacks(scheduler.fallback_count());
   return metrics;
 }
 

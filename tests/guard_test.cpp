@@ -1,0 +1,644 @@
+// Tests for the overload-protection layer (birp/guard): circuit-breaker
+// state machine, deadline-aware admission, the degradation ladder and its
+// scheduler hints, failover backoff jitter, config validation, and the
+// B&B iteration-limit fallback surfaced through RunMetrics.
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/fault/failover.hpp"
+#include "birp/guard/breaker.hpp"
+#include "birp/guard/config.hpp"
+#include "birp/guard/controller.hpp"
+#include "birp/metrics/report_csv.hpp"
+#include "birp/serve/engine.hpp"
+#include "birp/sim/simulator.hpp"
+#include "birp/workload/trace.hpp"
+
+namespace birp::guard {
+namespace {
+
+device::ClusterSpec small_cluster(double tau = 6.0) {
+  return device::ClusterSpec(device::one_of_each(), model::Zoo::small_scale(),
+                             tau, 0x7e57);
+}
+
+workload::Trace uniform_trace(const device::ClusterSpec& cluster, int slots,
+                              std::int64_t per_cell) {
+  workload::Trace trace(slots, cluster.num_apps(), cluster.num_devices());
+  for (int t = 0; t < slots; ++t) {
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        trace.set(t, i, k, per_cell);
+      }
+    }
+  }
+  return trace;
+}
+
+/// Serves all local demand with variant 0 (batch == demand, capped at 16).
+class LocalGreedyScheduler : public sim::Scheduler {
+ public:
+  explicit LocalGreedyScheduler(const device::ClusterSpec& cluster)
+      : cluster_(cluster) {}
+  [[nodiscard]] std::string name() const override { return "local-greedy"; }
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState& state) override {
+    sim::SlotDecision decision(cluster_.num_apps(),
+                               cluster_.zoo().max_variants(),
+                               cluster_.num_devices());
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        const auto demand = state.demand(i, k);
+        const auto take = std::min<std::int64_t>(demand, 16);
+        decision.served(i, 0, k) = take;
+        decision.kernel(i, 0, k) =
+            static_cast<int>(std::max<std::int64_t>(take, 1));
+        decision.drops(i, k) = demand - take;
+      }
+    }
+    return decision;
+  }
+
+ private:
+  const device::ClusterSpec& cluster_;
+};
+
+BreakerConfig tight_breaker() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.window_slots = 4;
+  config.min_samples = 8;
+  config.trip_threshold = 0.5;
+  config.open_slots = 2;
+  return config;
+}
+
+// ----------------------------------------------- breaker state machine ----
+
+TEST(Breaker, ClosedTripsToOpenAtThreshold) {
+  CircuitBreaker breaker(tight_breaker());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.avoid());
+
+  breaker.record(10, 5);  // rate exactly at the 0.5 threshold
+  const auto transition = breaker.advance();
+  EXPECT_TRUE(transition.tripped);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.avoid());
+}
+
+TEST(Breaker, ClosedBelowMinSamplesNeverTrips) {
+  CircuitBreaker breaker(tight_breaker());
+  breaker.record(7, 7);  // 100% failing but below min_samples = 8
+  EXPECT_FALSE(breaker.advance().tripped);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // The window accumulates across slots: one more failure crosses the bar.
+  breaker.record(1, 1);
+  EXPECT_TRUE(breaker.advance().tripped);
+}
+
+TEST(Breaker, WindowSlidesOldFailuresOut) {
+  CircuitBreaker breaker(tight_breaker());
+  breaker.record(8, 8);
+  // Window of 4: after four healthy slots the failing slot has slid out, so
+  // the breaker never trips even though min_samples stays satisfied. The
+  // first advance still sees the fresh failures, so it trips immediately —
+  // use a healthier mix instead: 8 failed of 24 = 0.33 < threshold.
+  breaker.record(16, 0);
+  EXPECT_FALSE(breaker.advance().tripped);
+  for (int s = 0; s < 4; ++s) {
+    breaker.record(4, 0);
+    EXPECT_FALSE(breaker.advance().tripped);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.window_failed(), 0);  // failures aged out
+}
+
+TEST(Breaker, OpenProbesAfterQuarantine) {
+  CircuitBreaker breaker(tight_breaker());
+  breaker.record(8, 8);
+  ASSERT_TRUE(breaker.advance().tripped);
+
+  // Outcomes observed while open are quarantined (cleared each slot).
+  breaker.record(50, 50);
+  auto transition = breaker.advance();  // open slot 1 of 2
+  EXPECT_FALSE(transition.probed);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  transition = breaker.advance();  // open slot 2 of 2 -> half-open
+  EXPECT_TRUE(transition.probed);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.avoid());  // half-open lets probe traffic through
+  EXPECT_EQ(breaker.window_total(), 0);  // quarantined outcomes discarded
+}
+
+TEST(Breaker, HalfOpenRecoversOnHealthyProbe) {
+  CircuitBreaker breaker(tight_breaker());
+  breaker.record(8, 8);
+  ASSERT_TRUE(breaker.advance().tripped);
+  ASSERT_FALSE(breaker.advance().probed);
+  ASSERT_TRUE(breaker.advance().probed);
+
+  breaker.record(6, 1);  // healthy probe traffic
+  const auto transition = breaker.advance();
+  EXPECT_TRUE(transition.recovered);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, HalfOpenReopensOnFailingProbe) {
+  CircuitBreaker breaker(tight_breaker());
+  breaker.record(8, 8);
+  ASSERT_TRUE(breaker.advance().tripped);
+  ASSERT_TRUE((breaker.advance(), breaker.advance()).probed);
+
+  breaker.record(4, 3);  // probe traffic still failing
+  const auto transition = breaker.advance();
+  EXPECT_TRUE(transition.reopened);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.avoid());
+
+  // The reopened breaker quarantines for open_slots again before reprobing.
+  EXPECT_FALSE(breaker.advance().probed);
+  EXPECT_TRUE(breaker.advance().probed);
+}
+
+TEST(Breaker, HalfOpenWithoutTrafficKeepsProbing) {
+  CircuitBreaker breaker(tight_breaker());
+  breaker.record(8, 8);
+  ASSERT_TRUE(breaker.advance().tripped);
+  breaker.advance();
+  ASSERT_TRUE(breaker.advance().probed);
+
+  for (int s = 0; s < 5; ++s) {
+    const auto transition = breaker.advance();  // no outcomes recorded
+    EXPECT_FALSE(transition.recovered);
+    EXPECT_FALSE(transition.reopened);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+// ------------------------------------------------ admission controller ----
+
+TEST(Admission, OracleFormulaAdmitsAndSheds) {
+  const auto cluster = small_cluster();
+  GuardConfig config;
+  config.admission.enabled = true;
+  config.admission.slack = 1.0;
+  config.admission.marginal_batch_cost = 0.4;
+  GuardController guard(cluster, config);
+
+  const double tau = cluster.tau_s();
+  const double slo =
+      cluster.zoo().app(0).slo_fraction * tau;  // per-request budget
+  const double gamma = cluster.gamma_s(0, 0, 0);
+  ASSERT_LT(gamma, slo);  // a lone request at an idle edge must be viable
+
+  // Idle edge, request available immediately: always admitted.
+  EXPECT_TRUE(guard.admit(0, 0, 0, 1, 0.0, 0.0, 0.0, 0));
+
+  // A transfer that already consumed the whole budget: shed on arrival.
+  EXPECT_FALSE(guard.admit(0, 0, 0, 1, 0.0, slo, 0.0, 0));
+
+  // Deep same-app backlog: predicted batches-ahead wait exceeds the budget.
+  const std::int64_t doomed_depth =
+      static_cast<std::int64_t>(slo / gamma) + 2;
+  EXPECT_FALSE(guard.admit(0, 0, 0, 1, 0.0, 0.0, 0.0, doomed_depth));
+
+  // The exact boundary: predicted sojourn == slack * slo stays admitted.
+  EXPECT_TRUE(guard.admit(0, 0, 0, 1, 0.0, slo - gamma, 0.0, 0));
+
+  // An accelerator backlog past the budget dooms the request even when it
+  // is available immediately and no one is buffered ahead of it.
+  EXPECT_FALSE(guard.admit(0, 0, 0, 1, 0.0, 0.0, slo, 0));
+  EXPECT_TRUE(guard.admit(0, 0, 0, 1, 0.0, 0.0, slo - gamma, 0));
+}
+
+TEST(Admission, SlackScalesTheBudget) {
+  const auto cluster = small_cluster();
+  GuardConfig tight;
+  tight.admission.enabled = true;
+  tight.admission.slack = 0.1;
+  GuardConfig loose;
+  loose.admission.enabled = true;
+  loose.admission.slack = 10.0;
+  GuardController strict(cluster, tight);
+  GuardController permissive(cluster, loose);
+
+  const double slo = cluster.zoo().app(0).slo_fraction * cluster.tau_s();
+  EXPECT_FALSE(strict.admit(0, 0, 0, 1, 0.0, 0.5 * slo, 0.0, 0));
+  EXPECT_TRUE(permissive.admit(0, 0, 0, 1, 0.0, 0.5 * slo, 0.0, 0));
+}
+
+TEST(Admission, DisabledAdmitsEverything) {
+  const auto cluster = small_cluster();
+  GuardConfig config;
+  config.breaker.enabled = true;  // controller engaged, admission off
+  GuardController guard(cluster, config);
+  EXPECT_TRUE(guard.admit(0, 0, 0, 1, 0.0, 1e9, 1e9, 1'000'000));
+}
+
+// ------------------------------------------------- degradation ladder ----
+
+TEST(Ladder, StressStepsDownAndCalmRestores) {
+  const auto cluster = small_cluster();
+  GuardConfig config;
+  config.degradation.enabled = true;
+  config.degradation.stress_shed_fraction = 0.25;
+  config.degradation.recovery_slots = 2;
+  GuardController guard(cluster, config);
+
+  const int apps = cluster.num_apps();
+  const int J = cluster.zoo().num_variants(0);
+  ASSERT_GE(J, 2);  // the ladder needs at least two rungs to be visible
+  util::Grid2<GuardController::CellStats> cells(apps, cluster.num_devices());
+  std::vector<std::int64_t> demand(static_cast<std::size_t>(apps), 100);
+  std::vector<std::int64_t> calm_shed(static_cast<std::size_t>(apps), 0);
+  std::vector<std::int64_t> stressed_shed = calm_shed;
+  stressed_shed[0] = 30;  // 30% of app 0's demand shed: above the threshold
+
+  auto summary = guard.end_slot(cells, demand, stressed_shed);
+  EXPECT_EQ(guard.degradation_level(0), 1);
+  EXPECT_EQ(summary.degraded_apps, 1);
+  EXPECT_EQ(summary.max_level, 1);
+  EXPECT_EQ(guard.begin_slot(1).variant_cap[0], J - 2);
+
+  // Sustained stress keeps stepping down but never removes variant 0.
+  for (int s = 0; s < J + 3; ++s) guard.end_slot(cells, demand, stressed_shed);
+  EXPECT_EQ(guard.degradation_level(0), J - 1);
+  EXPECT_EQ(guard.begin_slot(2).variant_cap[0], 0);
+
+  // One calm slot is not enough; recovery_slots calm slots restore one rung.
+  guard.end_slot(cells, demand, calm_shed);
+  EXPECT_EQ(guard.degradation_level(0), J - 1);
+  guard.end_slot(cells, demand, calm_shed);
+  EXPECT_EQ(guard.degradation_level(0), J - 2);
+
+  // Full recovery clears the cap entirely.
+  for (int s = 0; s < 2 * J; ++s) guard.end_slot(cells, demand, calm_shed);
+  EXPECT_EQ(guard.degradation_level(0), 0);
+  EXPECT_EQ(guard.begin_slot(3).variant_cap[0], -1);
+  EXPECT_TRUE(guard.begin_slot(3).empty());
+}
+
+TEST(Ladder, OpenBreakerCountsAsStress) {
+  const auto cluster = small_cluster();
+  GuardConfig config;
+  config.breaker = tight_breaker();
+  config.degradation.enabled = true;
+  GuardController guard(cluster, config);
+
+  const int apps = cluster.num_apps();
+  util::Grid2<GuardController::CellStats> cells(apps, cluster.num_devices());
+  cells(0, 1) = {20, 20};  // app 0 failing hard at edge 1
+  std::vector<std::int64_t> demand(static_cast<std::size_t>(apps), 100);
+  std::vector<std::int64_t> shed(static_cast<std::size_t>(apps), 0);
+
+  guard.end_slot(cells, demand, shed);
+  EXPECT_EQ(guard.breaker_state(0, 1), BreakerState::kOpen);
+  EXPECT_EQ(guard.degradation_level(0), 1);  // breaker stress, no sheds
+
+  const auto& hints = guard.begin_slot(1);
+  EXPECT_EQ(hints.avoid_import(0, 1), 1);
+  EXPECT_EQ(hints.avoid_import(0, 0), 0);
+  EXPECT_FALSE(hints.empty());
+}
+
+// --------------------------------------- hints constrain the scheduler ----
+
+TEST(Hints, BirpSchedulerRespectsAvoidAndVariantCap) {
+  const auto cluster = small_cluster();
+  core::BirpScheduler scheduler(cluster);
+
+  sim::SchedulerHints hints;
+  hints.avoid_import =
+      util::Grid2<std::uint8_t>(cluster.num_apps(), cluster.num_devices(), 0);
+  for (int i = 0; i < cluster.num_apps(); ++i) hints.avoid_import(i, 1) = 1;
+  hints.variant_cap.assign(static_cast<std::size_t>(cluster.num_apps()), 0);
+
+  sim::SlotState state;
+  state.slot = 0;
+  state.demand = util::Grid2<std::int64_t>(cluster.num_apps(),
+                                           cluster.num_devices(), 8);
+  state.hints = &hints;
+  const auto decision = scheduler.decide(state);
+
+  for (int i = 0; i < cluster.num_apps(); ++i) {
+    // No redistribution into the avoided edge...
+    EXPECT_EQ(decision.imports(i, 1), 0);
+    // ...and nothing served above the capped variant anywhere.
+    for (int j = 1; j < cluster.zoo().max_variants(); ++j) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        EXPECT_EQ(decision.served(i, j, k), 0)
+            << "i=" << i << " j=" << j << " k=" << k;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- backoff jitter ----
+
+TEST(Backoff, ExponentialScheduleWithoutJitter) {
+  fault::FailoverConfig config;
+  config.enabled = true;
+  config.backoff_base_slots = 2;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max_slots = 12;
+  fault::FailoverPolicy policy(config, 1, 2);
+  EXPECT_EQ(policy.delay_slots(1), 2);
+  EXPECT_EQ(policy.delay_slots(2), 4);
+  EXPECT_EQ(policy.delay_slots(3), 8);
+  EXPECT_EQ(policy.delay_slots(4), 12);  // capped
+  EXPECT_EQ(policy.delay_slots(5), 12);
+}
+
+TEST(Backoff, LegacyZeroBaseIsAlwaysNextSlot) {
+  fault::FailoverConfig config;
+  config.enabled = true;
+  config.backoff_jitter = 0.9;  // irrelevant: base 0 never draws
+  fault::FailoverPolicy policy(config, 1, 2);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(policy.delay_slots(attempt), 1);
+  }
+}
+
+TEST(Backoff, JitterIsSeededAndDeterministic) {
+  fault::FailoverConfig config;
+  config.enabled = true;
+  config.backoff_base_slots = 4;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max_slots = 32;
+  config.backoff_jitter = 0.5;
+
+  const auto draw_schedule = [](fault::FailoverPolicy& policy) {
+    std::vector<int> delays;
+    for (int n = 0; n < 16; ++n) delays.push_back(policy.delay_slots(1 + n % 3));
+    return delays;
+  };
+  fault::FailoverPolicy a(config, 2, 3);
+  fault::FailoverPolicy b(config, 2, 3);
+  const auto first = draw_schedule(a);
+  EXPECT_EQ(first, draw_schedule(b));  // same seed -> same schedule
+
+  for (const int d : first) {
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, config.backoff_max_slots);
+  }
+
+  auto reseeded = config;
+  reseeded.backoff_seed ^= 0xbeef;
+  fault::FailoverPolicy c(config, 2, 3);
+  fault::FailoverPolicy d(reseeded, 2, 3);
+  EXPECT_NE(draw_schedule(c), draw_schedule(d));
+}
+
+TEST(Backoff, CohortsWaitOutTheirDelay) {
+  fault::FailoverConfig config;
+  config.enabled = true;
+  config.retry_budget = 2;
+  config.backoff_base_slots = 2;
+  config.backoff_jitter = 0.0;
+  fault::FailoverPolicy policy(config, 1, 2);
+
+  policy.begin_slot(0, {1, 1});
+  EXPECT_EQ(policy.on_orphans(0, 1, 6).retried, 6);
+
+  // Delay 2: nothing re-enters at slot 1, everything at slot 2.
+  const auto& early = policy.begin_slot(1, {1, 1});
+  EXPECT_EQ(early(0, 0) + early(0, 1), 0);
+  const auto& due = policy.begin_slot(2, {1, 1});
+  EXPECT_EQ(due(0, 0) + due(0, 1), 6);
+  EXPECT_EQ(policy.drain_pending(), 0);
+}
+
+TEST(Backoff, AvoidMaskRoutesAroundTrippedEdges) {
+  fault::FailoverConfig config;
+  config.enabled = true;
+  config.retry_budget = 2;  // the re-admitted cohort survives one more orphaning
+  fault::FailoverPolicy policy(config, 1, 3);
+  policy.begin_slot(0, {1, 1, 1});
+  EXPECT_EQ(policy.on_orphans(0, 2, 9).retried, 9);
+
+  util::Grid2<std::uint8_t> avoid(1, 3, 0);
+  avoid(0, 1) = 1;
+  const auto& readmit = policy.begin_slot(1, {1, 1, 1}, &avoid);
+  EXPECT_EQ(readmit(0, 1), 0);  // tripped edge skipped
+  EXPECT_EQ(readmit(0, 0) + readmit(0, 2), 9);
+
+  // Availability beats avoidance: all edges tripped -> all edges used.
+  // (`readmit` aliases the policy's internal grid, so copy the count out
+  // before the next begin_slot overwrites it.)
+  const std::int64_t reorphaned = readmit(0, 0);
+  EXPECT_EQ(policy.on_orphans(0, 0, reorphaned).retried, reorphaned);
+  util::Grid2<std::uint8_t> all(1, 3, 1);
+  const auto& forced = policy.begin_slot(2, {1, 1, 1}, &all);
+  EXPECT_EQ(forced(0, 0) + forced(0, 1) + forced(0, 2), reorphaned);
+}
+
+// ----------------------------------------------------- config checking ----
+
+TEST(GuardValidation, RejectsOutOfRangeValues) {
+  GuardConfig slack;
+  slack.admission.slack = 0.0;
+  EXPECT_THROW(validate(slack), std::logic_error);
+
+  GuardConfig cost;
+  cost.admission.marginal_batch_cost = -0.1;
+  EXPECT_THROW(validate(cost), std::logic_error);
+
+  GuardConfig window;
+  window.breaker.window_slots = 0;
+  EXPECT_THROW(validate(window), std::logic_error);
+
+  GuardConfig samples;
+  samples.breaker.min_samples = 0;
+  EXPECT_THROW(validate(samples), std::logic_error);
+
+  GuardConfig threshold;
+  threshold.breaker.trip_threshold = 1.5;
+  EXPECT_THROW(validate(threshold), std::logic_error);
+
+  GuardConfig open;
+  open.breaker.open_slots = 0;
+  EXPECT_THROW(validate(open), std::logic_error);
+
+  GuardConfig stress;
+  stress.degradation.stress_shed_fraction = -0.5;
+  EXPECT_THROW(validate(stress), std::logic_error);
+
+  GuardConfig recovery;
+  recovery.degradation.recovery_slots = 0;
+  EXPECT_THROW(validate(recovery), std::logic_error);
+
+  EXPECT_NO_THROW(validate(GuardConfig{}));
+}
+
+TEST(GuardValidation, ServeEngineRejectsBadConfigs) {
+  const auto cluster = small_cluster();
+  const auto trace = uniform_trace(cluster, 2, 4);
+
+  serve::ServeConfig negative_queue;
+  negative_queue.queue_capacity = -1;
+  EXPECT_THROW(serve::ServeEngine(cluster, trace, negative_queue),
+               std::logic_error);
+
+  serve::ServeConfig negative_threads;
+  negative_threads.threads = -2;
+  EXPECT_THROW(serve::ServeEngine(cluster, trace, negative_threads),
+               std::logic_error);
+
+  serve::ServeConfig bad_guard;
+  bad_guard.guard.breaker.trip_threshold = 2.0;
+  EXPECT_THROW(serve::ServeEngine(cluster, trace, bad_guard),
+               std::logic_error);
+
+  // Bad guard values are rejected even with every feature disabled: configs
+  // are validated before they can silently activate later.
+  serve::ServeConfig disabled_but_bad;
+  disabled_but_bad.guard.admission.slack = -1.0;
+  EXPECT_THROW(serve::ServeEngine(cluster, trace, disabled_but_bad),
+               std::logic_error);
+
+  serve::ServeConfig fine;
+  fine.guard.admission.enabled = true;
+  EXPECT_NO_THROW(serve::ServeEngine(cluster, trace, fine));
+}
+
+// ------------------------------------------------- engine integration ----
+
+TEST(ServeGuard, NeutralGuardIsBitIdenticalToPlain) {
+  // Admission enabled with an effectively infinite budget: the guard runs
+  // (controller engaged, gates evaluated) but never changes an outcome.
+  const auto cluster = small_cluster();
+  const auto trace = uniform_trace(cluster, 5, 8);
+  serve::ServeConfig plain;
+  serve::ServeConfig neutral;
+  neutral.guard.admission.enabled = true;
+  neutral.guard.admission.slack = 1e9;
+
+  LocalGreedyScheduler s1(cluster);
+  LocalGreedyScheduler s2(cluster);
+  serve::ServeEngine e1(cluster, trace, plain);
+  serve::ServeEngine e2(cluster, trace, neutral);
+  const auto a = e1.run(s1);
+  const auto b = e2.run(s2);
+  EXPECT_DOUBLE_EQ(a.total_loss(), b.total_loss());
+  EXPECT_EQ(a.slo_failures(), b.slo_failures());
+  EXPECT_DOUBLE_EQ(a.latency_quantile(0.5), b.latency_quantile(0.5));
+  EXPECT_EQ(b.deadline_shed(), 0);
+  EXPECT_EQ(b.breaker_trips(), 0);
+  EXPECT_EQ(b.degraded_slots(), 0);
+}
+
+TEST(ServeGuard, AggressiveAdmissionShedsAndConservesRequests) {
+  const auto cluster = small_cluster();
+  const auto trace = uniform_trace(cluster, 6, 24);  // heavy overload
+  serve::ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.guard.admission.enabled = true;
+  // tau = 6 s vs variant-0 batch latencies of tens of milliseconds: only a
+  // sub-1% slack makes the predicted batch wait blow the budget.
+  config.guard.admission.slack = 0.005;
+
+  LocalGreedyScheduler scheduler(cluster);
+  serve::ServeEngine engine(cluster, trace, config);
+  const auto metrics = engine.run(scheduler);
+  EXPECT_GT(metrics.deadline_shed(), 0);
+  // Every request still resolves exactly once.
+  EXPECT_EQ(metrics.total_requests(), trace.total());
+  // Sheds are drops and SLO failures, never silent losses.
+  EXPECT_GE(metrics.dropped(), metrics.deadline_shed());
+  EXPECT_GE(metrics.slo_failures(), metrics.deadline_shed());
+}
+
+TEST(ServeGuard, FullLadderIsDeterministicAcrossThreadCounts) {
+  const auto cluster = small_cluster();
+  const auto trace = uniform_trace(cluster, 8, 20);
+  serve::ServeConfig config;
+  config.queue_capacity = 24;
+  config.guard.admission.enabled = true;
+  config.guard.admission.slack = 0.8;
+  config.guard.breaker = tight_breaker();
+  config.guard.degradation.enabled = true;
+  config.failover.enabled = true;
+  config.failover.backoff_base_slots = 2;
+  config.failover.backoff_jitter = 0.5;
+
+  serve::ServeConfig one = config;
+  one.threads = 1;
+  serve::ServeConfig many = config;
+  many.threads = 4;
+  LocalGreedyScheduler s1(cluster);
+  LocalGreedyScheduler s2(cluster);
+  serve::ServeEngine e1(cluster, trace, one);
+  serve::ServeEngine e2(cluster, trace, many);
+  const auto a = e1.run(s1);
+  const auto b = e2.run(s2);
+  EXPECT_DOUBLE_EQ(a.total_loss(), b.total_loss());
+  EXPECT_EQ(a.slo_failures(), b.slo_failures());
+  EXPECT_EQ(a.deadline_shed(), b.deadline_shed());
+  EXPECT_EQ(a.breaker_trips(), b.breaker_trips());
+  EXPECT_EQ(a.degraded_slots(), b.degraded_slots());
+  EXPECT_EQ(a.retries(), b.retries());
+  EXPECT_DOUBLE_EQ(a.latency_quantile(0.95), b.latency_quantile(0.95));
+  EXPECT_EQ(a.total_requests(), trace.total());
+}
+
+// ------------------------------------- B&B iteration-limit fallback ----
+
+TEST(SolverFallback, IterationLimitEngagesGreedyWithValidDecision) {
+  const auto cluster = small_cluster();
+  core::BirpConfig config;
+  config.solver.max_nodes = 0;  // the B&B main loop never runs
+  core::BirpScheduler scheduler(cluster, config);
+
+  sim::SlotState state;
+  state.slot = 0;
+  state.demand = util::Grid2<std::int64_t>(cluster.num_apps(),
+                                           cluster.num_devices(), 10);
+  const auto decision = scheduler.decide(state);
+  EXPECT_EQ(scheduler.fallback_count(), 1);
+
+  // The greedy fallback must still conserve requests per (app, edge).
+  for (int i = 0; i < cluster.num_apps(); ++i) {
+    for (int k = 0; k < cluster.num_devices(); ++k) {
+      std::int64_t served = 0;
+      for (int j = 0; j < cluster.zoo().num_variants(i); ++j) {
+        served += decision.served(i, j, k);
+        EXPECT_GE(decision.served(i, j, k), 0);
+      }
+      const auto available = state.demand(i, k) - decision.exports(i, k) +
+                             decision.imports(i, k);
+      EXPECT_EQ(served + decision.drops(i, k), available);
+      EXPECT_GE(decision.drops(i, k), 0);
+    }
+  }
+}
+
+TEST(SolverFallback, SurfacesThroughRunMetricsAndCsv) {
+  const auto cluster = small_cluster();
+  const auto trace = uniform_trace(cluster, 4, 6);
+  core::BirpConfig config;
+  config.solver.max_nodes = 0;
+  core::BirpScheduler scheduler(cluster, config);
+  sim::Simulator simulator(cluster, trace);
+  const auto metrics = simulator.run(scheduler);
+  EXPECT_EQ(metrics.solver_fallbacks(), 4);  // every slot fell back
+
+  std::ostringstream csv;
+  metrics::write_summary_csv(csv, {{"BIRP", &metrics}});
+  EXPECT_NE(csv.str().find("solver_fallbacks"), std::string::npos);
+  EXPECT_NE(csv.str().find(",4"), std::string::npos);
+
+  // A healthy node budget never falls back on this workload.
+  core::BirpScheduler healthy(cluster);
+  sim::Simulator again(cluster, trace);
+  const auto clean = again.run(healthy);
+  EXPECT_EQ(clean.solver_fallbacks(), 0);
+}
+
+}  // namespace
+}  // namespace birp::guard
