@@ -66,6 +66,65 @@ void BM_SlotProblemLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SlotProblemLp)->Unit(benchmark::kMillisecond);
 
+void BM_SlotProblemLpWarm(benchmark::State& state) {
+  // Arg 0: cold two-phase solve. Arg 1: warm re-solve from the problem's own
+  // optimal basis (the cross-slot case: consecutive slot LPs share structure,
+  // so the previous basis refactorizes and needs few or no pivots).
+  const bool warm = state.range(0) == 1;
+  const auto cluster = birp::device::ClusterSpec::paper_large();
+  birp::util::Grid2<std::int64_t> demand(cluster.num_apps(),
+                                         cluster.num_devices(), 12);
+  const birp::core::TirLookup lookup = [&](int k, int i, int j) {
+    return cluster.oracle_tir(k, i, j);
+  };
+  const auto built =
+      birp::core::build_slot_problem(cluster, demand, nullptr, lookup, {});
+  const auto root =
+      birp::solver::solve_lp(built.model, {}, {}, {}, nullptr, true);
+  std::int64_t pivots = 0;
+  std::int64_t solves = 0;
+  for (auto _ : state) {
+    auto solution = birp::solver::solve_lp(built.model, {}, {}, {},
+                                           warm ? &root.basis : nullptr, false);
+    pivots += solution.simplex_iterations;
+    ++solves;
+    benchmark::DoNotOptimize(solution.objective);
+  }
+  state.counters["pivots/solve"] = solves > 0
+                                       ? static_cast<double>(pivots) /
+                                             static_cast<double>(solves)
+                                       : 0.0;
+}
+BENCHMARK(BM_SlotProblemLpWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MilpWaveThreads(benchmark::State& state) {
+  // Wave-parallel branch-and-bound on the paper_large slot MILP. Arg is the
+  // pool size (0 = no pool). Results are bit-identical across args; only
+  // wall time changes.
+  const int threads = static_cast<int>(state.range(0));
+  const auto cluster = birp::device::ClusterSpec::paper_large();
+  birp::util::Grid2<std::int64_t> demand(cluster.num_apps(),
+                                         cluster.num_devices(), 14);
+  const birp::core::TirLookup lookup = [&](int k, int i, int j) {
+    return cluster.oracle_tir(k, i, j);
+  };
+  const auto built =
+      birp::core::build_slot_problem(cluster, demand, nullptr, lookup, {});
+  std::unique_ptr<birp::runtime::ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<birp::runtime::ThreadPool>(
+        static_cast<std::size_t>(threads));
+  }
+  birp::solver::BranchAndBoundOptions options;
+  options.max_nodes = 48;
+  options.pool = pool.get();
+  for (auto _ : state) {
+    auto solution = birp::solver::solve_milp(built.model, options);
+    benchmark::DoNotOptimize(solution.objective);
+  }
+}
+BENCHMARK(BM_MilpWaveThreads)->Arg(0)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_BirpFullDecide(benchmark::State& state) {
   const auto cluster = birp::device::ClusterSpec::paper_large();
   birp::workload::GeneratorConfig config;

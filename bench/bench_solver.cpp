@@ -1,0 +1,193 @@
+// Solver perf sweep: the tracked baseline for per-slot MILP solving.
+//
+// Replays a paper_large slot sequence through BirpScheduler::decide under
+// three solver configurations —
+//   cold-serial    warm starts off, one node LP at a time (the pre-warm-start
+//                  solver, kept as the comparison baseline)
+//   warm-serial    parent-basis + cross-slot warm starts, serial waves
+//   warm-parallel  warm starts plus wave-parallel node LPs on a thread pool
+// — and emits BENCH_solver.json with per-config node/pivot totals and
+// decide-latency percentiles. CI runs `bench_solver --quick` and archives the
+// JSON, so the solver's perf trajectory is tracked PR over PR; the committed
+// BENCH_solver.json at the repo root is the current baseline.
+//
+// Decisions are bit-identical across thread counts by construction (see
+// branch_and_bound.hpp), so the configs differ in speed, not in policy.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/util/stats.hpp"
+
+namespace {
+
+struct ConfigResult {
+  std::string name;
+  std::int64_t nodes = 0;
+  std::int64_t simplex_pivots = 0;
+  std::int64_t factor_pivots = 0;
+  std::int64_t warm_lp_solves = 0;
+  std::int64_t cold_lp_solves = 0;
+  std::int64_t fallbacks = 0;
+  double decide_ms_total = 0.0;
+  double decide_ms_p50 = 0.0;
+  double decide_ms_p95 = 0.0;
+};
+
+ConfigResult run_config(const std::string& name,
+                        const birp::bench::Scenario& scenario, bool warm,
+                        int threads) {
+  birp::core::BirpConfig config;
+  config.solver.warm_start = warm;
+  if (!warm) config.solver.wave_size = 1;  // the classic serial loop
+  config.solver_threads = threads;
+  // Offline beliefs keep the three runs on identical problems (no online
+  // estimator state drifting with feedback ordering).
+  auto scheduler = birp::core::BirpScheduler::offline(scenario.cluster, config);
+
+  const int apps = scenario.cluster.num_apps();
+  const int devices = scenario.cluster.num_devices();
+  birp::sim::SlotDecision previous(apps, scenario.cluster.zoo().max_variants(),
+                                   devices);
+  std::vector<double> decide_ms;
+  decide_ms.reserve(static_cast<std::size_t>(scenario.trace.slots()));
+  for (int t = 0; t < scenario.trace.slots(); ++t) {
+    birp::sim::SlotState state;
+    state.slot = t;
+    state.demand = birp::util::Grid2<std::int64_t>(apps, devices, 0);
+    for (int i = 0; i < apps; ++i) {
+      for (int k = 0; k < devices; ++k) {
+        state.demand(i, k) = scenario.trace.at(t, i, k);
+      }
+    }
+    state.previous = t == 0 ? nullptr : &previous;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto decision = scheduler.decide(state);
+    const auto stop = std::chrono::steady_clock::now();
+    decide_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    previous = std::move(decision);
+  }
+
+  ConfigResult result;
+  result.name = name;
+  result.nodes = scheduler.total_nodes();
+  result.simplex_pivots = scheduler.total_pivots();
+  result.factor_pivots = scheduler.total_factor_pivots();
+  result.warm_lp_solves = scheduler.warm_lp_solves();
+  result.cold_lp_solves = scheduler.cold_lp_solves();
+  result.fallbacks = scheduler.fallback_count();
+  for (const double ms : decide_ms) result.decide_ms_total += ms;
+  result.decide_ms_p50 = birp::util::percentile(decide_ms, 0.5);
+  result.decide_ms_p95 = birp::util::percentile(decide_ms, 0.95);
+  return result;
+}
+
+void write_json(const std::string& path, const birp::bench::Cli& cli,
+                int threads, const std::vector<ConfigResult>& results) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"bench_solver\",\n";
+  out << "  \"cluster\": \"paper_large\",\n";
+  out << "  \"slots\": " << cli.slots << ",\n";
+  out << "  \"target\": " << cli.target << ",\n";
+  out << "  \"seed\": " << cli.seed << ",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"configs\": [\n";
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const auto& r = results[c];
+    out << "    {\n";
+    out << "      \"name\": \"" << r.name << "\",\n";
+    out << "      \"nodes\": " << r.nodes << ",\n";
+    out << "      \"simplex_pivots\": " << r.simplex_pivots << ",\n";
+    out << "      \"factor_pivots\": " << r.factor_pivots << ",\n";
+    out << "      \"warm_lp_solves\": " << r.warm_lp_solves << ",\n";
+    out << "      \"cold_lp_solves\": " << r.cold_lp_solves << ",\n";
+    out << "      \"fallbacks\": " << r.fallbacks << ",\n";
+    out << "      \"decide_ms_total\": " << r.decide_ms_total << ",\n";
+    out << "      \"decide_ms_p50\": " << r.decide_ms_p50 << ",\n";
+    out << "      \"decide_ms_p95\": " << r.decide_ms_p95 << "\n";
+    out << "    }" << (c + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  const double cold = static_cast<double>(results.front().simplex_pivots);
+  out << "  \"pivot_reduction_vs_cold\": {";
+  for (std::size_t c = 1; c < results.size(); ++c) {
+    const double mine = static_cast<double>(results[c].simplex_pivots);
+    out << (c > 1 ? ", " : "") << "\"" << results[c].name
+        << "\": " << (mine > 0.0 ? cold / mine : 0.0);
+  }
+  out << "}\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = birp::bench::Cli::parse(argc, argv, /*default_slots=*/40,
+                                     /*default_target=*/0.55);
+  std::string json_path = "BENCH_solver.json";
+  int threads = 4;
+  bool check = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string flag = argv[a];
+    if (flag == "--quick") {
+      cli.slots = 12;
+    } else if (flag == "--json" && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (flag == "--threads" && a + 1 < argc) {
+      threads = std::atoi(argv[++a]);
+    } else if (flag == "--check") {
+      check = true;  // fail (exit 1) unless warm halves the pivot count
+    }
+  }
+
+  const auto scenario = birp::bench::make_scenario(
+      birp::device::ClusterSpec::paper_large(), cli);
+
+  std::vector<ConfigResult> results;
+  results.push_back(run_config("cold-serial", scenario, false, 0));
+  results.push_back(run_config("warm-serial", scenario, true, 0));
+  results.push_back(run_config("warm-parallel", scenario, true, threads));
+
+  birp::util::TextTable table({"config", "nodes", "simplex pivots",
+                               "factor pivots", "warm LPs", "cold LPs",
+                               "decide p50 ms", "decide p95 ms", "total ms"});
+  for (const auto& r : results) {
+    table.add_row({r.name, std::to_string(r.nodes),
+                   std::to_string(r.simplex_pivots),
+                   std::to_string(r.factor_pivots),
+                   std::to_string(r.warm_lp_solves),
+                   std::to_string(r.cold_lp_solves),
+                   birp::util::fixed(r.decide_ms_p50, 3),
+                   birp::util::fixed(r.decide_ms_p95, 3),
+                   birp::util::fixed(r.decide_ms_total, 1)});
+  }
+  table.print(std::cout, "bench_solver — paper_large, " +
+                             std::to_string(cli.slots) + " slots");
+
+  write_json(json_path, cli, threads, results);
+  std::cout << "\nwrote " << json_path << "\n";
+
+  const double cold = static_cast<double>(results[0].simplex_pivots);
+  const double warm = static_cast<double>(results[1].simplex_pivots);
+  const double reduction = warm > 0.0 ? cold / warm : 0.0;
+  std::cout << "warm-path pivot reduction vs cold: " << birp::util::fixed(
+                   reduction, 2)
+            << "x\n";
+  if (check && reduction < 2.0) {
+    std::cerr << "FAIL: warm starts reduced simplex pivots by only "
+              << birp::util::fixed(reduction, 2) << "x (< 2x)\n";
+    return 1;
+  }
+  return 0;
+}

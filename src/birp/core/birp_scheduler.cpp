@@ -10,6 +10,10 @@ namespace birp::core {
 BirpScheduler::BirpScheduler(const device::ClusterSpec& cluster,
                              BirpConfig config)
     : cluster_(cluster), config_(config) {
+  if (config_.solver_threads > 0) {
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        static_cast<std::size_t>(config_.solver_threads));
+  }
   if (config_.online) {
     const std::size_t total =
         static_cast<std::size_t>(cluster.num_devices()) *
@@ -70,14 +74,38 @@ sim::SlotDecision BirpScheduler::decide(const sim::SlotState& state) {
         return heuristic_incumbent(problem, lp_values, cluster_, state.demand,
                                    state.previous, lookup, options);
       };
+  solver_options.pool = pool_.get();
+  if (solver_options.warm_start) {
+    // Cross-slot warm start: seed the root relaxation with the previous
+    // slot's optimal basis, and the incumbent with the previous decision
+    // repaired against this slot's demand/liveness (the heuristic verifies
+    // and repairs, so a stale decision degrades to "no seed", never to a
+    // wrong answer).
+    if (prev_basis_.matches(problem.model.num_variables(),
+                            problem.model.num_constraints())) {
+      solver_options.root_basis = &prev_basis_;
+    }
+    if (prev_values_.size() ==
+        static_cast<std::size_t>(problem.model.num_variables())) {
+      solver_options.seed_candidate =
+          heuristic_incumbent(problem, prev_values_, cluster_, state.demand,
+                              state.previous, lookup, options);
+    }
+  }
   const solver::Solution solution =
       solver::solve_milp(problem.model, solver_options);
   total_nodes_ += solution.nodes_explored;
+  total_pivots_ += solution.simplex_iterations;
+  total_factor_pivots_ += solution.factor_pivots;
+  warm_lp_solves_ += solution.warm_lp_solves;
+  cold_lp_solves_ += solution.cold_lp_solves;
 
+  if (!solution.basis.empty()) prev_basis_ = solution.basis;
   if (!solution.usable()) {
     ++fallbacks_;
     return greedy_fallback(state);
   }
+  prev_values_ = solution.values;
   return extract_decision(problem, solution, cluster_, state.demand);
 }
 

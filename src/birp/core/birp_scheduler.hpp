@@ -16,6 +16,7 @@
 #include "birp/core/problem.hpp"
 #include "birp/core/tir_estimator.hpp"
 #include "birp/device/cluster.hpp"
+#include "birp/runtime/thread_pool.hpp"
 #include "birp/sim/scheduler.hpp"
 #include "birp/solver/branch_and_bound.hpp"
 
@@ -28,6 +29,11 @@ struct BirpConfig {
   /// Online mode tunes TIR hyperparameters from feedback; offline mode
   /// (BIRP-OFF) reads the cluster's oracle curves and ignores feedback.
   bool online = true;
+  /// Worker threads for wave-parallel branch-and-bound node evaluation;
+  /// 0 solves on the calling thread. Decisions are bit-identical either way
+  /// (the solver's wave merge is deterministic), so this is purely a
+  /// latency knob.
+  int solver_threads = 0;
   /// Optional display-name override (used by ablation variants).
   std::string name_override;
 
@@ -65,6 +71,18 @@ class BirpScheduler : public sim::Scheduler {
   [[nodiscard]] std::int64_t total_nodes() const noexcept {
     return total_nodes_;
   }
+  [[nodiscard]] std::int64_t total_pivots() const noexcept {
+    return total_pivots_;
+  }
+  [[nodiscard]] std::int64_t total_factor_pivots() const noexcept {
+    return total_factor_pivots_;
+  }
+  [[nodiscard]] std::int64_t warm_lp_solves() const noexcept {
+    return warm_lp_solves_;
+  }
+  [[nodiscard]] std::int64_t cold_lp_solves() const noexcept {
+    return cold_lp_solves_;
+  }
   [[nodiscard]] std::int64_t fallback_count() const noexcept override {
     return fallbacks_;
   }
@@ -78,8 +96,19 @@ class BirpScheduler : public sim::Scheduler {
   const device::ClusterSpec& cluster_;
   BirpConfig config_;
   std::vector<TirEstimator> estimators_;  ///< [device][app][variant], online
+  /// Pool for wave-parallel node LPs (null when solver_threads == 0).
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  /// Cross-slot warm-start state: the previous slot's root-relaxation basis
+  /// and usable decision. Slot problems are structurally identical (masking
+  /// is done via bounds), so the shapes always line up.
+  solver::Basis prev_basis_;
+  std::vector<double> prev_values_;
   int slot_ = 0;
   std::int64_t total_nodes_ = 0;
+  std::int64_t total_pivots_ = 0;
+  std::int64_t total_factor_pivots_ = 0;
+  std::int64_t warm_lp_solves_ = 0;
+  std::int64_t cold_lp_solves_ = 0;
   std::int64_t fallbacks_ = 0;
 };
 

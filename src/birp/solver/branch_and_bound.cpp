@@ -2,34 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "birp/runtime/thread_pool.hpp"
 #include "birp/util/check.hpp"
 
 namespace birp::solver {
 namespace {
 
+/// One branch-and-bound node. Bounds are not stored: each node records a
+/// single bound delta against its parent and the chain is materialized on
+/// demand, so creating a node is O(1) instead of two O(n) vector copies.
 struct Node {
-  std::vector<double> lower;
-  std::vector<double> upper;
-  double bound = -std::numeric_limits<double>::infinity();
+  std::shared_ptr<const Node> parent;
+  std::shared_ptr<const Basis> warm;  ///< parent LP's optimal basis (shared
+                                      ///< by both children; may be null)
+  int branch_var = -1;                ///< -1 only at the root
+  double bound_value = 0.0;           ///< new bound for branch_var
+  bool tighten_upper = false;  ///< true: upper := value, false: lower := value
+  double bound = -kInfinity;   ///< parent LP objective: subtree lower bound
   int depth = 0;
+  std::int64_t id = 0;  ///< assigned in push order; final ordering tiebreak
 };
 
+using NodePtr = std::shared_ptr<Node>;
+
 struct NodeOrder {
-  // Best-first: smaller LP bound explored first; deeper nodes win ties so the
-  // search dives toward incumbents.
-  bool operator()(const std::shared_ptr<Node>& a,
-                  const std::shared_ptr<Node>& b) const {
+  // Best-first: smaller LP bound explored first; deeper nodes win ties so
+  // the search dives toward incumbents; push order (id) breaks the rest so
+  // the pop sequence is a pure function of the tree, never of pointer
+  // values or thread timing.
+  bool operator()(const NodePtr& a, const NodePtr& b) const {
     if (a->bound != b->bound) return a->bound > b->bound;
-    return a->depth < b->depth;
+    if (a->depth != b->depth) return a->depth < b->depth;
+    return a->id > b->id;
   }
 };
 
-/// Picks the integer variable whose LP value is most fractional.
+/// Rebuilds the node's full bound vectors: root bounds tightened by every
+/// delta on the path to the root. Min/max accumulation makes the result
+/// independent of traversal order (deltas only ever tighten).
+void materialize_bounds(const Node& node, std::span<const double> root_lower,
+                        std::span<const double> root_upper,
+                        std::vector<double>& lower, std::vector<double>& upper) {
+  lower.assign(root_lower.begin(), root_lower.end());
+  upper.assign(root_upper.begin(), root_upper.end());
+  for (const Node* n = &node; n != nullptr; n = n->parent.get()) {
+    if (n->branch_var < 0) continue;
+    const auto j = static_cast<std::size_t>(n->branch_var);
+    if (n->tighten_upper) {
+      upper[j] = std::min(upper[j], n->bound_value);
+    } else {
+      lower[j] = std::max(lower[j], n->bound_value);
+    }
+  }
+}
+
+/// Picks the integer variable whose LP value is most fractional, i.e. whose
+/// distance to the nearest integer is largest (maximal at 0.5).
 int most_fractional(const Model& model, std::span<const double> values,
                     double tol) {
   int best = -1;
@@ -37,10 +72,9 @@ int most_fractional(const Model& model, std::span<const double> values,
   for (int j = 0; j < model.num_variables(); ++j) {
     if (model.variable(j).type == VarType::Continuous) continue;
     const double v = values[static_cast<std::size_t>(j)];
-    const double frac = std::abs(v - std::round(v));
-    // Score favors fractions near 0.5.
-    const double score = std::min(v - std::floor(v), std::ceil(v) - v);
-    if (frac > tol && score > best_score) {
+    const double frac = v - std::floor(v);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
       best_score = score;
       best = j;
     }
@@ -69,7 +103,11 @@ bool try_rounding(const Model& model, std::span<const double> lp_values,
 }  // namespace
 
 Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
-  if (!model.has_integers()) return solve_lp(model, options.lp);
+  if (!model.has_integers()) {
+    return solve_lp(model, {}, {}, options.lp,
+                    options.warm_start ? options.root_basis : nullptr,
+                    /*emit_basis=*/true);
+  }
 
   const auto n = static_cast<std::size_t>(model.num_variables());
 
@@ -77,120 +115,212 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
   incumbent.status = SolveStatus::IterationLimit;
   double incumbent_objective = std::numeric_limits<double>::infinity();
 
-  auto root = std::make_shared<Node>();
-  root->lower.resize(n);
-  root->upper.resize(n);
+  // Heuristic incumbents: candidates are verified against the model before
+  // acceptance, so callers may pass approximate repairs.
+  const auto consider = [&](const std::vector<double>& candidate) {
+    if (candidate.size() != n) return;
+    if (model.max_violation(candidate) > options.lp.tolerance * 10) return;
+    if (model.max_integrality_violation(candidate) >
+        options.integrality_tolerance) {
+      return;
+    }
+    const double obj = model.objective_value(candidate);
+    if (obj < incumbent_objective) {
+      incumbent_objective = obj;
+      incumbent.values = candidate;
+      incumbent.objective = obj;
+      incumbent.status = SolveStatus::Feasible;
+    }
+  };
+
+  // Cross-slot seed: the previous slot's (repaired) decision often remains
+  // feasible and near-optimal, closing the gap before any node is solved.
+  if (!options.seed_candidate.empty()) consider(options.seed_candidate);
+
+  // Root bounds; integer bounds tightened to integral values up front.
+  std::vector<double> root_lower(n);
+  std::vector<double> root_upper(n);
   for (std::size_t j = 0; j < n; ++j) {
-    root->lower[j] = model.variable(static_cast<int>(j)).lower;
-    root->upper[j] = model.variable(static_cast<int>(j)).upper;
-    // Tighten integer bounds to integral values up front.
+    root_lower[j] = model.variable(static_cast<int>(j)).lower;
+    root_upper[j] = model.variable(static_cast<int>(j)).upper;
     if (model.variable(static_cast<int>(j)).type != VarType::Continuous) {
-      root->lower[j] = std::ceil(root->lower[j] - 1e-9);
-      if (std::isfinite(root->upper[j])) {
-        root->upper[j] = std::floor(root->upper[j] + 1e-9);
+      root_lower[j] = std::ceil(root_lower[j] - 1e-9);
+      if (std::isfinite(root_upper[j])) {
+        root_upper[j] = std::floor(root_upper[j] + 1e-9);
       }
     }
   }
 
-  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
-                      NodeOrder>
-      open;
-  open.push(root);
+  auto root = std::make_shared<Node>();
+  if (options.warm_start && options.root_basis != nullptr &&
+      !options.root_basis->empty()) {
+    root->warm = std::make_shared<Basis>(*options.root_basis);
+  }
+
+  std::priority_queue<NodePtr, std::vector<NodePtr>, NodeOrder> open;
+  open.push(std::move(root));
+  std::int64_t next_id = 1;
 
   std::int64_t nodes = 0;
   std::int64_t total_pivots = 0;
-  double best_open_bound = -std::numeric_limits<double>::infinity();
+  std::int64_t total_factor_pivots = 0;
+  std::int64_t warm_solves = 0;
+  std::int64_t cold_solves = 0;
   bool any_lp_budget_hit = false;
+  // Tightest lower bound among subtrees dropped unsolved (LP budget hit).
+  // A node's `bound` is its parent's LP objective, which bounds the whole
+  // subtree, so it stays valid even when the node's own LP never finished.
+  double unresolved_bound = std::numeric_limits<double>::infinity();
   std::vector<double> rounded;
+  Basis root_basis_out;
+
+  const int wave_size = std::max(options.wave_size, 1);
+  std::vector<NodePtr> wave;
+  std::vector<Solution> lps;
+  wave.reserve(static_cast<std::size_t>(wave_size));
+
+  const auto prune_threshold = [&] {
+    return incumbent_objective -
+           options.relative_gap * (1.0 + std::abs(incumbent_objective));
+  };
 
   while (!open.empty() && nodes < options.max_nodes) {
-    const auto node = open.top();
-    open.pop();
-    ++nodes;
-
-    // Bound pruning against the incumbent.
-    if (node->bound >= incumbent_objective - options.relative_gap *
-                                                 (1.0 + std::abs(incumbent_objective))) {
-      continue;
+    // ---- Pop a wave of frontier nodes (fixed size: the tree shape must not
+    // depend on how many threads evaluate it). Pruned pops still count
+    // toward the node budget, exactly as in the serial loop.
+    wave.clear();
+    while (static_cast<int>(wave.size()) < wave_size && !open.empty() &&
+           nodes < options.max_nodes) {
+      NodePtr node = open.top();
+      open.pop();
+      ++nodes;
+      if (node->bound >= prune_threshold()) continue;
+      wave.push_back(std::move(node));
     }
+    if (wave.empty()) continue;
 
-    Solution lp = solve_lp(model, node->lower, node->upper, options.lp);
-    total_pivots += lp.simplex_iterations;
-    if (lp.status == SolveStatus::Infeasible) continue;
-    if (lp.status == SolveStatus::Unbounded) {
-      // An unbounded relaxation at the root means the MILP is unbounded or
-      // ill-posed; deeper nodes inherit the verdict.
-      Solution result;
-      result.status = SolveStatus::Unbounded;
-      result.nodes_explored = nodes;
-      result.simplex_iterations = total_pivots;
-      return result;
-    }
-    if (lp.status == SolveStatus::IterationLimit) {
-      any_lp_budget_hit = true;
-      continue;  // cannot trust this subtree's bound; drop it
-    }
-
-    if (lp.objective >= incumbent_objective - options.relative_gap *
-                                                  (1.0 + std::abs(incumbent_objective))) {
-      continue;
-    }
-    best_open_bound = open.empty()
-                          ? lp.objective
-                          : std::min(lp.objective, open.top()->bound);
-
-    const int branch_var =
-        most_fractional(model, lp.values, options.integrality_tolerance);
-    if (branch_var < 0) {
-      // Integral LP optimum: new incumbent.
-      if (lp.objective < incumbent_objective) {
-        incumbent_objective = lp.objective;
-        incumbent.values = lp.values;
-        incumbent.objective = lp.objective;
-        incumbent.status = SolveStatus::Feasible;
-      }
-      continue;
-    }
-
-    // Heuristic incumbents: naive rounding plus the caller's repair
-    // heuristic (verified against the model before acceptance).
-    const auto consider = [&](const std::vector<double>& candidate) {
-      if (candidate.size() != n) return;
-      if (model.max_violation(candidate) > options.lp.tolerance * 10) return;
-      if (model.max_integrality_violation(candidate) >
-          options.integrality_tolerance) {
-        return;
-      }
-      const double obj = model.objective_value(candidate);
-      if (obj < incumbent_objective) {
-        incumbent_objective = obj;
-        incumbent.values = candidate;
-        incumbent.objective = obj;
-        incumbent.status = SolveStatus::Feasible;
-      }
+    // ---- Evaluate the wave's LPs. Each solve is a pure function of the
+    // node, so concurrent execution cannot perturb results.
+    const auto solve_node = [&](const Node& node) {
+      std::vector<double> lower;
+      std::vector<double> upper;
+      materialize_bounds(node, root_lower, root_upper, lower, upper);
+      const Basis* warm = options.warm_start ? node.warm.get() : nullptr;
+      const bool emit = options.warm_start || node.id == 0;
+      return solve_lp(model, lower, upper, options.lp, warm, emit);
     };
-    if (try_rounding(model, lp.values, rounded, options.lp.tolerance * 10)) {
-      consider(rounded);
-    }
-    if (options.incumbent_heuristic) {
-      consider(options.incumbent_heuristic(lp.values));
+    lps.assign(wave.size(), Solution{});
+    if (options.pool != nullptr && wave.size() > 1) {
+      std::vector<std::future<Solution>> futures;
+      futures.reserve(wave.size());
+      for (const NodePtr& node : wave) {
+        futures.push_back(
+            options.pool->submit([&solve_node, &node] { return solve_node(*node); }));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) lps[i] = futures[i].get();
+    } else {
+      for (std::size_t i = 0; i < wave.size(); ++i) lps[i] = solve_node(*wave[i]);
     }
 
-    const double v = lp.values[static_cast<std::size_t>(branch_var)];
-    auto down = std::make_shared<Node>(*node);
-    down->upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
-    down->bound = lp.objective;
-    down->depth = node->depth + 1;
-    auto up = std::make_shared<Node>(*node);
-    up->lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
-    up->bound = lp.objective;
-    up->depth = node->depth + 1;
-    open.push(std::move(down));
-    open.push(std::move(up));
+    // ---- Merge sequentially in pop order: incumbent updates, pruning, and
+    // branching happen in a fixed order regardless of which thread finished
+    // first, so the search is bit-identical at any thread count.
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const NodePtr& node = wave[i];
+      Solution& lp = lps[i];
+      total_pivots += lp.simplex_iterations;
+      total_factor_pivots += lp.factor_pivots;
+      if (lp.warm_started) {
+        ++warm_solves;
+      } else {
+        ++cold_solves;
+      }
+
+      if (lp.status == SolveStatus::Infeasible) continue;
+      if (lp.status == SolveStatus::Unbounded) {
+        // An unbounded relaxation at the root means the MILP is unbounded or
+        // ill-posed; deeper nodes inherit the verdict.
+        Solution result;
+        result.status = SolveStatus::Unbounded;
+        result.nodes_explored = nodes;
+        result.simplex_iterations = total_pivots;
+        result.factor_pivots = total_factor_pivots;
+        return result;
+      }
+      if (lp.status == SolveStatus::IterationLimit) {
+        any_lp_budget_hit = true;
+        unresolved_bound = std::min(unresolved_bound, node->bound);
+        continue;  // cannot trust this subtree's bound; drop it
+      }
+
+      if (node->id == 0) root_basis_out = lp.basis;
+
+      if (lp.objective >= prune_threshold()) continue;
+
+      const int branch_var =
+          most_fractional(model, lp.values, options.integrality_tolerance);
+      if (branch_var < 0) {
+        // Integral LP optimum: new incumbent.
+        if (lp.objective < incumbent_objective) {
+          incumbent_objective = lp.objective;
+          incumbent.values = lp.values;
+          incumbent.objective = lp.objective;
+          incumbent.status = SolveStatus::Feasible;
+        }
+        continue;
+      }
+
+      if (try_rounding(model, lp.values, rounded, options.lp.tolerance * 10)) {
+        consider(rounded);
+      }
+      if (options.incumbent_heuristic) {
+        consider(options.incumbent_heuristic(lp.values));
+      }
+
+      // Branch: both children share the parent pointer (one delta each) and
+      // the parent's basis for warm-started re-solves.
+      std::shared_ptr<const Basis> warm;
+      if (options.warm_start && !lp.basis.empty()) {
+        warm = std::make_shared<Basis>(std::move(lp.basis));
+      }
+      const double v = lp.values[static_cast<std::size_t>(branch_var)];
+      auto down = std::make_shared<Node>();
+      down->parent = node;
+      down->warm = warm;
+      down->branch_var = branch_var;
+      down->bound_value = std::floor(v);
+      down->tighten_upper = true;
+      down->bound = lp.objective;
+      down->depth = node->depth + 1;
+      down->id = next_id++;
+      auto up = std::make_shared<Node>();
+      up->parent = node;
+      up->warm = std::move(warm);
+      up->branch_var = branch_var;
+      up->bound_value = std::ceil(v);
+      up->tighten_upper = false;
+      up->bound = lp.objective;
+      up->depth = node->depth + 1;
+      up->id = next_id++;
+      open.push(std::move(down));
+      open.push(std::move(up));
+    }
   }
 
   incumbent.nodes_explored = nodes;
   incumbent.simplex_iterations = total_pivots;
+  incumbent.factor_pivots = total_factor_pivots;
+  incumbent.warm_lp_solves = warm_solves;
+  incumbent.cold_lp_solves = cold_solves;
+  incumbent.basis = std::move(root_basis_out);
+
+  // The proven bound over everything not explored: the open frontier (the
+  // queue is ordered by bound, so top() is its minimum) plus any subtrees
+  // dropped with unfinished LPs. Computed at exit — never from a stale
+  // mid-loop snapshot — and clamped by the incumbent so the reported
+  // [best_bound, objective] interval always brackets the optimum.
+  double frontier = unresolved_bound;
+  if (!open.empty()) frontier = std::min(frontier, open.top()->bound);
 
   if (incumbent.values.empty()) {
     // No feasible integral point found. If the search space was exhausted
@@ -206,7 +336,7 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
     incumbent.best_bound = incumbent.objective;
   } else {
     incumbent.status = SolveStatus::Feasible;
-    incumbent.best_bound = open.empty() ? best_open_bound : open.top()->bound;
+    incumbent.best_bound = std::min(frontier, incumbent.objective);
   }
   return incumbent;
 }

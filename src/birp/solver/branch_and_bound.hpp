@@ -6,6 +6,16 @@
 // tree would otherwise be deep. With the default budget the solver proves
 // optimality on the instance sizes BIRP produces; when the budget is hit it
 // returns the best incumbent with status Feasible plus the proven bound.
+//
+// Performance machinery (all optional, all bit-deterministic):
+//  - Nodes store a parent pointer plus one bound delta instead of full
+//    lower/upper vectors; bounds are materialized on demand.
+//  - Each node LP warm-starts from its parent's optimal basis (see
+//    simplex.hpp); cold fallback keeps results identical.
+//  - Frontier nodes are evaluated in fixed-size waves, concurrently when a
+//    ThreadPool is supplied. Wave composition and the sequential merge order
+//    depend only on the node numbering, never on thread count, so results
+//    are bit-identical serial vs parallel.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +26,10 @@
 #include "birp/solver/model.hpp"
 #include "birp/solver/simplex.hpp"
 #include "birp/solver/solution.hpp"
+
+namespace birp::runtime {
+class ThreadPool;
+}  // namespace birp::runtime
 
 namespace birp::solver {
 
@@ -36,6 +50,27 @@ struct BranchAndBoundOptions {
   /// Problem-specific rounding/repair; naive nearest-integer rounding is
   /// always tried as well.
   IncumbentHeuristic incumbent_heuristic;
+
+  /// Warm-start child node LPs from their parent's optimal basis (and the
+  /// root LP from `root_basis`). Falls back to cold solves transparently;
+  /// disable only for A/B measurement.
+  bool warm_start = true;
+  /// Evaluate node LPs of a wave concurrently on this pool (not owned).
+  /// Null runs the waves on the calling thread. Results are bit-identical
+  /// either way.
+  runtime::ThreadPool* pool = nullptr;
+  /// Frontier nodes popped (and solved) per wave. Fixed independently of
+  /// thread count — this, not the pool size, shapes the search tree, which
+  /// is what makes parallel results reproducible. 1 recovers the classic
+  /// one-node-at-a-time best-first loop.
+  int wave_size = 8;
+  /// Optional basis seeding the root relaxation (cross-slot warm start).
+  /// Not owned; must outlive the solve. Ignored unless warm_start is set.
+  const Basis* root_basis = nullptr;
+  /// Optional integral candidate tried as the initial incumbent before any
+  /// node is explored (e.g. the previous slot's repaired decision). Verified
+  /// against the model; an infeasible seed is simply ignored.
+  std::vector<double> seed_candidate;
 };
 
 /// Solves `model` to (attempted) integral optimality. Continuous variables

@@ -3,25 +3,46 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "birp/util/check.hpp"
 
 namespace birp::solver {
 namespace {
 
-enum class VarState : std::uint8_t { Basic, AtLower, AtUpper };
-
 /// Dense working storage for one simplex solve. Columns are ordered
 /// [structural | slack/surplus | artificial]; the tableau holds B^{-1}A and
 /// is updated in place on every pivot.
+///
+/// Two construction modes share the pivoting core: the cold constructor
+/// builds a Phase I start (slacks basic where they absorb the residual,
+/// artificials elsewhere), while the warm constructor rebuilds a caller
+/// basis against the current bounds by Gauss-Jordan refactorization and
+/// repairs any bound violations with a dual simplex, skipping Phase I.
 class Tableau {
  public:
   Tableau(const Model& model, std::span<const double> lower_override,
           std::span<const double> upper_override, SimplexOptions options);
+  /// Warm construction from a prior basis; check warm_ok() before solving.
+  Tableau(const Model& model, std::span<const double> lower_override,
+          std::span<const double> upper_override, SimplexOptions options,
+          const Basis& warm);
 
   Solution solve();
+  /// Warm solve: dual repair + Phase II. nullopt asks the caller to fall
+  /// back to the cold path (stalled repair or dual-infeasible start).
+  std::optional<Solution> solve_warm();
+
+  [[nodiscard]] bool warm_ok() const noexcept { return warm_ok_; }
+  [[nodiscard]] Basis extract_basis() const;
+  [[nodiscard]] std::int64_t iterations() const noexcept { return iterations_; }
+  [[nodiscard]] std::int64_t factor_pivots() const noexcept {
+    return factor_pivots_;
+  }
 
  private:
+  enum class Repair { Done, Infeasible, GiveUp };
+
   [[nodiscard]] double& at(int row, int col) noexcept {
     return tableau_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
                     static_cast<std::size_t>(col)];
@@ -31,12 +52,24 @@ class Tableau {
                     static_cast<std::size_t>(col)];
   }
 
+  void init_structural_bounds(std::span<const double> lower_override,
+                              std::span<const double> upper_override);
   void compute_reduced_costs(const std::vector<double>& costs);
   void recompute_basic_values();
+  [[nodiscard]] std::vector<double> phase2_costs() const;
   /// One phase of the primal simplex. Returns Optimal / Unbounded /
   /// IterationLimit relative to the given costs.
   SolveStatus iterate(const std::vector<double>& costs);
+  /// Bounded-variable dual simplex: drives basic variables back inside
+  /// their bounds while keeping the reduced costs dual feasible. Requires
+  /// compute_reduced_costs to have run for the Phase II costs.
+  Repair dual_repair();
   void pivot(int leave_row, int enter_col);
+  /// Gauss-Jordan refactorization of `basic_cols` (one column per row, any
+  /// order) with partial pivoting. False when the basis is singular.
+  bool factorize(const std::vector<int>& basic_cols);
+  /// Shared Optimal tail: duals, cleaned values, objective.
+  void finish(Solution& result);
 
   const Model& model_;
   SimplexOptions options_;
@@ -55,10 +88,29 @@ class Tableau {
   std::vector<int> basis_;             // basic column per row
   std::vector<int> dual_col_;          // slack/artificial column anchoring row i's dual
   std::vector<double> dual_sign_;      // cumulative row flips vs the model's orientation
+  std::vector<int> slack_row_;         // slack/artificial column -> its row (-1 else)
 
   std::int64_t iterations_ = 0;
   std::int64_t iteration_limit_ = 0;
+  std::int64_t factor_pivots_ = 0;
+  bool warm_ok_ = false;
 };
+
+void Tableau::init_structural_bounds(std::span<const double> lower_override,
+                                     std::span<const double> upper_override) {
+  for (int j = 0; j < structural_; ++j) {
+    const auto& info = model_.variable(j);
+    const double lo = lower_override.empty()
+                          ? info.lower
+                          : lower_override[static_cast<std::size_t>(j)];
+    const double hi = upper_override.empty()
+                          ? info.upper
+                          : upper_override[static_cast<std::size_t>(j)];
+    util::check(std::isfinite(lo), "simplex requires finite lower bounds");
+    lower_[static_cast<std::size_t>(j)] = lo;
+    upper_[static_cast<std::size_t>(j)] = hi;
+  }
+}
 
 Tableau::Tableau(const Model& model, std::span<const double> lower_override,
                  std::span<const double> upper_override, SimplexOptions options)
@@ -124,6 +176,7 @@ Tableau::Tableau(const Model& model, std::span<const double> lower_override,
   state_.assign(static_cast<std::size_t>(cols_), VarState::AtLower);
   value_.assign(static_cast<std::size_t>(cols_), 0.0);
   basis_.assign(static_cast<std::size_t>(rows_), -1);
+  slack_row_.assign(static_cast<std::size_t>(cols_), -1);
 
   // Structural bounds (with branch-and-bound overrides), nonbasic at lower.
   for (int j = 0; j < n_struct; ++j) {
@@ -172,6 +225,7 @@ Tableau::Tableau(const Model& model, std::span<const double> lower_override,
       case Relation::Equal:
         break;
     }
+    if (slack_col >= 0) slack_row_[static_cast<std::size_t>(slack_col)] = i;
 
     if (!needs_artificial[static_cast<std::size_t>(i)]) {
       // Slack absorbs the residual (>= 0 after any flip): basic immediately.
@@ -195,6 +249,7 @@ Tableau::Tableau(const Model& model, std::span<const double> lower_override,
     // The artificial anchors the dual: it appears only in this row with
     // stored coefficient +1 and phase-2 cost 0, so y_i = -d_artificial.
     dual_col_[static_cast<std::size_t>(i)] = artificial;
+    slack_row_[static_cast<std::size_t>(artificial)] = i;
     ++artificial;
   }
 
@@ -202,6 +257,148 @@ Tableau::Tableau(const Model& model, std::span<const double> lower_override,
                          ? options_.max_iterations
                          : 200 + 30ll * (rows_ + cols_);
   reduced_.assign(static_cast<std::size_t>(cols_), 0.0);
+}
+
+Tableau::Tableau(const Model& model, std::span<const double> lower_override,
+                 std::span<const double> upper_override, SimplexOptions options,
+                 const Basis& warm)
+    : model_(model), options_(options) {
+  const int m = model.num_constraints();
+  const int n_struct = model.num_variables();
+  rows_ = m;
+  structural_ = n_struct;
+  if (!warm.matches(n_struct, m)) return;  // warm_ok_ stays false
+
+  // Layout: slack per inequality row (same order as the cold path), then one
+  // artificial per equality row (the dual anchor) or per row whose recorded
+  // basic column was an artificial. All artificials are fixed at [0, 0]; the
+  // warm path never runs Phase I.
+  std::vector<int> slack_col(static_cast<std::size_t>(m), -1);
+  std::vector<int> art_col(static_cast<std::size_t>(m), -1);
+  int slack_count = 0;
+  for (int i = 0; i < m; ++i) {
+    if (model.constraint(i).relation != Relation::Equal) {
+      slack_col[static_cast<std::size_t>(i)] = n_struct + slack_count;
+      ++slack_count;
+    }
+  }
+  artificial_begin_ = n_struct + slack_count;
+  int artificial_count = 0;
+  for (int i = 0; i < m; ++i) {
+    const bool is_equal = model.constraint(i).relation == Relation::Equal;
+    if (is_equal || warm.basic[static_cast<std::size_t>(i)] < 0) {
+      art_col[static_cast<std::size_t>(i)] = artificial_begin_ + artificial_count;
+      ++artificial_count;
+    }
+  }
+  cols_ = artificial_begin_ + artificial_count;
+
+  tableau_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_), 0.0);
+  rhs_.assign(static_cast<std::size_t>(rows_), 0.0);
+  lower_.assign(static_cast<std::size_t>(cols_), 0.0);
+  upper_.assign(static_cast<std::size_t>(cols_), kInfinity);
+  state_.assign(static_cast<std::size_t>(cols_), VarState::AtLower);
+  value_.assign(static_cast<std::size_t>(cols_), 0.0);
+  basis_.assign(static_cast<std::size_t>(rows_), -1);
+  slack_row_.assign(static_cast<std::size_t>(cols_), -1);
+  dual_col_.assign(static_cast<std::size_t>(m), -1);
+  dual_sign_.assign(static_cast<std::size_t>(m), 1.0);
+  reduced_.assign(static_cast<std::size_t>(cols_), 0.0);
+
+  init_structural_bounds(lower_override, upper_override);
+
+  // Fill raw coefficients. Only the deterministic >= flip is applied (the
+  // cold path's residual-dependent flips exist to make Phase I starts
+  // positive, which the warm path does not need).
+  for (int i = 0; i < m; ++i) {
+    const auto& constraint = model.constraint(i);
+    for (const auto& term : constraint.terms) at(i, term.var) = term.coeff;
+    rhs_[static_cast<std::size_t>(i)] = constraint.rhs;
+    if (constraint.relation == Relation::GreaterEqual) {
+      for (int j = 0; j < n_struct; ++j) at(i, j) = -at(i, j);
+      rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
+      dual_sign_[static_cast<std::size_t>(i)] = -1.0;
+    }
+    const int sc = slack_col[static_cast<std::size_t>(i)];
+    if (sc >= 0) {
+      at(i, sc) = 1.0;
+      slack_row_[static_cast<std::size_t>(sc)] = i;
+    }
+    const int ac = art_col[static_cast<std::size_t>(i)];
+    if (ac >= 0) {
+      at(i, ac) = 1.0;
+      upper_[static_cast<std::size_t>(ac)] = 0.0;  // fixed at zero
+      slack_row_[static_cast<std::size_t>(ac)] = i;
+    }
+    // Dual anchor: slack where one exists, artificial for equality rows.
+    dual_col_[static_cast<std::size_t>(i)] = sc >= 0 ? sc : ac;
+  }
+
+  // Nonbasic starting point from the recorded states (the basic list below
+  // overrides). A variable recorded AtUpper whose current upper bound is
+  // infinite is parked at its lower bound instead.
+  for (int j = 0; j < n_struct; ++j) {
+    const bool at_upper =
+        warm.structural[static_cast<std::size_t>(j)] == VarState::AtUpper &&
+        std::isfinite(upper_[static_cast<std::size_t>(j)]);
+    state_[static_cast<std::size_t>(j)] =
+        at_upper ? VarState::AtUpper : VarState::AtLower;
+    value_[static_cast<std::size_t>(j)] =
+        at_upper ? upper_[static_cast<std::size_t>(j)]
+                 : lower_[static_cast<std::size_t>(j)];
+  }
+
+  // Decode the basic column list; reject malformed bases (out-of-range
+  // entries, slack of an equality row, duplicates).
+  std::vector<int> basic_cols(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const int code = warm.basic[static_cast<std::size_t>(i)];
+    int col = -1;
+    if (code < 0) {
+      col = art_col[static_cast<std::size_t>(i)];
+    } else if (code < n_struct) {
+      col = code;
+    } else if (code - n_struct < m) {
+      col = slack_col[static_cast<std::size_t>(code - n_struct)];
+    }
+    if (col < 0 || state_[static_cast<std::size_t>(col)] == VarState::Basic) {
+      return;  // invalid or duplicate: cold fallback
+    }
+    state_[static_cast<std::size_t>(col)] = VarState::Basic;
+    basic_cols[static_cast<std::size_t>(i)] = col;
+  }
+
+  iteration_limit_ = options_.max_iterations > 0
+                         ? options_.max_iterations
+                         : 200 + 30ll * (rows_ + cols_);
+
+  if (!factorize(basic_cols)) return;  // singular: cold fallback
+  recompute_basic_values();
+  warm_ok_ = true;
+}
+
+bool Tableau::factorize(const std::vector<int>& basic_cols) {
+  std::vector<char> row_used(static_cast<std::size_t>(rows_), 0);
+  for (int idx = 0; idx < rows_; ++idx) {
+    const int col = basic_cols[static_cast<std::size_t>(idx)];
+    // Partial pivoting over the rows not yet claimed by a basic column.
+    int best_row = -1;
+    double best_abs = options_.pivot_tolerance;
+    for (int i = 0; i < rows_; ++i) {
+      if (row_used[static_cast<std::size_t>(i)]) continue;
+      const double a = std::abs(at(i, col));
+      if (a > best_abs) {
+        best_abs = a;
+        best_row = i;
+      }
+    }
+    if (best_row < 0) return false;  // numerically singular basis
+    pivot(best_row, col);            // reduced_ is all zero here: no-op there
+    ++factor_pivots_;
+    basis_[static_cast<std::size_t>(best_row)] = col;
+    row_used[static_cast<std::size_t>(best_row)] = 1;
+  }
+  return true;
 }
 
 void Tableau::compute_reduced_costs(const std::vector<double>& costs) {
@@ -240,6 +437,14 @@ void Tableau::recompute_basic_values() {
     value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
         xb[static_cast<std::size_t>(i)];
   }
+}
+
+std::vector<double> Tableau::phase2_costs() const {
+  std::vector<double> costs(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = 0; j < structural_; ++j) {
+    costs[static_cast<std::size_t>(j)] = model_.variable(j).objective;
+  }
+  return costs;
 }
 
 void Tableau::pivot(int leave_row, int enter_col) {
@@ -383,6 +588,159 @@ SolveStatus Tableau::iterate(const std::vector<double>& costs) {
   }
 }
 
+Tableau::Repair Tableau::dual_repair() {
+  // Tight budget, separate from the global pivot limit: a genuinely warm
+  // basis repairs in far fewer pivots than a cold solve takes, so once the
+  // repair rivals a cold solve's cost (or cycles on degeneracy) it is
+  // cheaper to give up early and fall back than to grind to the full limit.
+  const std::int64_t repair_limit =
+      std::min(iteration_limit_, iterations_ + rows_ + 100);
+  while (true) {
+    if (++iterations_ > repair_limit) return Repair::GiveUp;
+
+    // --- Leaving row: the basic variable with the largest bound violation.
+    // sigma = +1 when it must decrease (above upper), -1 when it must
+    // increase (below lower).
+    int leave_row = -1;
+    double best_viol = options_.tolerance;
+    double sigma = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      const int bvar = basis_[static_cast<std::size_t>(i)];
+      const double v = value_[static_cast<std::size_t>(bvar)];
+      const double above = v - upper_[static_cast<std::size_t>(bvar)];
+      const double below = lower_[static_cast<std::size_t>(bvar)] - v;
+      if (above > best_viol) {
+        best_viol = above;
+        leave_row = i;
+        sigma = 1.0;
+      }
+      if (below > best_viol) {
+        best_viol = below;
+        leave_row = i;
+        sigma = -1.0;
+      }
+    }
+    if (leave_row < 0) return Repair::Done;  // primal feasible
+
+    // --- Entering column: dual ratio test. A candidate must move the
+    // violating basic variable toward its bound; among candidates the
+    // smallest |d_j / alpha| keeps the reduced costs dual feasible. Ties
+    // break to the smallest column index (deterministic, anti-cycling).
+    int enter = -1;
+    double enter_dir = 0.0;
+    double best_ratio = kInfinity;
+    for (int j = 0; j < cols_; ++j) {
+      const auto sj = state_[static_cast<std::size_t>(j)];
+      if (sj == VarState::Basic) continue;
+      if (lower_[static_cast<std::size_t>(j)] ==
+          upper_[static_cast<std::size_t>(j)]) {
+        continue;  // fixed (artificials)
+      }
+      const double alpha = at(leave_row, j);
+      if (std::abs(alpha) <= options_.pivot_tolerance) continue;
+      double dir = 0.0;
+      if (sj == VarState::AtLower) {
+        if (sigma * alpha <= 0.0) continue;  // moving up must shrink the violation
+        dir = 1.0;
+      } else {
+        if (sigma * alpha >= 0.0) continue;  // moving down must shrink it
+        dir = -1.0;
+      }
+      const double ratio = std::max(
+          0.0, reduced_[static_cast<std::size_t>(j)] / (sigma * alpha));
+      if (ratio < best_ratio - 1e-12) {
+        best_ratio = ratio;
+        enter = j;
+        enter_dir = dir;
+      }
+    }
+    if (enter < 0) {
+      // No column can reduce the violation: this row proves the bounds
+      // cannot be met (the dual is unbounded), i.e. the LP is infeasible.
+      return Repair::Infeasible;
+    }
+
+    const double alpha = at(leave_row, enter);
+    const double step = sigma * best_viol / (alpha * enter_dir);  // > 0
+
+    const double range = upper_[static_cast<std::size_t>(enter)] -
+                         lower_[static_cast<std::size_t>(enter)];
+    if (step > range) {
+      // Box step: the entering variable hits its opposite bound before the
+      // violation is fully resolved. Flip it without a basis change; the
+      // violation shrank strictly, so the loop makes progress.
+      for (int i = 0; i < rows_; ++i) {
+        const double a = at(i, enter);
+        if (a == 0.0) continue;
+        const int bvar = basis_[static_cast<std::size_t>(i)];
+        value_[static_cast<std::size_t>(bvar)] -= enter_dir * range * a;
+      }
+      auto& sj = state_[static_cast<std::size_t>(enter)];
+      if (enter_dir > 0.0) {
+        sj = VarState::AtUpper;
+        value_[static_cast<std::size_t>(enter)] =
+            upper_[static_cast<std::size_t>(enter)];
+      } else {
+        sj = VarState::AtLower;
+        value_[static_cast<std::size_t>(enter)] =
+            lower_[static_cast<std::size_t>(enter)];
+      }
+      continue;
+    }
+
+    // --- Basis change: the violating variable leaves exactly at the bound
+    // it violated; the entering variable absorbs the step.
+    for (int i = 0; i < rows_; ++i) {
+      if (i == leave_row) continue;
+      const double a = at(i, enter);
+      if (a == 0.0) continue;
+      const int bvar = basis_[static_cast<std::size_t>(i)];
+      value_[static_cast<std::size_t>(bvar)] -= enter_dir * step * a;
+    }
+    const int leaving = basis_[static_cast<std::size_t>(leave_row)];
+    state_[static_cast<std::size_t>(leaving)] =
+        sigma > 0.0 ? VarState::AtUpper : VarState::AtLower;
+    value_[static_cast<std::size_t>(leaving)] =
+        sigma > 0.0 ? upper_[static_cast<std::size_t>(leaving)]
+                    : lower_[static_cast<std::size_t>(leaving)];
+
+    const double enter_value =
+        value_[static_cast<std::size_t>(enter)] + enter_dir * step;
+    pivot(leave_row, enter);
+    basis_[static_cast<std::size_t>(leave_row)] = enter;
+    state_[static_cast<std::size_t>(enter)] = VarState::Basic;
+    value_[static_cast<std::size_t>(enter)] = enter_value;
+  }
+}
+
+void Tableau::finish(Solution& result) {
+  result.status = SolveStatus::Optimal;
+
+  // Constraint duals: every row's slack/artificial column appears only in
+  // that row with original stored coefficient +1 and zero phase-2 cost, so
+  // its reduced cost is d = -y_i (stored orientation); undo the row flips
+  // to express the dual against the model's orientation.
+  result.duals.resize(static_cast<std::size_t>(rows_));
+  for (int i = 0; i < rows_; ++i) {
+    const int anchor = dual_col_[static_cast<std::size_t>(i)];
+    result.duals[static_cast<std::size_t>(i)] =
+        dual_sign_[static_cast<std::size_t>(i)] *
+        -reduced_[static_cast<std::size_t>(anchor)];
+  }
+
+  result.values.resize(static_cast<std::size_t>(structural_));
+  for (int j = 0; j < structural_; ++j) {
+    double v = value_[static_cast<std::size_t>(j)];
+    // Clean tiny drift against the (possibly overridden) bounds.
+    v = std::max(v, lower_[static_cast<std::size_t>(j)]);
+    if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
+      v = std::min(v, upper_[static_cast<std::size_t>(j)]);
+    }
+    result.values[static_cast<std::size_t>(j)] = v;
+  }
+  result.objective = model_.objective_value(result.values);
+}
+
 Solution Tableau::solve() {
   Solution result;
 
@@ -439,11 +797,7 @@ Solution Tableau::solve() {
   }
 
   // ---- Phase II: the real objective. ----
-  std::vector<double> costs(static_cast<std::size_t>(cols_), 0.0);
-  for (int j = 0; j < structural_; ++j) {
-    costs[static_cast<std::size_t>(j)] = model_.variable(j).objective;
-  }
-  const SolveStatus status = iterate(costs);
+  const SolveStatus status = iterate(phase2_costs());
   result.simplex_iterations = iterations_;
   if (status == SolveStatus::Unbounded) {
     result.status = SolveStatus::Unbounded;
@@ -455,32 +809,91 @@ Solution Tableau::solve() {
   }
 
   recompute_basic_values();
-  result.status = SolveStatus::Optimal;
-
-  // Constraint duals: every row's slack/artificial column appears only in
-  // that row with original stored coefficient +1 and zero phase-2 cost, so
-  // its reduced cost is d = -y_i (stored orientation); undo the row flips
-  // to express the dual against the model's orientation.
-  result.duals.resize(static_cast<std::size_t>(rows_));
-  for (int i = 0; i < rows_; ++i) {
-    const int anchor = dual_col_[static_cast<std::size_t>(i)];
-    result.duals[static_cast<std::size_t>(i)] =
-        dual_sign_[static_cast<std::size_t>(i)] *
-        -reduced_[static_cast<std::size_t>(anchor)];
-  }
-
-  result.values.resize(static_cast<std::size_t>(structural_));
-  for (int j = 0; j < structural_; ++j) {
-    double v = value_[static_cast<std::size_t>(j)];
-    // Clean tiny drift against the (possibly overridden) bounds.
-    v = std::max(v, lower_[static_cast<std::size_t>(j)]);
-    if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
-      v = std::min(v, upper_[static_cast<std::size_t>(j)]);
-    }
-    result.values[static_cast<std::size_t>(j)] = v;
-  }
-  result.objective = model_.objective_value(result.values);
+  finish(result);
   return result;
+}
+
+std::optional<Solution> Tableau::solve_warm() {
+  const std::vector<double> costs = phase2_costs();
+  compute_reduced_costs(costs);
+
+  // Primal feasibility of the refactorized basis under the current bounds.
+  double primal_viol = 0.0;
+  for (int i = 0; i < rows_; ++i) {
+    const int bvar = basis_[static_cast<std::size_t>(i)];
+    const double v = value_[static_cast<std::size_t>(bvar)];
+    primal_viol = std::max(primal_viol, v - upper_[static_cast<std::size_t>(bvar)]);
+    primal_viol = std::max(primal_viol, lower_[static_cast<std::size_t>(bvar)] - v);
+  }
+
+  if (primal_viol > options_.tolerance) {
+    // Dual repair needs a dual-feasible start; a parent-optimal basis has
+    // one by construction, anything else goes back to the cold path.
+    for (int j = 0; j < cols_; ++j) {
+      const auto sj = state_[static_cast<std::size_t>(j)];
+      if (sj == VarState::Basic) continue;
+      if (lower_[static_cast<std::size_t>(j)] ==
+          upper_[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      const double d = reduced_[static_cast<std::size_t>(j)];
+      if (sj == VarState::AtLower && d < -options_.tolerance) return std::nullopt;
+      if (sj == VarState::AtUpper && d > options_.tolerance) return std::nullopt;
+    }
+    switch (dual_repair()) {
+      case Repair::GiveUp:
+        return std::nullopt;  // stalled: distrust the basis, cold retry
+      case Repair::Infeasible: {
+        Solution result;
+        result.status = SolveStatus::Infeasible;
+        result.simplex_iterations = iterations_;
+        result.factor_pivots = factor_pivots_;
+        result.warm_started = true;
+        return result;
+      }
+      case Repair::Done:
+        break;
+    }
+  }
+
+  // Phase II from a primal-feasible basis (recomputes reduced costs, so any
+  // drift accumulated during repair is corrected).
+  const SolveStatus status = iterate(costs);
+  if (status == SolveStatus::IterationLimit) return std::nullopt;
+
+  Solution result;
+  result.simplex_iterations = iterations_;
+  result.factor_pivots = factor_pivots_;
+  result.warm_started = true;
+  if (status == SolveStatus::Unbounded) {
+    result.status = SolveStatus::Unbounded;
+    return result;
+  }
+  recompute_basic_values();
+  finish(result);
+  return result;
+}
+
+Basis Tableau::extract_basis() const {
+  Basis basis;
+  basis.structural.assign(static_cast<std::size_t>(structural_),
+                          VarState::AtLower);
+  for (int j = 0; j < structural_; ++j) {
+    basis.structural[static_cast<std::size_t>(j)] =
+        state_[static_cast<std::size_t>(j)];
+  }
+  basis.basic.assign(static_cast<std::size_t>(rows_), -1);
+  for (int i = 0; i < rows_; ++i) {
+    const int col = basis_[static_cast<std::size_t>(i)];
+    if (col < structural_) {
+      basis.basic[static_cast<std::size_t>(i)] = col;
+    } else if (col < artificial_begin_) {
+      basis.basic[static_cast<std::size_t>(i)] =
+          structural_ + slack_row_[static_cast<std::size_t>(col)];
+    }
+    // Artificial columns stay encoded as -1.
+  }
+  return basis;
 }
 
 }  // namespace
@@ -490,7 +903,8 @@ Solution solve_lp(const Model& model, const SimplexOptions& options) {
 }
 
 Solution solve_lp(const Model& model, std::span<const double> lower,
-                  std::span<const double> upper, const SimplexOptions& options) {
+                  std::span<const double> upper, const SimplexOptions& options,
+                  const Basis* warm_start, bool emit_basis) {
   util::check(lower.empty() ||
                   lower.size() == static_cast<std::size_t>(model.num_variables()),
               "solve_lp: lower override size mismatch");
@@ -504,8 +918,36 @@ Solution solve_lp(const Model& model, std::span<const double> lower,
       return infeasible;
     }
   }
+
+  // Attempt the warm path first; any rejection (shape mismatch, singular
+  // basis, dual-infeasible start, stalled repair) falls through to the cold
+  // two-phase solve, carrying the wasted work in the diagnostics.
+  std::int64_t warm_iterations = 0;
+  std::int64_t warm_factor_pivots = 0;
+  if (warm_start != nullptr && !warm_start->empty() &&
+      warm_start->matches(model.num_variables(), model.num_constraints())) {
+    Tableau tableau(model, lower, upper, options, *warm_start);
+    warm_factor_pivots = tableau.factor_pivots();
+    if (tableau.warm_ok()) {
+      if (auto solution = tableau.solve_warm()) {
+        if (emit_basis && solution->status == SolveStatus::Optimal) {
+          solution->basis = tableau.extract_basis();
+        }
+        return *std::move(solution);
+      }
+      warm_iterations = tableau.iterations();
+      warm_factor_pivots = tableau.factor_pivots();
+    }
+  }
+
   Tableau tableau(model, lower, upper, options);
-  return tableau.solve();
+  Solution solution = tableau.solve();
+  solution.simplex_iterations += warm_iterations;
+  solution.factor_pivots += warm_factor_pivots;
+  if (emit_basis && solution.status == SolveStatus::Optimal) {
+    solution.basis = tableau.extract_basis();
+  }
+  return solution;
 }
 
 }  // namespace birp::solver

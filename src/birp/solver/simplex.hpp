@@ -10,6 +10,15 @@
 // This solver is the LP engine under the branch-and-bound MILP solver that
 // replaces the paper's Gurobi dependency; per-node bound overrides let B&B
 // branch without rebuilding the model.
+//
+// Warm starts: solve_lp can resume from a Basis snapshot of a previous
+// optimal solve of the same model shape (B&B parent node, previous slot).
+// The basis is refactorized against the current bounds; primal
+// infeasibilities introduced by tightened bounds are repaired with a
+// bounded-variable dual simplex before Phase II polishes — Phase I never
+// runs on the warm path. A singular or unrepairable basis falls back to the
+// cold two-phase path, so warm starts are a pure optimization: statuses and
+// objectives match the cold solver.
 #pragma once
 
 #include <cstdint>
@@ -39,9 +48,16 @@ struct SimplexOptions {
 
 /// As above, with per-variable bound overrides (used by branch-and-bound).
 /// `lower`/`upper` must each be empty or have one entry per model variable.
+///
+/// `warm_start`, when non-null, non-empty, and shape-compatible with the
+/// model, seeds the solve from that basis (cold fallback on any mismatch,
+/// singularity, or repair failure). `emit_basis` asks for Solution::basis to
+/// be filled on Optimal, for reuse in a later warm start.
 [[nodiscard]] Solution solve_lp(const Model& model,
                                 std::span<const double> lower,
                                 std::span<const double> upper,
-                                const SimplexOptions& options = {});
+                                const SimplexOptions& options = {},
+                                const Basis* warm_start = nullptr,
+                                bool emit_basis = false);
 
 }  // namespace birp::solver

@@ -7,6 +7,31 @@
 
 namespace birp::solver {
 
+/// Simplex status of one column: in the basis, or resting at a bound.
+enum class VarState : std::uint8_t { Basic, AtLower, AtUpper };
+
+/// Compact snapshot of an optimal simplex basis, used to warm-start later
+/// solves of structurally identical problems (branch-and-bound children,
+/// consecutive scheduling slots). Layout-independent: slack columns are
+/// identified by their constraint row, not by tableau position.
+struct Basis {
+  /// State of each structural (model) variable. Slack states need no
+  /// storage: a slack is either in `basic` or rests at its lower bound.
+  std::vector<VarState> structural;
+  /// Basic column per row: j in [0, n) is structural j; n + i is the slack
+  /// of constraint i; -1 marks a degenerate row whose basic column was an
+  /// artificial (re-created as a fixed zero column on warm start).
+  std::vector<int> basic;
+
+  [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+  /// Shape check against a model with `num_vars` variables and `num_rows`
+  /// constraints; warm starts are rejected (cold fallback) otherwise.
+  [[nodiscard]] bool matches(int num_vars, int num_rows) const noexcept {
+    return structural.size() == static_cast<std::size_t>(num_vars) &&
+           basic.size() == static_cast<std::size_t>(num_rows);
+  }
+};
+
 enum class SolveStatus {
   Optimal,         ///< proven optimal (within tolerances)
   Feasible,        ///< feasible incumbent returned, optimality not proven
@@ -26,10 +51,19 @@ struct Solution {
   /// at the optimum (for nondegenerate rows). Empty for MILP solves.
   std::vector<double> duals;
 
+  /// Optimal basis snapshot for warm-starting a follow-up solve. Populated
+  /// by solve_lp when asked (emit_basis) and the solve is Optimal; for MILP
+  /// solves it holds the root relaxation's basis (the cross-slot seed).
+  Basis basis;
+
   // Diagnostics.
   std::int64_t simplex_iterations = 0;  ///< total pivots across all LP solves
   std::int64_t nodes_explored = 0;      ///< branch-and-bound nodes (MILP only)
   double best_bound = 0.0;              ///< proven lower bound (MILP only)
+  bool warm_started = false;       ///< LP: solved from a warm basis (no Phase I)
+  std::int64_t factor_pivots = 0;  ///< eliminations spent refactorizing bases
+  std::int64_t warm_lp_solves = 0;  ///< MILP: node LPs served by the warm path
+  std::int64_t cold_lp_solves = 0;  ///< MILP: node LPs solved from scratch
 
   [[nodiscard]] bool usable() const noexcept {
     return status == SolveStatus::Optimal || status == SolveStatus::Feasible;

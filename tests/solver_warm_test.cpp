@@ -1,0 +1,465 @@
+// Warm-start and parallel branch-and-bound coverage: warm-vs-cold result
+// identity on randomized LPs and slot-problem sequences, singular-basis
+// fallback, thread-count determinism, and the reported-gap bracket.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/core/problem.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/runtime/thread_pool.hpp"
+#include "birp/solver/branch_and_bound.hpp"
+#include "birp/solver/model.hpp"
+#include "birp/solver/simplex.hpp"
+#include "birp/util/grid.hpp"
+#include "birp/util/rng.hpp"
+
+namespace birp::solver {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Random transportation LP with mixed relations: equality supply rows,
+// inequality sink-capacity rows, and boxed flow variables — enough structure
+// to exercise slacks, artificials, and bound flips on the warm path.
+Model random_lp(std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  const int sources = 3;
+  const int sinks = 4;
+  Model model;
+  std::vector<std::vector<int>> flow(static_cast<std::size_t>(sources));
+  for (int s = 0; s < sources; ++s) {
+    for (int d = 0; d < sinks; ++d) {
+      const int var = model.add_continuous(
+          "f" + std::to_string(s) + "_" + std::to_string(d), 0.0,
+          rng.uniform(8.0, 25.0));
+      flow[static_cast<std::size_t>(s)].push_back(var);
+      model.set_objective(var, rng.uniform(1.0, 10.0));
+    }
+  }
+  std::vector<double> supply(static_cast<std::size_t>(sources));
+  double total = 0.0;
+  for (int s = 0; s < sources; ++s) {
+    supply[static_cast<std::size_t>(s)] = rng.uniform(5.0, 15.0);
+    total += supply[static_cast<std::size_t>(s)];
+  }
+  for (int s = 0; s < sources; ++s) {
+    std::vector<Term> terms;
+    for (int d = 0; d < sinks; ++d) {
+      terms.push_back({flow[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)], 1.0});
+    }
+    model.add_constraint(terms, Relation::Equal,
+                         supply[static_cast<std::size_t>(s)]);
+  }
+  for (int d = 0; d < sinks; ++d) {
+    std::vector<Term> terms;
+    for (int s = 0; s < sources; ++s) {
+      terms.push_back({flow[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)], 1.0});
+    }
+    // Loose enough to keep the instance feasible, tight enough to bind.
+    model.add_constraint(terms, Relation::LessEqual,
+                         total * rng.uniform(0.4, 0.9));
+  }
+  return model;
+}
+
+// Small random MILP in the spirit of the existing brute-force suite.
+Model random_milp(std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  Model model;
+  const int n = 6;
+  std::vector<int> vars;
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(model.add_integer("x" + std::to_string(j), 0.0, 3.0));
+    model.set_objective(vars.back(), -rng.uniform(1.0, 6.0));
+  }
+  for (int c = 0; c < 3; ++c) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.push_back({vars[static_cast<std::size_t>(j)], rng.uniform(0.5, 3.0)});
+    }
+    model.add_constraint(terms, Relation::LessEqual, rng.uniform(6.0, 14.0));
+  }
+  return model;
+}
+
+// ------------------------------------------------------ LP warm starts ----
+
+TEST(WarmStart, ResolveFromOwnBasisSkipsToOptimal) {
+  const Model model = random_lp(7);
+  const Solution cold = solve_lp(model, {}, {}, {}, nullptr, true);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+
+  // Re-solving the identical problem from its own optimal basis must take
+  // the warm path and no simplex pivots (refactorization work only).
+  const Solution warm = solve_lp(model, {}, {}, {}, &cold.basis, true);
+  ASSERT_EQ(warm.status, SolveStatus::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GT(warm.factor_pivots, 0);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              kTol * (1.0 + std::abs(cold.objective)));
+  EXPECT_LT(warm.simplex_iterations, cold.simplex_iterations);
+}
+
+TEST(WarmStart, TightenedBoundIsRepairedByDualSimplex) {
+  const Model model = random_lp(11);
+  const auto n = static_cast<std::size_t>(model.num_variables());
+  const Solution cold = solve_lp(model, {}, {}, {}, nullptr, true);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+
+  // Branch-style tightening: clamp the largest flow below its LP value so
+  // the parent basis is primal infeasible and must be repaired.
+  std::vector<double> lower(n, 0.0);
+  std::vector<double> upper(n);
+  int fat = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    upper[j] = model.variable(static_cast<int>(j)).upper;
+    if (cold.values[j] > cold.values[static_cast<std::size_t>(fat)]) {
+      fat = static_cast<int>(j);
+    }
+  }
+  ASSERT_GT(cold.values[static_cast<std::size_t>(fat)], 1.0);
+  upper[static_cast<std::size_t>(fat)] =
+      cold.values[static_cast<std::size_t>(fat)] * 0.5;
+
+  const Solution warm = solve_lp(model, lower, upper, {}, &cold.basis, false);
+  const Solution ref = solve_lp(model, lower, upper, {});
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+  ASSERT_EQ(warm.status, ref.status);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, ref.objective,
+              kTol * (1.0 + std::abs(ref.objective)));
+}
+
+TEST(WarmStart, ShapeMismatchFallsBackToCold) {
+  const Model small = random_lp(3);
+  const Solution donor = solve_lp(small, {}, {}, {}, nullptr, true);
+  ASSERT_EQ(donor.status, SolveStatus::Optimal);
+
+  Model other = random_lp(4);
+  other.add_continuous("extra", 0.0, 1.0);  // different shape
+  const Solution sol = solve_lp(other, {}, {}, {}, &donor.basis, false);
+  EXPECT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_FALSE(sol.warm_started);
+}
+
+TEST(WarmStart, SingularBasisFallsBackToCold) {
+  // x + y <= 1 and x + y <= 2: declaring {x, y} basic makes the basis matrix
+  // [[1,1],[1,1]], which is singular — the warm path must detect it during
+  // refactorization and fall back without changing the answer.
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 5.0);
+  const int y = model.add_continuous("y", 0.0, 5.0);
+  model.set_objective(x, -1.0);
+  model.set_objective(y, -2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 2.0);
+
+  Basis singular;
+  singular.structural = {VarState::Basic, VarState::Basic};
+  singular.basic = {0, 1};
+  const Solution sol = solve_lp(model, {}, {}, {}, &singular, false);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_FALSE(sol.warm_started);
+  EXPECT_NEAR(sol.objective, -2.0, kTol);
+}
+
+TEST(WarmStart, DuplicateBasicColumnsRejected) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 5.0);
+  const int y = model.add_continuous("y", 0.0, 5.0);
+  model.set_objective(x, -1.0);
+  model.set_objective(y, -1.0);
+  model.add_constraint({{x, 1.0}}, Relation::LessEqual, 2.0);
+  model.add_constraint({{y, 1.0}}, Relation::LessEqual, 3.0);
+
+  Basis bogus;
+  bogus.structural = {VarState::Basic, VarState::AtLower};
+  bogus.basic = {0, 0};  // same column claimed by both rows
+  const Solution sol = solve_lp(model, {}, {}, {}, &bogus, false);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_FALSE(sol.warm_started);
+  EXPECT_NEAR(sol.objective, -5.0, kTol);
+}
+
+TEST(WarmStart, InfeasibleChildIsDetectedOnWarmPath) {
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 10.0);
+  const int y = model.add_continuous("y", 0.0, 10.0);
+  model.set_objective(x, 1.0);
+  model.set_objective(y, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEqual, 8.0);
+  const Solution parent = solve_lp(model, {}, {}, {}, nullptr, true);
+  ASSERT_EQ(parent.status, SolveStatus::Optimal);
+
+  // Child bounds leave at most 3 + 4 = 7 < 8 of mass: infeasible.
+  const std::vector<double> lower{0.0, 0.0};
+  const std::vector<double> upper{3.0, 4.0};
+  const Solution warm = solve_lp(model, lower, upper, {}, &parent.basis, false);
+  const Solution ref = solve_lp(model, lower, upper, {});
+  EXPECT_EQ(ref.status, SolveStatus::Infeasible);
+  EXPECT_EQ(warm.status, SolveStatus::Infeasible);
+}
+
+// Property sweep: branch-style bound tightenings solved warm must agree with
+// the cold solver in status and objective, and save pivots in aggregate.
+class WarmRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmRandomLp, WarmEqualsColdUnderBranching) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const Model model = random_lp(static_cast<std::uint64_t>(GetParam()));
+  const auto n = static_cast<std::size_t>(model.num_variables());
+  const Solution root = solve_lp(model, {}, {}, {}, nullptr, true);
+  ASSERT_EQ(root.status, SolveStatus::Optimal);
+
+  std::int64_t warm_pivots = 0;
+  std::int64_t cold_pivots = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> lower(n, 0.0);
+    std::vector<double> upper(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      upper[j] = model.variable(static_cast<int>(j)).upper;
+    }
+    // Tighten one or two random variables around the root LP value, the way
+    // branching children do.
+    const int cuts = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int c = 0; c < cuts; ++c) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(n) - 1));
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        upper[j] = std::max(0.0, std::floor(root.values[j]));
+      } else {
+        lower[j] = std::min(upper[j], std::ceil(root.values[j]));
+      }
+    }
+
+    const Solution warm = solve_lp(model, lower, upper, {}, &root.basis, false);
+    const Solution cold = solve_lp(model, lower, upper, {});
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.status == SolveStatus::Optimal) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  kTol * (1.0 + std::abs(cold.objective)))
+          << "trial " << trial;
+      warm_pivots += warm.simplex_iterations;
+      cold_pivots += cold.simplex_iterations;
+    }
+  }
+  // The point of warm starts: far fewer pricing pivots than cold Phase I+II.
+  EXPECT_LT(warm_pivots, cold_pivots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmRandomLp, ::testing::Range(1, 21));
+
+// --------------------------------------------- branch-and-bound parity ----
+
+class WarmRandomMilp : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmRandomMilp, WarmEqualsColdBitIdentical) {
+  const Model model = random_milp(static_cast<std::uint64_t>(GetParam()));
+
+  BranchAndBoundOptions cold_options;
+  cold_options.warm_start = false;
+  cold_options.wave_size = 1;  // the classic serial loop
+  const Solution cold = solve_milp(model, cold_options);
+
+  BranchAndBoundOptions warm_options;
+  warm_options.warm_start = true;
+  const Solution warm = solve_milp(model, warm_options);
+
+  ASSERT_EQ(warm.status, cold.status);
+  if (cold.usable()) {
+    // Bit-identical, not approximately equal: the warm path must land on
+    // exactly the same incumbent as the cold serial solver.
+    EXPECT_EQ(warm.objective, cold.objective);
+  }
+  EXPECT_GT(warm.warm_lp_solves, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmRandomMilp, ::testing::Range(1, 21));
+
+TEST(BranchAndBound, DeterministicAcrossThreadCounts) {
+  for (const int seed : {2, 9, 14}) {
+    const Model model = random_milp(static_cast<std::uint64_t>(seed));
+    BranchAndBoundOptions options;  // warm starts + wave search on
+
+    const Solution serial = solve_milp(model, options);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      runtime::ThreadPool pool(threads);
+      BranchAndBoundOptions parallel = options;
+      parallel.pool = &pool;
+      const Solution sol = solve_milp(model, parallel);
+      ASSERT_EQ(sol.status, serial.status) << threads << " threads";
+      EXPECT_EQ(sol.objective, serial.objective) << threads << " threads";
+      EXPECT_EQ(sol.values, serial.values) << threads << " threads";
+      EXPECT_EQ(sol.nodes_explored, serial.nodes_explored)
+          << threads << " threads";
+      EXPECT_EQ(sol.simplex_iterations, serial.simplex_iterations)
+          << threads << " threads";
+      EXPECT_EQ(sol.best_bound, serial.best_bound) << threads << " threads";
+    }
+  }
+}
+
+TEST(BranchAndBound, ReportedGapAlwaysBracketsOptimum) {
+  for (int seed = 1; seed <= 12; ++seed) {
+    const Model model = random_milp(static_cast<std::uint64_t>(seed));
+    const Solution exact = solve_milp(model);
+    ASSERT_EQ(exact.status, SolveStatus::Optimal) << "seed " << seed;
+
+    // Starve the search at several budgets; whatever it reports, the
+    // [best_bound, objective] interval must contain the true optimum.
+    for (const std::int64_t budget : {1, 2, 3, 5, 9}) {
+      BranchAndBoundOptions options;
+      options.max_nodes = budget;
+      const Solution capped = solve_milp(model, options);
+      if (!capped.usable()) continue;
+      EXPECT_LE(capped.best_bound, exact.objective + kTol)
+          << "seed " << seed << " budget " << budget;
+      EXPECT_GE(capped.objective, exact.objective - kTol)
+          << "seed " << seed << " budget " << budget;
+      EXPECT_LE(capped.best_bound, capped.objective + kTol)
+          << "seed " << seed << " budget " << budget;
+    }
+  }
+}
+
+TEST(BranchAndBound, SeedCandidateBecomesInitialIncumbent) {
+  // Maximize sum over x_j in {0..3} with a loose constraint: optimum is all
+  // at upper bound. Seeding that point should make node 1 prune instantly.
+  Model model;
+  std::vector<Term> terms;
+  for (int j = 0; j < 4; ++j) {
+    const int v = model.add_integer("x" + std::to_string(j), 0.0, 3.0);
+    model.set_objective(v, -1.0);
+    terms.push_back({v, 1.0});
+  }
+  model.add_constraint(terms, Relation::LessEqual, 12.0);
+
+  BranchAndBoundOptions options;
+  options.seed_candidate = {3.0, 3.0, 3.0, 3.0};
+  const Solution sol = solve_milp(model, options);
+  ASSERT_TRUE(sol.usable());
+  EXPECT_NEAR(sol.objective, -12.0, kTol);
+
+  // An infeasible seed must be ignored, not crash or corrupt the search.
+  BranchAndBoundOptions bad;
+  bad.seed_candidate = {99.0, 99.0, 99.0, 99.0};
+  const Solution sol2 = solve_milp(model, bad);
+  ASSERT_TRUE(sol2.usable());
+  EXPECT_NEAR(sol2.objective, -12.0, kTol);
+}
+
+// --------------------------------------------------- slot-problem parity ----
+
+TEST(SlotSequence, WarmParallelMatchesColdSerial) {
+  const auto cluster = device::ClusterSpec::paper_small();
+  const core::TirLookup lookup = [&](int k, int i, int j) {
+    return cluster.oracle_tir(k, i, j);
+  };
+  runtime::ThreadPool pool(4);
+
+  util::Xoshiro256StarStar rng(99);
+  Basis prev_basis;
+  std::int64_t warm_total_pivots = 0;
+  std::int64_t cold_total_pivots = 0;
+  for (int slot = 0; slot < 6; ++slot) {
+    // Slowly drifting demand, as produced by consecutive scheduling slots.
+    util::Grid2<std::int64_t> demand(cluster.num_apps(), cluster.num_devices(),
+                                     0);
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        demand(i, k) = 5 + static_cast<std::int64_t>(rng.uniform_int(0, 3));
+      }
+    }
+    const core::BuiltProblem problem =
+        core::build_slot_problem(cluster, demand, nullptr, lookup, {});
+
+    BranchAndBoundOptions cold_options;
+    cold_options.warm_start = false;
+    cold_options.wave_size = 1;
+    const Solution cold = solve_milp(problem.model, cold_options);
+
+    BranchAndBoundOptions warm_options;
+    warm_options.pool = &pool;
+    if (prev_basis.matches(problem.model.num_variables(),
+                           problem.model.num_constraints())) {
+      warm_options.root_basis = &prev_basis;
+    }
+    const Solution warm = solve_milp(problem.model, warm_options);
+
+    ASSERT_EQ(warm.status, cold.status) << "slot " << slot;
+    if (cold.usable()) {
+      // Slot problems have heavily degenerate alternate optima (several
+      // serving plans tie at the optimal cost), so warm and cold may pick
+      // different — equally optimal — incumbents. The optimal value itself
+      // must agree to ULP scale; bit-identity of decisions is guaranteed
+      // (and tested) across thread counts, where the search is literally
+      // the same.
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-9 * (1.0 + std::abs(cold.objective)))
+          << "slot " << slot;
+    }
+    warm_total_pivots += warm.simplex_iterations;
+    cold_total_pivots += cold.simplex_iterations;
+    if (!warm.basis.empty()) prev_basis = warm.basis;
+  }
+  // Cross-slot + parent-basis reuse must cut pricing pivots over the run.
+  EXPECT_LT(warm_total_pivots, cold_total_pivots);
+}
+
+TEST(SlotSequence, SchedulerDecisionsUnchangedBySolverThreads) {
+  // End-to-end: the scheduler with a solver pool must produce the same
+  // decisions as the single-threaded scheduler, slot for slot.
+  const auto cluster = device::ClusterSpec::paper_small();
+  util::Xoshiro256StarStar rng(7);
+  std::vector<util::Grid2<std::int64_t>> demands;
+  for (int slot = 0; slot < 4; ++slot) {
+    util::Grid2<std::int64_t> demand(cluster.num_apps(), cluster.num_devices(),
+                                     0);
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        demand(i, k) = 4 + static_cast<std::int64_t>(rng.uniform_int(0, 4));
+      }
+    }
+    demands.push_back(demand);
+  }
+
+  const auto run = [&](int threads) {
+    core::BirpConfig config;
+    config.solver_threads = threads;
+    auto scheduler = core::BirpScheduler::offline(cluster, config);
+    std::vector<sim::SlotDecision> decisions;
+    sim::SlotDecision previous(cluster.num_apps(),
+                               cluster.zoo().max_variants(),
+                               cluster.num_devices());
+    for (int slot = 0; slot < static_cast<int>(demands.size()); ++slot) {
+      sim::SlotState state;
+      state.slot = slot;
+      state.demand = demands[static_cast<std::size_t>(slot)];
+      state.previous = slot == 0 ? nullptr : &previous;
+      decisions.push_back(scheduler.decide(state));
+      previous = decisions.back();
+    }
+    return decisions;
+  };
+
+  const auto serial = run(0);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t t = 0; t < serial.size(); ++t) {
+    EXPECT_EQ(serial[t].served.raw(), parallel[t].served.raw())
+        << "slot " << t;
+    EXPECT_EQ(serial[t].kernel.raw(), parallel[t].kernel.raw())
+        << "slot " << t;
+    EXPECT_EQ(serial[t].drops.raw(), parallel[t].drops.raw()) << "slot " << t;
+  }
+}
+
+}  // namespace
+}  // namespace birp::solver
