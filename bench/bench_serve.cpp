@@ -5,12 +5,19 @@
 // scoring hides: tail latency (p95/p99), queueing, and backpressure drops.
 //
 //   ./bench_serve [--slots N] [--target X] [--seed S] [--capacity C]
-//                 [--wait F]
+//                 [--wait F] [--burst M] [--quick] [--check]
 //
 // --capacity bounds each edge's admission queue (0 = unbounded) and --wait
 // sets the partial-batch timeout as a fraction of tau (negative = wait for
-// full batches). Ends with the request-level CSV (metrics::write_latency_csv)
-// for external plotting.
+// full batches). The run ends with the slot-boundary burst drill: demand
+// bursts to M× the quiet level (--burst, default 4) against a stale MILP
+// prior, comparing the fixed fill-to-target rule with the SLO-aware
+// adaptive batcher (serve/adaptive.hpp) on goodput under SLO. --quick
+// shrinks both phases for CI; --check exits nonzero unless the adaptive
+// batcher strictly improves goodput under SLO on the burst drill.
+// The request-level CSV (metrics::write_latency_csv) is printed for
+// external plotting.
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -19,19 +26,73 @@
 #include "birp/serve/engine.hpp"
 #include "common.hpp"
 
+namespace {
+
+/// Replays a fixed decision every slot — the stale-prior role in the drill.
+class ReplayScheduler : public birp::sim::Scheduler {
+ public:
+  explicit ReplayScheduler(birp::sim::SlotDecision decision)
+      : decision_(std::move(decision)) {}
+  [[nodiscard]] std::string name() const override { return "replay"; }
+  [[nodiscard]] birp::sim::SlotDecision decide(
+      const birp::sim::SlotState&) override {
+    return decision_;
+  }
+
+ private:
+  birp::sim::SlotDecision decision_;
+};
+
+/// Burst drill: every other slot's demand spikes to `burst`× the quiet
+/// level while the replayed plan (largest variant, small kernel prior —
+/// the memory-bound shape that forces many launches per job) stays stale.
+/// Returns goodput under SLO for one batching mode.
+struct DrillResult {
+  birp::metrics::RunMetrics metrics;
+  double goodput = 0.0;
+};
+
+DrillResult run_drill(const birp::device::ClusterSpec& cluster,
+                      const birp::workload::Trace& trace,
+                      const birp::sim::SlotDecision& decision,
+                      std::uint64_t seed, bool adaptive) {
+  birp::serve::ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.seed = seed;
+  config.adaptive.enabled = adaptive;
+  config.adaptive.max_batch = 16;
+  ReplayScheduler scheduler(decision);
+  birp::serve::ServeEngine engine(cluster, trace, config);
+  DrillResult result{engine.run(scheduler), 0.0};
+  const double horizon_s = cluster.tau_s() * trace.slots();
+  result.goodput = result.metrics.goodput_under_slo(horizon_s);
+  return result;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const auto cli = birp::bench::Cli::parse(argc, argv, /*default_slots=*/200,
-                                           /*default_target=*/0.7);
+  bool quick = false;
+  bool check = false;
   std::int64_t capacity = 0;
   double wait_fraction = 0.05;
+  double burst = 4.0;
   for (int a = 1; a < argc; ++a) {
     const std::string flag = argv[a];
     if (flag == "--capacity" && a + 1 < argc) {
       capacity = std::strtoll(argv[++a], nullptr, 0);
     } else if (flag == "--wait" && a + 1 < argc) {
       wait_fraction = std::atof(argv[++a]);
+    } else if (flag == "--burst" && a + 1 < argc) {
+      burst = std::atof(argv[++a]);
+    } else if (flag == "--quick") {
+      quick = true;
+    } else if (flag == "--check") {
+      check = true;
     }
   }
+  const auto cli = birp::bench::Cli::parse(
+      argc, argv, /*default_slots=*/quick ? 30 : 200, /*default_target=*/0.7);
 
   auto scenario =
       birp::bench::make_scenario(birp::device::ClusterSpec::paper_small(), cli);
@@ -64,12 +125,15 @@ int main(int argc, char** argv) {
                              runs);
   std::cout << '\n';
 
-  birp::util::TextTable table({"algorithm", "p50 tau", "p95 tau", "p99 tau",
-                               "SLO att. %", "dropped", "queue drops",
-                               "mean depth"});
+  const double horizon_s =
+      scenario.cluster.tau_s() * static_cast<double>(cli.slots);
+  birp::util::TextTable table({"algorithm", "goodput/s", "p50 tau", "p95 tau",
+                               "p99 tau", "SLO att. %", "dropped",
+                               "queue drops", "mean depth"});
   for (const auto& [name, m] : runs) {
     table.add_row(
-        {name, birp::util::fixed(m->latency_quantile(0.5), 3),
+        {name, birp::util::fixed(m->goodput_under_slo(horizon_s), 3),
+         birp::util::fixed(m->latency_quantile(0.5), 3),
          birp::util::fixed(m->latency_quantile(0.95), 3),
          birp::util::fixed(m->latency_quantile(0.99), 3),
          birp::util::fixed(m->slo_attainment_percent(), 2),
@@ -78,10 +142,88 @@ int main(int argc, char** argv) {
              ? birp::util::fixed(m->queue_depth().mean(), 2)
              : "-"});
   }
-  table.print(std::cout, "Per-request latency and SLO attainment");
+  table.print(std::cout, "Per-request latency and goodput under SLO");
+
+  // ------------------------------------------- slot-boundary burst drill ----
+  // Bursty demand against a stale plan: the decision (largest variant,
+  // kernel prior 2 — what a memory-bound MILP solve pins for big models)
+  // was sized for the quiet slots; every other slot spikes to --burst times
+  // that. Fixed fill-to-target pays one slow launch per kernel-load; the
+  // adaptive batcher grows toward the backlog and seals early under
+  // deadline pressure.
+  const auto& cluster = scenario.cluster;
+  const int drill_slots = quick ? 6 : 12;
+  const auto spike =
+      static_cast<std::int64_t>(std::llround(12.0 * std::max(1.0, burst)));
+  birp::workload::Trace drill_trace(drill_slots, cluster.num_apps(),
+                                    cluster.num_devices());
+  for (int t = 0; t < drill_slots; ++t) {
+    for (int k = 0; k < cluster.num_devices(); ++k) {
+      drill_trace.set(t, 0, k, t % 2 == 0 ? spike : 2);
+    }
+  }
+  const int drill_variant = cluster.zoo().num_variants(0) - 1;
+  birp::sim::SlotDecision stale(cluster.num_apps(),
+                                cluster.zoo().max_variants(),
+                                cluster.num_devices());
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    stale.served(0, drill_variant, k) = spike;
+    stale.kernel(0, drill_variant, k) = 2;
+  }
+
+  const auto fixed =
+      run_drill(cluster, drill_trace, stale, cli.seed, /*adaptive=*/false);
+  const auto adaptive =
+      run_drill(cluster, drill_trace, stale, cli.seed, /*adaptive=*/true);
+
+  std::cout << "\nSlot-boundary burst drill: " << drill_trace.total()
+            << " requests over " << drill_slots << " slots, burst x" << burst
+            << ", stale kernel prior 2 on variant " << drill_variant << "\n";
+  birp::util::TextTable drill_table(
+      {"batching", "goodput/s", "SLO att. %", "p95 tau", "full", "timeout",
+       "deadline", "growth", "utility"});
+  const auto drill_row = [&](const std::string& name,
+                             const DrillResult& r) {
+    const auto& m = r.metrics;
+    drill_table.add_row(
+        {name, birp::util::fixed(r.goodput, 3),
+         birp::util::fixed(m.slo_attainment_percent(), 2),
+         birp::util::fixed(m.latency_quantile(0.95), 3),
+         std::to_string(m.batch_seals(
+             static_cast<int>(birp::serve::SealReason::kFull))),
+         std::to_string(m.batch_seals(
+             static_cast<int>(birp::serve::SealReason::kTimeout))),
+         std::to_string(m.batch_seals(
+             static_cast<int>(birp::serve::SealReason::kDeadline))),
+         std::to_string(m.batch_seals(
+             static_cast<int>(birp::serve::SealReason::kGrowth))),
+         std::to_string(m.batch_seals(
+             static_cast<int>(birp::serve::SealReason::kUtility)))});
+  };
+  drill_row("fixed", fixed);
+  drill_row("adaptive", adaptive);
+  drill_table.print(std::cout, "Fixed fill-to-target vs adaptive batching");
 
   std::cout << "\nCSV (metrics::write_latency_csv):\n";
   birp::metrics::write_latency_csv(
-      std::cout, {{"BIRP", &m_birp}, {"OAEI", &m_oaei}, {"MAX", &m_max}});
+      std::cout, {{"BIRP", &m_birp},
+                  {"OAEI", &m_oaei},
+                  {"MAX", &m_max},
+                  {"fixed-burst", &fixed.metrics},
+                  {"adaptive-burst", &adaptive.metrics}});
+
+  if (check) {
+    if (!(adaptive.goodput > fixed.goodput)) {
+      std::cout << "\nCHECK FAILED: adaptive goodput "
+                << birp::util::fixed(adaptive.goodput, 4)
+                << " must strictly beat fixed "
+                << birp::util::fixed(fixed.goodput, 4)
+                << " on the burst drill\n";
+      return 1;
+    }
+    std::cout << "\nCHECK OK: adaptive goodput "
+              << birp::util::fixed(adaptive.goodput, 4) << " > fixed "
+              << birp::util::fixed(fixed.goodput, 4) << '\n';
+  }
   return 0;
 }

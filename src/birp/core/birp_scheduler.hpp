@@ -19,6 +19,7 @@
 #include "birp/runtime/thread_pool.hpp"
 #include "birp/sim/scheduler.hpp"
 #include "birp/solver/branch_and_bound.hpp"
+#include "birp/util/stats.hpp"
 
 namespace birp::core {
 
@@ -86,6 +87,14 @@ class BirpScheduler : public sim::Scheduler {
   [[nodiscard]] std::int64_t fallback_count() const noexcept override {
     return fallbacks_;
   }
+  /// Distribution of batch sizes the runtime actually executed, as observed
+  /// through TIR feedback. Under the serving engine's adaptive batcher every
+  /// launch reports, so this is the realized batch-size distribution the
+  /// tuner's beliefs are conditioned on (diagnostics / tests); under the
+  /// fixed rule it only sees each job's first launch.
+  [[nodiscard]] const util::RunningStats& observed_batches() const noexcept {
+    return observed_batches_;
+  }
 
  private:
   [[nodiscard]] std::size_t estimator_index(int device, int app,
@@ -110,6 +119,7 @@ class BirpScheduler : public sim::Scheduler {
   std::int64_t warm_lp_solves_ = 0;
   std::int64_t cold_lp_solves_ = 0;
   std::int64_t fallbacks_ = 0;
+  util::RunningStats observed_batches_;
 };
 
 }  // namespace birp::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "birp/guard/sojourn.hpp"
 #include "birp/util/check.hpp"
 
 namespace birp::guard {
@@ -98,19 +99,11 @@ bool GuardController::admit(int edge, int app, int variant, int kernel,
                             double arrival_s, double available_s,
                             double accel_free_s, std::int64_t buffered) const {
   if (!config_.admission.enabled) return true;
-  const auto b = static_cast<std::int64_t>(std::max(1, kernel));
   const double gamma = gamma_s_[gamma_index(edge, app, variant)];
-  const double batch_latency =
-      gamma * (1.0 + config_.admission.marginal_batch_cost *
-                         static_cast<double>(b - 1));
-  // The request joins behind `buffered` same-app requests: it rides in
-  // batch number buffered / b + 1 (1-based) of the deployment's launch
-  // sequence, which cannot start before both the request is available and
-  // the accelerator has drained the launches already dispatched ahead.
-  const double batches_ahead = static_cast<double>(buffered / b + 1);
-  const double predicted_sojourn =
-      (std::max(accel_free_s, available_s) - arrival_s) +
-      batches_ahead * batch_latency;
+  const double batch_latency = batch_latency_s(
+      gamma, config_.admission.marginal_batch_cost, kernel);
+  const double predicted_sojourn = predicted_sojourn_s(
+      arrival_s, available_s, accel_free_s, buffered, kernel, batch_latency);
   return predicted_sojourn <=
          config_.admission.slack * slo_s_[static_cast<std::size_t>(app)];
 }

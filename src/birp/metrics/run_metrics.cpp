@@ -56,6 +56,26 @@ void RunMetrics::record_degradation(int degraded_apps, int max_level) {
   if (max_level > max_degradation_level_) max_degradation_level_ = max_level;
 }
 
+void RunMetrics::record_batch_seals(int reason, std::int64_t count) {
+  if (reason < 0 || count <= 0) return;
+  const auto index = static_cast<std::size_t>(reason);
+  if (index >= batch_seals_.size()) batch_seals_.resize(index + 1, 0);
+  batch_seals_[index] += count;
+}
+
+std::int64_t RunMetrics::batch_seals(int reason) const noexcept {
+  if (reason < 0 || static_cast<std::size_t>(reason) >= batch_seals_.size()) {
+    return 0;
+  }
+  return batch_seals_[static_cast<std::size_t>(reason)];
+}
+
+std::int64_t RunMetrics::total_batches() const noexcept {
+  std::int64_t total = 0;
+  for (const auto count : batch_seals_) total += count;
+  return total;
+}
+
 void RunMetrics::record_retries(std::int64_t count) { retries_ += count; }
 
 void RunMetrics::record_edge_slot(int edge, bool up) {

@@ -43,6 +43,10 @@ class RunMetrics {
   /// Records one slot's degradation-ladder status: how many apps are
   /// degraded and the highest active level.
   void record_degradation(int degraded_apps, int max_level);
+  /// Records `count` sealed launches for one seal reason (birp/serve's
+  /// SealReason index: full / timeout / exhausted / deadline / growth /
+  /// utility). The metrics layer treats the reason as an opaque bucket.
+  void record_batch_seals(int reason, std::int64_t count);
   /// Sets the scheduler's cumulative degraded-mode fallback count for the
   /// run (e.g. BIRP's greedy net when the MILP solve fails).
   void set_solver_fallbacks(std::int64_t count) noexcept {
@@ -145,6 +149,25 @@ class RunMetrics {
   /// 100 when no liveness was sampled (fault-free runs).
   [[nodiscard]] double availability_percent() const noexcept;
 
+  /// Sealed launches recorded for one seal-reason bucket (0 for buckets
+  /// never recorded or out of range).
+  [[nodiscard]] std::int64_t batch_seals(int reason) const noexcept;
+  /// Sealed launches across all seal reasons.
+  [[nodiscard]] std::int64_t total_batches() const noexcept;
+
+  /// Requests that were served AND met their SLO (goodput numerator).
+  [[nodiscard]] std::int64_t slo_met_requests() const noexcept {
+    return total_requests_ - slo_failures_;
+  }
+  /// Goodput under SLO: served-and-met requests per second of horizon —
+  /// the headline serving metric (throughput x SLO attainment). 0 when the
+  /// horizon is empty.
+  [[nodiscard]] double goodput_under_slo(double horizon_s) const noexcept {
+    return horizon_s > 0.0
+               ? static_cast<double>(slo_met_requests()) / horizon_s
+               : 0.0;
+  }
+
   /// SLO failure percentage p% = failures / total * 100; 0 when empty.
   [[nodiscard]] double failure_percent() const noexcept;
   /// SLO attainment percentage = 100 - failure_percent(); 100 when empty.
@@ -206,6 +229,8 @@ class RunMetrics {
   std::int64_t degraded_slots_ = 0;
   int max_degradation_level_ = 0;
   std::int64_t solver_fallbacks_ = 0;
+  /// Per-reason sealed-launch counts; grown on first out-of-range reason.
+  std::vector<std::int64_t> batch_seals_;
   /// Per-edge (up, down) slot counts; grown on first sample of each edge.
   std::vector<std::int64_t> edge_up_slots_;
   std::vector<std::int64_t> edge_down_slots_;

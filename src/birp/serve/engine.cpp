@@ -26,6 +26,7 @@ ServeEngine::ServeEngine(const device::ClusterSpec& cluster,
     : cluster_(cluster),
       trace_(trace),
       config_(config),
+      batcher_(cluster, config.adaptive, config.guard_predictor),
       pool_(config.threads <= 0 ? 0 : static_cast<std::size_t>(config.threads)) {
   util::check(trace.apps() == cluster.num_apps(),
               "ServeEngine: trace apps != cluster apps");
@@ -235,12 +236,17 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
     bool first_launch = true;
     const double slo_s = cluster_.zoo().app(job.app).slo_fraction * tau;
     while (remaining > 0) {
-      const auto need = static_cast<int>(
-          std::min<std::int64_t>(remaining, job.kernel));
-
       queue.fill(job.app, 1);
       const auto& fifo = queue.waiting(job.app);
       if (fifo.empty()) break;  // stream eaten by backpressure drops
+
+      // Launch target: the MILP decision's kernel is a prior the adaptive
+      // batcher may grow toward the job's backlog (a no-op when disabled).
+      const auto backlog = static_cast<std::int64_t>(fifo.size()) +
+                           queue.upstream(job.app);
+      const auto need = static_cast<int>(std::min<std::int64_t>(
+          remaining, batcher_.effective_target(job.kernel, backlog)));
+
       if (max_wait_s < 0.0) {
         queue.fill(job.app, static_cast<std::size_t>(need));
       } else {
@@ -248,19 +254,27 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
             std::max(cursor_s, fifo.front().available_s + max_wait_s);
         queue.fill_until(job.app, static_cast<std::size_t>(need), threshold);
       }
+      // Guard against planning a launch from a drained queue: when a slot
+      // boundary lands exactly on a queue drain (every buffered request
+      // gone, e.g. shed by the admission gate mid-fill), sealing would ask
+      // seal_batch for an empty batch and trip its contract check.
+      if (fifo.empty()) break;
 
-      std::vector<double> avails;
+      std::vector<ServeItem> candidates;
       const auto considered =
           std::min<std::size_t>(fifo.size(), static_cast<std::size_t>(need));
-      avails.reserve(considered);
+      candidates.reserve(considered);
       for (std::size_t m = 0; m < considered; ++m) {
-        avails.push_back(fifo[m].available_s);
+        candidates.push_back(fifo[m]);
       }
       // More members can only come from requests still upstream in the
       // stream; everything already buffered is in `considered`.
       const bool more = queue.upstream(job.app) > 0;
-      const auto seal =
-          seal_batch(avails, need, cursor_s, max_wait_s, more);
+      const auto plan =
+          batcher_.plan(k, job.app, job.variant, candidates, job.kernel, need,
+                        cursor_s, max_wait_s, more);
+      const auto& seal = plan.seal;
+      ++outcome.seals[static_cast<std::size_t>(plan.reason)];
 
       const auto members =
           queue.take(job.app, static_cast<std::size_t>(seal.count));
@@ -268,8 +282,10 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
 
       // Launch size: static-shape padding (MAX) bills the full kernel even
       // for a partial batch; otherwise the runtime right-sizes the launch.
+      // A batch grown beyond the kernel is billed at its real size.
       const int launch_size =
-          decision.pad_partial_launches ? job.kernel : seal.count;
+          decision.pad_partial_launches ? std::max(job.kernel, seal.count)
+                                        : seal.count;
       const double clean_s =
           cluster_.truth().batch_time_s(k, job.app, job.variant, launch_size);
       const double noise =
@@ -303,7 +319,11 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
         outcome.records.push_back(record);
       }
 
-      if (first_launch && config_.report_observations) {
+      // With adaptive batching every launch reports an observation, so the
+      // TIR tuner sees the realized batch-size distribution (grown and
+      // early-sealed launches included), not just the decided kernel; the
+      // fixed rule keeps the first-launch-only behavior bit for bit.
+      if ((first_launch || batcher_.enabled()) && config_.report_observations) {
         // Observed TIR per Eq. 1: the merged kernel processed `launch_size`
         // items in duration_s versus gamma each when serial.
         sim::TirObservation obs;
@@ -524,6 +544,12 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
     result.feedback.observations.insert(result.feedback.observations.end(),
                                         outcome.observations.begin(),
                                         outcome.observations.end());
+    for (std::size_t r = 0; r < outcome.seals.size(); ++r) {
+      result.seals[r] += outcome.seals[r];
+      if (metrics != nullptr && outcome.seals[r] > 0) {
+        metrics->record_batch_seals(static_cast<int>(r), outcome.seals[r]);
+      }
+    }
     slot_loss += outcome.loss;
     for (const auto& record : outcome.records) {
       switch (record.outcome) {

@@ -31,6 +31,7 @@
 // slo_fraction * tau — the quantity per-request SLOs are written against.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -43,6 +44,7 @@
 #include "birp/metrics/run_metrics.hpp"
 #include "birp/predictor/latency_predictor.hpp"
 #include "birp/runtime/thread_pool.hpp"
+#include "birp/serve/adaptive.hpp"
 #include "birp/serve/queue.hpp"
 #include "birp/serve/request.hpp"
 #include "birp/sim/decision.hpp"
@@ -86,8 +88,16 @@ struct ServeConfig {
   /// disabled, and the engine is byte-identical to a guard-free build.
   guard::GuardConfig guard;
   /// Believed batch latencies for the admission formula (the nn-Meter
-  /// role); null = the cluster's exact gamma table.
+  /// role); null = the cluster's exact gamma table. Shared with the
+  /// adaptive batcher's latency curves.
   std::shared_ptr<const predictor::LatencyPredictor> guard_predictor;
+  /// SLO-aware adaptive batching (serve/adaptive.hpp): the MILP batch size
+  /// becomes a per-slot prior the runtime seals early / grows around. All-
+  /// default = disabled, and batch assembly is byte-identical to the
+  /// fill-to-target rule. When enabled, every launch reports a TIR
+  /// observation (not just the first per job), so the tuner sees the
+  /// realized batch-size distribution the runtime actually ran.
+  AdaptiveBatcherConfig adaptive;
 };
 
 /// Outcome of one served slot.
@@ -103,6 +113,8 @@ struct SlotServeResult {
   std::int64_t orphaned = 0;       ///< terminal losses to edge failures
   std::int64_t retried = 0;        ///< orphans re-admitted after backoff
   std::int64_t slo_failures = 0;
+  /// Launches sealed this slot, bucketed by SealReason.
+  std::array<std::int64_t, kNumSealReasons> seals{};
   /// All request records in deterministic order; only when keep_records.
   std::vector<RequestRecord> records;
 };
@@ -140,6 +152,7 @@ class ServeEngine {
   struct EdgeOutcome {
     std::vector<RequestRecord> records;  ///< served, queue drops, stranded
     std::vector<sim::TirObservation> observations;
+    std::array<std::int64_t, kNumSealReasons> seals{};  ///< per SealReason
     util::RunningStats depth_stats;
     double busy_s = 0.0;
     double loss = 0.0;  ///< served-request loss only
@@ -159,6 +172,9 @@ class ServeEngine {
   const device::ClusterSpec& cluster_;
   const workload::Trace& trace_;
   ServeConfig config_;
+  /// Batch-assembly rule: delegates to seal_batch when adaptation is
+  /// disabled (the default), so that path stays byte-identical.
+  AdaptiveBatcher batcher_;
   runtime::ThreadPool pool_;
   int slot_ = 0;
   std::optional<sim::SlotDecision> previous_;

@@ -5,17 +5,24 @@
 // permutations.
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "birp/core/birp_scheduler.hpp"
 #include "birp/core/problem.hpp"
 #include "birp/device/cluster.hpp"
+#include "birp/serve/adaptive.hpp"
+#include "birp/serve/batcher.hpp"
+#include "birp/serve/engine.hpp"
 #include "birp/sim/simulator.hpp"
 #include "birp/sim/validate.hpp"
 #include "birp/solver/branch_and_bound.hpp"
 #include "birp/util/rng.hpp"
 #include "birp/workload/generator.hpp"
+#include "birp/workload/trace.hpp"
 
 namespace birp {
 namespace {
@@ -245,6 +252,267 @@ TEST_P(AccountingSweep, MetricsBalanceAgainstTrace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AccountingSweep, ::testing::Range(1, 11));
+
+// ------------------------------------------ adaptive batcher invariants ----
+
+device::ClusterSpec serve_cluster(double tau = 6.0) {
+  return device::ClusterSpec(device::one_of_each(), model::Zoo::small_scale(),
+                             tau, 0x7e57);
+}
+
+/// Random FIFO prefix: availability-sorted (the queue's order), each
+/// member's arrival at or before its availability (transfer delay).
+std::vector<serve::ServeItem> random_candidates(util::Xoshiro256StarStar& rng,
+                                                int count) {
+  std::vector<serve::ServeItem> items;
+  items.reserve(static_cast<std::size_t>(count));
+  double at = rng.uniform(0.0, 1.0);
+  for (int r = 0; r < count; ++r) {
+    serve::ServeItem item;
+    item.app = 0;
+    item.seq = r;
+    item.available_s = at;
+    item.arrival_s = std::max(0.0, at - rng.uniform(0.0, 0.5));
+    items.push_back(item);
+    at += rng.uniform(0.0, 0.8);
+  }
+  return items;
+}
+
+class AdaptiveBatcherFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveBatcherFuzz, DisabledPlanDelegatesToSealBatchExactly) {
+  // Adaptation off: whatever the inputs, plan() must return seal_batch's
+  // seal field for field — the byte-identity the default engine relies on.
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 389);
+  const auto cluster = serve_cluster();
+  serve::AdaptiveBatcher batcher(cluster, serve::AdaptiveBatcherConfig{});
+  ASSERT_FALSE(batcher.enabled());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto app = static_cast<int>(rng.uniform_int(0, cluster.num_apps() - 1));
+    const auto variant = static_cast<int>(
+        rng.uniform_int(0, cluster.zoo().num_variants(app) - 1));
+    const auto edge =
+        static_cast<int>(rng.uniform_int(0, cluster.num_devices() - 1));
+    const auto count = static_cast<int>(rng.uniform_int(1, 12));
+    const auto need = count + static_cast<int>(rng.uniform_int(0, 6));
+    const auto prior = static_cast<int>(rng.uniform_int(1, need));
+    auto candidates = random_candidates(rng, count);
+    for (auto& item : candidates) item.app = app;
+    const double cursor = rng.uniform(0.0, 4.0);
+    const double max_wait = rng.bernoulli(0.3) ? -1.0 : rng.uniform(0.0, 1.5);
+    const bool more = rng.bernoulli(0.5);
+
+    std::vector<double> avails;
+    for (const auto& item : candidates) avails.push_back(item.available_s);
+    const auto expected =
+        serve::seal_batch(avails, need, cursor, max_wait, more);
+    const auto plan = batcher.plan(edge, app, variant, candidates, prior, need,
+                                   cursor, max_wait, more);
+    EXPECT_EQ(plan.seal.count, expected.count) << "seed " << GetParam();
+    EXPECT_DOUBLE_EQ(plan.seal.formation_end_s, expected.formation_end_s);
+    EXPECT_DOUBLE_EQ(plan.seal.start_s, expected.start_s);
+    EXPECT_EQ(plan.seal.timed_out, expected.timed_out);
+    // Disabled plans never claim an adaptive seal reason.
+    EXPECT_NE(plan.reason, serve::SealReason::kDeadline);
+    EXPECT_NE(plan.reason, serve::SealReason::kUtility);
+  }
+}
+
+TEST_P(AdaptiveBatcherFuzz, EffectiveTargetStaysWithinPriorAndCap) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 521);
+  const auto cluster = serve_cluster();
+  serve::AdaptiveBatcherConfig config;
+  config.enabled = true;
+  config.growth_backlog_factor = rng.uniform(0.5, 3.0);
+  config.max_batch = static_cast<int>(rng.uniform_int(1, 64));
+  serve::AdaptiveBatcher batcher(cluster, config);
+  const int cap = batcher.config().max_batch;
+  EXPECT_LE(cap, sim::kMaxKernelBatch);  // ctor clamps to the kernel cap
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto prior = static_cast<int>(rng.uniform_int(-2, 48));
+    const auto backlog = rng.uniform_int(0, 200);
+    const int target = batcher.effective_target(prior, backlog);
+    EXPECT_GE(target, 1);
+    EXPECT_LE(target, cap);
+    // The target never shrinks below the (clamped) MILP prior...
+    EXPECT_GE(target, std::clamp(std::max(1, prior), 1, cap));
+    // ...and only grows past it when the backlog threshold is met.
+    const double threshold = config.growth_backlog_factor *
+                             static_cast<double>(std::max(1, prior));
+    if (static_cast<double>(backlog) < threshold) {
+      EXPECT_EQ(target, std::clamp(std::max(1, prior), 1, cap));
+    }
+  }
+}
+
+TEST_P(AdaptiveBatcherFuzz, SealMeetsOldestDeadlineWheneverAnySealCould) {
+  // The deadline invariant: if the planned launch's predicted completion
+  // breaches the oldest member's deadline, then NO smaller immediate seal
+  // would have met it — a viable smaller seal is never passed over.
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 769);
+  const auto cluster = serve_cluster();
+  serve::AdaptiveBatcherConfig config;
+  config.enabled = true;
+  config.slack = rng.uniform(0.3, 1.5);
+  config.marginal_batch_cost = rng.uniform(0.0, 1.0);
+  serve::AdaptiveBatcher batcher(cluster, config);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto app = static_cast<int>(rng.uniform_int(0, cluster.num_apps() - 1));
+    const auto variant = static_cast<int>(
+        rng.uniform_int(0, cluster.zoo().num_variants(app) - 1));
+    const auto edge =
+        static_cast<int>(rng.uniform_int(0, cluster.num_devices() - 1));
+    const auto count = static_cast<int>(rng.uniform_int(1, 12));
+    const auto need = count + static_cast<int>(rng.uniform_int(0, 6));
+    const auto prior = static_cast<int>(rng.uniform_int(1, need));
+    auto candidates = random_candidates(rng, count);
+    for (auto& item : candidates) item.app = app;
+    const double cursor = rng.uniform(0.0, 4.0);
+    const double max_wait = rng.bernoulli(0.3) ? -1.0 : rng.uniform(0.0, 1.5);
+    const bool more = rng.bernoulli(0.5);
+
+    const auto plan = batcher.plan(edge, app, variant, candidates, prior, need,
+                                   cursor, max_wait, more);
+    ASSERT_GE(plan.seal.count, 1);
+    ASSERT_LE(plan.seal.count, need);
+    ASSERT_LE(plan.seal.count, count);
+
+    const double slo =
+        cluster.zoo().app(app).slo_fraction * cluster.tau_s();
+    const double oldest_deadline =
+        candidates.front().arrival_s + config.slack * slo;
+    const auto completion_of = [&](int m) {
+      return std::max(cursor,
+                      candidates[static_cast<std::size_t>(m - 1)].available_s) +
+             batcher.predicted_latency_s(edge, app, variant, m);
+    };
+    if (!plan.seal.timed_out) {
+      // Immediate seal: the predicted completion matches the model and the
+      // seal's bookkeeping is consistent with the member list.
+      EXPECT_NEAR(plan.predicted_completion_s, completion_of(plan.seal.count),
+                  1e-12)
+          << "seed " << GetParam() << " trial " << trial;
+      EXPECT_DOUBLE_EQ(
+          plan.seal.formation_end_s,
+          candidates[static_cast<std::size_t>(plan.seal.count - 1)].available_s);
+      EXPECT_DOUBLE_EQ(plan.seal.start_s,
+                       std::max(cursor, plan.seal.formation_end_s));
+    }
+    // The invariant itself, stated for both the immediate-seal and the
+    // still-waiting (timed-out) plans: a breached prediction implies every
+    // immediate seal of the held members would also have breached.
+    if (plan.predicted_completion_s > oldest_deadline) {
+      for (int m = 1; m <= plan.seal.count; ++m) {
+        EXPECT_GT(completion_of(m), oldest_deadline)
+            << "seed " << GetParam() << " trial " << trial << " m=" << m
+            << ": a feasible smaller seal was passed over";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveBatcherFuzz, ::testing::Range(1, 13));
+
+// ----------------------------------------- adaptive engine-level sweeps ----
+
+class AdaptiveServeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveServeFuzz, EngineInvariantsHoldOnRandomTraces) {
+  // Random traces through the full engine with adaptation on: every arrival
+  // resolves exactly once, FIFO order within (app, edge) is preserved, and
+  // no launch ever exceeds the configured cap.
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 613);
+  const auto cluster = serve_cluster();
+  workload::Trace trace(4, cluster.num_apps(), cluster.num_devices());
+  for (int t = 0; t < trace.slots(); ++t) {
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        trace.set(t, i, k, rng.uniform_int(0, 24));
+      }
+    }
+  }
+  serve::ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.seed = static_cast<std::uint64_t>(GetParam()) * 7 + 1;
+  config.keep_records = true;
+  config.adaptive.enabled = true;
+  config.adaptive.growth_backlog_factor = 1.25;
+  config.adaptive.max_batch = 24;
+  core::BirpScheduler scheduler(cluster);
+  serve::ServeEngine engine(cluster, trace, config);
+  metrics::RunMetrics metrics;
+  std::int64_t launches = 0;
+  for (int t = 0; t < trace.slots(); ++t) {
+    const auto result = engine.step(scheduler, &metrics);
+    EXPECT_EQ(result.served + result.planned_drops + result.queue_drops +
+                  result.deadline_sheds,
+              trace.slot_total(t))
+        << "seed " << GetParam() << " slot " << t;
+    for (const auto n : result.seals) launches += n;
+    std::map<std::pair<int, int>, double> last_avail;
+    for (const auto& record : result.records) {
+      if (record.outcome != serve::Outcome::kServed) continue;
+      EXPECT_GE(record.batch, 1);
+      EXPECT_LE(record.batch, config.adaptive.max_batch);
+      EXPECT_LE(record.batch, sim::kMaxKernelBatch);
+      // FIFO within (app, edge): batches take queue prefixes, so served
+      // records appear in non-decreasing availability order.
+      auto [it, fresh] = last_avail.try_emplace(
+          {record.item.app, record.served_on}, record.item.available_s);
+      if (!fresh) {
+        EXPECT_GE(record.item.available_s, it->second)
+            << "seed " << GetParam() << " slot " << t
+            << ": FIFO order violated within (app, edge)";
+        it->second = record.item.available_s;
+      }
+    }
+  }
+  EXPECT_EQ(metrics.total_requests(), trace.total());
+  EXPECT_EQ(metrics.total_batches(), launches);
+}
+
+TEST_P(AdaptiveServeFuzz, DisabledEngineKeepsFillToTargetBehavior) {
+  // Adaptation off on random traces: only the legacy seal reasons appear
+  // and no launch exceeds its decided kernel — the fill-to-target contract.
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()) * 877);
+  const auto cluster = serve_cluster();
+  workload::Trace trace(3, cluster.num_apps(), cluster.num_devices());
+  for (int t = 0; t < trace.slots(); ++t) {
+    for (int i = 0; i < cluster.num_apps(); ++i) {
+      for (int k = 0; k < cluster.num_devices(); ++k) {
+        trace.set(t, i, k, rng.uniform_int(0, 20));
+      }
+    }
+  }
+  serve::ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.seed = static_cast<std::uint64_t>(GetParam()) * 11 + 3;
+  config.keep_records = true;
+  core::BirpScheduler scheduler(cluster);
+  serve::ServeEngine engine(cluster, trace, config);
+  for (int t = 0; t < trace.slots(); ++t) {
+    const auto result = engine.step(scheduler);
+    EXPECT_EQ(
+        result.seals[static_cast<std::size_t>(serve::SealReason::kDeadline)],
+        0);
+    EXPECT_EQ(
+        result.seals[static_cast<std::size_t>(serve::SealReason::kGrowth)], 0);
+    EXPECT_EQ(
+        result.seals[static_cast<std::size_t>(serve::SealReason::kUtility)],
+        0);
+    for (const auto& record : result.records) {
+      if (record.outcome != serve::Outcome::kServed) continue;
+      EXPECT_LE(record.batch,
+                result.decision.kernel(record.item.app, record.variant,
+                                       record.served_on))
+          << "seed " << GetParam() << " slot " << t
+          << ": fill-to-target exceeded the decided kernel";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveServeFuzz, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace birp

@@ -2,11 +2,14 @@
 // queue, and the ServeEngine end to end.
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "birp/device/cluster.hpp"
+#include "birp/metrics/report_csv.hpp"
+#include "birp/serve/adaptive.hpp"
 #include "birp/serve/batcher.hpp"
 #include "birp/serve/engine.hpp"
 #include "birp/serve/queue.hpp"
@@ -138,6 +141,14 @@ TEST(SealBatch, ConsidersAtMostNeedMembers) {
   const auto seal = seal_batch(avails, 2, 0.0, 1.0, true);
   EXPECT_EQ(seal.count, 2);
   EXPECT_DOUBLE_EQ(seal.formation_end_s, 0.2);
+}
+
+TEST(SealBatch, EmptyCandidateListRejected) {
+  // Sealing from a drained queue is a caller bug; the contract check must
+  // trip instead of fabricating a zero-member launch.
+  const std::vector<double> empty;
+  EXPECT_THROW(static_cast<void>(seal_batch(empty, 1, 0.0, 1.0, true)),
+               std::logic_error);
 }
 
 // -------------------------------------------------------- AdmissionQueue ----
@@ -516,6 +527,280 @@ TEST_F(ServeEngineFixture, LatencyPercentilesAndDepthStatsPopulated) {
   EXPECT_LE(metrics.latency_quantile(0.95), metrics.latency_quantile(0.99));
   EXPECT_GT(metrics.queue_depth().count(), 0u);
   EXPECT_GT(metrics.exec_latency().count(), 0u);
+}
+
+// ------------------------------------------------------- AdaptiveBatcher ----
+
+class AdaptiveBatcherFixture : public ::testing::Test {
+ protected:
+  // A long tau gives every app an SLO budget far above one serial launch,
+  // so deadlines in these tests are controlled by the candidates we build,
+  // not by the cluster's timing accidents.
+  AdaptiveBatcherFixture() : cluster_(small_cluster(/*tau=*/60.0)) {}
+
+  [[nodiscard]] AdaptiveBatcher enabled_batcher(
+      AdaptiveBatcherConfig config = {}) const {
+    config.enabled = true;
+    return AdaptiveBatcher(cluster_, config);
+  }
+
+  device::ClusterSpec cluster_;
+};
+
+TEST_F(AdaptiveBatcherFixture, ConfigValidationRejectsGarbage) {
+  AdaptiveBatcherConfig bad_slack;
+  bad_slack.slack = 0.0;
+  EXPECT_THROW(validate(bad_slack), std::logic_error);
+  AdaptiveBatcherConfig bad_cap;
+  bad_cap.max_batch = 0;
+  EXPECT_THROW(validate(bad_cap), std::logic_error);
+  AdaptiveBatcherConfig bad_cost;
+  bad_cost.marginal_batch_cost = -0.1;
+  EXPECT_THROW(validate(bad_cost), std::logic_error);
+  // The ctor clamps oversized caps to the validator's kernel limit.
+  AdaptiveBatcherConfig oversized;
+  oversized.max_batch = 10 * sim::kMaxKernelBatch;
+  const AdaptiveBatcher batcher(cluster_, oversized);
+  EXPECT_EQ(batcher.config().max_batch, sim::kMaxKernelBatch);
+}
+
+TEST_F(AdaptiveBatcherFixture, GrowthEngagesOnlyAboveBacklogThreshold) {
+  AdaptiveBatcherConfig config;
+  config.growth_backlog_factor = 1.5;
+  config.max_batch = 16;
+  const auto batcher = enabled_batcher(config);
+  EXPECT_EQ(batcher.effective_target(4, 5), 4);    // below 1.5 * 4
+  EXPECT_EQ(batcher.effective_target(4, 6), 6);    // at threshold: grow
+  EXPECT_EQ(batcher.effective_target(4, 24), 16);  // capped at max_batch
+  EXPECT_EQ(batcher.effective_target(0, 24), 16);  // prior clamped to 1 first
+  // Disabled: the prior passes through untouched.
+  const AdaptiveBatcher fixed(cluster_, AdaptiveBatcherConfig{});
+  EXPECT_EQ(fixed.effective_target(4, 24), 4);
+  EXPECT_EQ(fixed.effective_target(0, 24), 1);
+}
+
+TEST_F(AdaptiveBatcherFixture, UtilitySealsSmallerWhenTailBlowsOldestDeadline) {
+  // Three members ready immediately, a fourth only after the oldest
+  // member's deadline: sealing all four is doomed, sealing three wins the
+  // goodput utility. Calibrated against the cluster's own gamma table.
+  const auto batcher = enabled_batcher();
+  const double slo = cluster_.zoo().app(0).slo_fraction * cluster_.tau_s();
+  const double gamma = cluster_.gamma_s(0, 0, 0);
+  ASSERT_LT(batcher.predicted_latency_s(0, 0, 0, 3), slo);
+  std::vector<ServeItem> candidates{item_at(0, 0.0, 0), item_at(0, 0.0, 1),
+                                    item_at(0, 0.0, 2),
+                                    item_at(0, slo + 1.0, 3)};
+  const auto plan = batcher.plan(0, 0, 0, candidates, /*prior=*/4, /*need=*/4,
+                                 /*cursor_s=*/0.0, /*max_wait_s=*/-1.0,
+                                 /*more_may_arrive=*/false);
+  EXPECT_EQ(plan.reason, SealReason::kUtility);
+  EXPECT_EQ(plan.seal.count, 3);
+  EXPECT_FALSE(plan.seal.timed_out);
+  EXPECT_DOUBLE_EQ(plan.seal.start_s, 0.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_completion_s,
+                   batcher.predicted_latency_s(0, 0, 0, 3));
+  EXPECT_LE(plan.predicted_completion_s, slo);
+  // Sanity: the doomed full batch really was doomed.
+  EXPECT_GT(slo + 1.0 + gamma, slo);
+}
+
+TEST_F(AdaptiveBatcherFixture, DeadlinePressureSealsInsteadOfWaiting) {
+  // One member held for a timeout that lands past its deadline: the
+  // fill-to-target rule would wait; the adaptive rule launches it now.
+  const auto batcher = enabled_batcher();
+  const double slo = cluster_.zoo().app(0).slo_fraction * cluster_.tau_s();
+  ASSERT_LT(batcher.predicted_latency_s(0, 0, 0, 1), slo);
+  std::vector<ServeItem> candidates{item_at(0, 0.0, 0)};
+  const auto plan = batcher.plan(0, 0, 0, candidates, /*prior=*/4, /*need=*/4,
+                                 /*cursor_s=*/0.0, /*max_wait_s=*/slo,
+                                 /*more_may_arrive=*/true);
+  EXPECT_EQ(plan.reason, SealReason::kDeadline);
+  EXPECT_EQ(plan.seal.count, 1);
+  EXPECT_FALSE(plan.seal.timed_out);
+  EXPECT_DOUBLE_EQ(plan.seal.start_s, 0.0);
+  // The same hold with slack to spare keeps the timeout seal untouched.
+  const auto patient = batcher.plan(0, 0, 0, candidates, 4, 4, 0.0,
+                                    /*max_wait_s=*/0.1, true);
+  EXPECT_EQ(patient.reason, SealReason::kTimeout);
+  EXPECT_TRUE(patient.seal.timed_out);
+  EXPECT_DOUBLE_EQ(patient.seal.start_s, 0.1);
+}
+
+// ------------------------------------------- ServeEngine adaptive paths ----
+
+TEST_F(ServeEngineFixture, BacklogGrowsBatchesBeyondTheKernelPrior) {
+  // 24 requests against a kernel prior of 4: fill-to-target would run six
+  // launches of 4; growth runs 16 + 8 and reports both to the tuner.
+  workload::Trace trace(1, cluster_.num_apps(), cluster_.num_devices());
+  trace.set(0, 0, 0, 24);
+  sim::SlotDecision decision(cluster_.num_apps(), cluster_.zoo().max_variants(),
+                             cluster_.num_devices());
+  decision.served(0, 0, 0) = 24;
+  decision.kernel(0, 0, 0) = 4;
+  FixedScheduler scheduler(decision);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.max_batch_wait_fraction = -1.0;  // isolate growth from early seals
+  config.keep_records = true;
+  config.adaptive.enabled = true;
+  config.adaptive.growth_backlog_factor = 1.5;
+  config.adaptive.max_batch = 16;
+  // A huge slack keeps deadlines from binding, isolating the growth rule
+  // from the utility/early-seal rules.
+  config.adaptive.slack = 100.0;
+  ServeEngine engine(cluster_, trace, config);
+  const auto result = engine.step(scheduler);
+  ASSERT_EQ(result.served, 24);
+  EXPECT_EQ(result.seals[static_cast<std::size_t>(SealReason::kGrowth)], 2);
+  EXPECT_EQ(result.seals[static_cast<std::size_t>(SealReason::kFull)], 0);
+  std::vector<int> batches;
+  for (const auto& record : result.records) {
+    if (record.outcome == Outcome::kServed) batches.push_back(record.batch);
+  }
+  EXPECT_EQ(*std::max_element(batches.begin(), batches.end()), 16);
+  for (const int b : batches) EXPECT_LE(b, config.adaptive.max_batch);
+  // Every launch reports, at its realized size — the tuner sees the grown
+  // batches, not the decided kernel.
+  ASSERT_EQ(result.feedback.observations.size(), 2u);
+  EXPECT_EQ(result.feedback.observations[0].batch, 16);
+  EXPECT_EQ(result.feedback.observations[1].batch, 8);
+}
+
+TEST_F(ServeEngineFixture, AdaptiveReplayIsDeterministic) {
+  // A seeded burst trace replayed twice (and across thread counts) with
+  // adaptation on must reproduce identical seal decisions, per-request
+  // records, metrics, and the exported CSV, byte for byte.
+  workload::Trace trace(6, cluster_.num_apps(), cluster_.num_devices());
+  for (int t = 0; t < trace.slots(); ++t) {
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        trace.set(t, i, k, t % 3 == 0 ? 28 : 3);  // burst every third slot
+      }
+    }
+  }
+  const auto run = [&](int threads) {
+    ServeConfig config;
+    config.threads = threads;
+    config.keep_records = true;
+    config.adaptive.enabled = true;
+    config.adaptive.growth_backlog_factor = 1.25;
+    LocalGreedyScheduler scheduler(cluster_);
+    ServeEngine engine(cluster_, trace, config);
+    metrics::RunMetrics metrics;
+    std::vector<SlotServeResult> results;
+    while (engine.current_slot() < trace.slots()) {
+      results.push_back(engine.step(scheduler, &metrics));
+    }
+    return std::make_pair(std::move(results), std::move(metrics));
+  };
+  const auto [r1, m1] = run(1);
+  const auto [r2, m2] = run(8);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t t = 0; t < r1.size(); ++t) {
+    EXPECT_EQ(r1[t].seals, r2[t].seals) << "slot " << t;
+    ASSERT_EQ(r1[t].records.size(), r2[t].records.size()) << "slot " << t;
+    for (std::size_t r = 0; r < r1[t].records.size(); ++r) {
+      const auto& a = r1[t].records[r];
+      const auto& b = r2[t].records[r];
+      EXPECT_EQ(a.item.app, b.item.app);
+      EXPECT_EQ(a.item.origin, b.item.origin);
+      EXPECT_EQ(a.item.seq, b.item.seq);
+      EXPECT_DOUBLE_EQ(a.item.arrival_s, b.item.arrival_s);
+      EXPECT_DOUBLE_EQ(a.item.available_s, b.item.available_s);
+      EXPECT_EQ(a.outcome, b.outcome);
+      EXPECT_EQ(a.served_on, b.served_on);
+      EXPECT_EQ(a.variant, b.variant);
+      EXPECT_EQ(a.batch, b.batch);
+      EXPECT_DOUBLE_EQ(a.formation_end_s, b.formation_end_s);
+      EXPECT_DOUBLE_EQ(a.start_s, b.start_s);
+      EXPECT_DOUBLE_EQ(a.completion_s, b.completion_s);
+      EXPECT_EQ(a.met_slo, b.met_slo);
+    }
+  }
+  EXPECT_EQ(m1.total_requests(), m2.total_requests());
+  EXPECT_EQ(m1.slo_failures(), m2.slo_failures());
+  EXPECT_EQ(m1.total_batches(), m2.total_batches());
+  for (int reason = 0; reason < kNumSealReasons; ++reason) {
+    EXPECT_EQ(m1.batch_seals(reason), m2.batch_seals(reason));
+  }
+  EXPECT_DOUBLE_EQ(m1.total_loss(), m2.total_loss());
+  const double horizon_s = cluster_.tau_s() * trace.slots();
+  EXPECT_DOUBLE_EQ(m1.goodput_under_slo(horizon_s),
+                   m2.goodput_under_slo(horizon_s));
+  std::ostringstream csv1;
+  std::ostringstream csv2;
+  metrics::write_latency_csv(csv1, {{"adaptive", &m1}});
+  metrics::write_latency_csv(csv2, {{"adaptive", &m2}});
+  EXPECT_EQ(csv1.str(), csv2.str());
+}
+
+TEST_F(ServeEngineFixture, FullyShedQueueNeverSealsAnEmptyBatch) {
+  // Regression: with deadline-aware admission shedding every arrival and a
+  // zero-length batch wait, the launch loop's slot boundary lands exactly
+  // on a drained queue — sealing there would hand seal_batch an empty
+  // candidate list and trip its contract check.
+  const auto trace = uniform_trace(cluster_, 1, 8);
+  ServeConfig config;
+  config.noise_sigma = 0.0;
+  config.max_batch_wait_fraction = 0.0;
+  config.keep_records = true;
+  config.guard.admission.enabled = true;
+  config.guard.admission.slack = 1e-9;  // predicted sojourn always breaches
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  metrics::RunMetrics metrics;
+  SlotServeResult result;
+  ASSERT_NO_THROW(result = engine.step(scheduler, &metrics));
+  EXPECT_EQ(result.served, 0);
+  EXPECT_GT(result.deadline_sheds, 0);
+  // Every arrival still resolves exactly once — as a shed or planned drop.
+  EXPECT_EQ(result.deadline_sheds + result.planned_drops,
+            trace.slot_total(0));
+  EXPECT_EQ(metrics.deadline_shed(), result.deadline_sheds);
+  std::int64_t sealed = 0;
+  for (const auto n : result.seals) sealed += n;
+  EXPECT_EQ(sealed, 0);
+}
+
+TEST_F(ServeEngineFixture, AdaptiveBeatsFixedOnSlotBoundaryBursts) {
+  // Bursty demand against a small kernel prior: the fixed rule pays six
+  // formation waits per burst, the adaptive rule drains each burst in a
+  // couple of grown launches. Goodput under SLO must strictly improve.
+  workload::Trace trace(6, cluster_.num_apps(), cluster_.num_devices());
+  for (int t = 0; t < trace.slots(); ++t) {
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        trace.set(t, i, k, t % 2 == 0 ? 48 : 2);
+      }
+    }
+  }
+  // The largest variant with a tiny kernel prior: the fixed rule pays many
+  // slow, TIR-inefficient launches per burst and blows deadlines deep into
+  // the queue.
+  sim::SlotDecision decision(cluster_.num_apps(), cluster_.zoo().max_variants(),
+                             cluster_.num_devices());
+  const int variant = cluster_.zoo().num_variants(0) - 1;
+  for (int i = 0; i < cluster_.num_apps(); ++i) {
+    for (int k = 0; k < cluster_.num_devices(); ++k) {
+      decision.served(i, variant, k) = 48;
+      decision.kernel(i, variant, k) = 2;
+    }
+  }
+  const auto run = [&](bool adaptive) {
+    ServeConfig config;
+    config.noise_sigma = 0.0;
+    config.adaptive.enabled = adaptive;
+    config.adaptive.max_batch = 16;
+    FixedScheduler scheduler(decision);
+    ServeEngine engine(cluster_, trace, config);
+    return engine.run(scheduler);
+  };
+  const auto fixed = run(false);
+  const auto adaptive = run(true);
+  const double horizon_s = cluster_.tau_s() * trace.slots();
+  EXPECT_GT(adaptive.goodput_under_slo(horizon_s),
+            fixed.goodput_under_slo(horizon_s));
+  EXPECT_LE(adaptive.slo_failures(), fixed.slo_failures());
 }
 
 }  // namespace
