@@ -1,0 +1,258 @@
+#include "birp/cluster/cell_scheduler.hpp"
+
+#include <future>
+#include <utility>
+
+#include "birp/util/check.hpp"
+
+namespace birp::cluster {
+
+CellScheduler::CellScheduler(const device::ClusterSpec& cluster,
+                             Partition partition, CellSchedulerConfig config)
+    : cluster_(cluster),
+      partition_(std::move(partition)),
+      config_(std::move(config)),
+      balancer_(cluster, config_.balancer, partition_.cells()) {
+  const int K = cluster_.num_devices();
+  util::check(partition_.devices() == K,
+              "CellScheduler: partition does not cover the cluster");
+  local_of_.assign(static_cast<std::size_t>(K), -1);
+  for (int c = 0; c < partition_.cells(); ++c) {
+    const auto& members = partition_.members[static_cast<std::size_t>(c)];
+    util::check(!members.empty(), "CellScheduler: empty cell");
+    for (int local = 0; local < static_cast<int>(members.size()); ++local) {
+      const int k = members[static_cast<std::size_t>(local)];
+      util::check(k >= 0 && k < K && local_of_[static_cast<std::size_t>(k)] < 0,
+                  "CellScheduler: partition is not a partition");
+      local_of_[static_cast<std::size_t>(k)] = local;
+    }
+  }
+  for (int k = 0; k < K; ++k) {
+    util::check(local_of_[static_cast<std::size_t>(k)] >= 0,
+                "CellScheduler: orphan device outside every cell");
+  }
+
+  specs_.reserve(static_cast<std::size_t>(partition_.cells()));
+  cells_.reserve(static_cast<std::size_t>(partition_.cells()));
+  for (int c = 0; c < partition_.cells(); ++c) {
+    specs_.push_back(std::make_unique<device::ClusterSpec>(cluster_.subcluster(
+        partition_.members[static_cast<std::size_t>(c)])));
+    cells_.push_back(std::make_unique<core::BirpScheduler>(
+        config_.offline
+            ? core::BirpScheduler::offline(*specs_.back(), config_.birp)
+            : core::BirpScheduler(*specs_.back(), config_.birp)));
+  }
+  if (config_.cell_threads > 0 && partition_.cells() > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        static_cast<std::size_t>(config_.cell_threads));
+  }
+  prev_scratch_.resize(static_cast<std::size_t>(partition_.cells()));
+  hints_scratch_.resize(static_cast<std::size_t>(partition_.cells()));
+}
+
+std::string CellScheduler::name() const {
+  if (!config_.name_override.empty()) return config_.name_override;
+  return (config_.offline ? std::string("BIRP-OFF-CLUSTER/")
+                          : std::string("BIRP-CLUSTER/")) +
+         std::to_string(partition_.cells());
+}
+
+sim::SlotDecision CellScheduler::restrict_decision(
+    const sim::SlotDecision& full, const std::vector<int>& members) const {
+  sim::SlotDecision local(full.apps(), full.max_variants(),
+                          static_cast<int>(members.size()));
+  for (int i = 0; i < full.apps(); ++i) {
+    for (int j = 0; j < full.max_variants(); ++j) {
+      for (int lk = 0; lk < static_cast<int>(members.size()); ++lk) {
+        const int k = members[static_cast<std::size_t>(lk)];
+        local.served(i, j, lk) = full.served(i, j, k);
+        local.kernel(i, j, lk) = full.kernel(i, j, k);
+      }
+    }
+    for (int lk = 0; lk < static_cast<int>(members.size()); ++lk) {
+      local.drops(i, lk) =
+          full.drops(i, members[static_cast<std::size_t>(lk)]);
+    }
+  }
+  const int cell =
+      partition_.cell_of[static_cast<std::size_t>(members.front())];
+  for (const auto& flow : full.flows) {
+    if (partition_.cell_of[static_cast<std::size_t>(flow.from)] != cell ||
+        partition_.cell_of[static_cast<std::size_t>(flow.to)] != cell) {
+      continue;  // crosses cells, or belongs to another cell
+    }
+    local.flows.push_back(
+        sim::Flow{flow.app, local_of_[static_cast<std::size_t>(flow.from)],
+                  local_of_[static_cast<std::size_t>(flow.to)], flow.count});
+  }
+  local.pad_partial_launches = full.pad_partial_launches;
+  return local;
+}
+
+sim::SlotDecision CellScheduler::decide(const sim::SlotState& state) {
+  const int I = cluster_.num_apps();
+  const int K = cluster_.num_devices();
+  const int cells = partition_.cells();
+  util::check(state.demand.rows() == I && state.demand.cols() == K,
+              "CellScheduler: demand does not match cluster");
+
+  // 1. Top-level balancing: bounded demand moves between cells, planned on
+  //    the calling thread so it is independent of cell_threads.
+  const std::vector<Move> moves = balancer_.plan(state, partition_);
+  util::Grid2<std::int64_t> adjusted = state.demand;
+  for (const auto& move : moves) {
+    adjusted(move.app, move.from) -= move.count;
+    adjusted(move.app, move.to) += move.count;
+  }
+
+  // 2. Slice the slot state per cell.
+  std::vector<sim::SlotState> cell_states(static_cast<std::size_t>(cells));
+  for (int c = 0; c < cells; ++c) {
+    const auto& members = partition_.members[static_cast<std::size_t>(c)];
+    const int Kc = static_cast<int>(members.size());
+    auto& cs = cell_states[static_cast<std::size_t>(c)];
+    cs.slot = state.slot;
+    cs.demand = util::Grid2<std::int64_t>(I, Kc, 0);
+    for (int i = 0; i < I; ++i) {
+      for (int lk = 0; lk < Kc; ++lk) {
+        cs.demand(i, lk) = adjusted(i, members[static_cast<std::size_t>(lk)]);
+      }
+    }
+    if (state.previous != nullptr) {
+      // Restrict the *simulator-repaired* previous decision: cells must see
+      // the same deployment history the runtime actually executed, which is
+      // also what makes k = 1 a byte-identical pass-through.
+      prev_scratch_[static_cast<std::size_t>(c)] =
+          restrict_decision(*state.previous, members);
+      cs.previous = &prev_scratch_[static_cast<std::size_t>(c)];
+    }
+    if (!state.edge_up.empty()) {
+      cs.edge_up.resize(static_cast<std::size_t>(Kc));
+      for (int lk = 0; lk < Kc; ++lk) {
+        cs.edge_up[static_cast<std::size_t>(lk)] =
+            state.edge_up[static_cast<std::size_t>(
+                members[static_cast<std::size_t>(lk)])];
+      }
+    }
+    if (state.hints != nullptr) {
+      auto& hints = hints_scratch_[static_cast<std::size_t>(c)];
+      hints.variant_cap = state.hints->variant_cap;
+      if (state.hints->avoid_import.rows() > 0) {
+        hints.avoid_import = util::Grid2<std::uint8_t>(I, Kc, 0);
+        for (int i = 0; i < I; ++i) {
+          for (int lk = 0; lk < Kc; ++lk) {
+            hints.avoid_import(i, lk) = state.hints->avoid_import(
+                i, members[static_cast<std::size_t>(lk)]);
+          }
+        }
+      } else {
+        hints.avoid_import = util::Grid2<std::uint8_t>();
+      }
+      cs.hints = &hints;
+    }
+  }
+
+  // 3. Solve cells — concurrently when a pool exists. Each future is
+  //    collected in cell order, so the merge below is order-deterministic.
+  std::vector<sim::SlotDecision> cell_decisions(
+      static_cast<std::size_t>(cells));
+  if (pool_ != nullptr) {
+    std::vector<std::future<sim::SlotDecision>> futures;
+    futures.reserve(static_cast<std::size_t>(cells));
+    for (int c = 0; c < cells; ++c) {
+      futures.push_back(pool_->submit(
+          [this, c, &cell_states]() {
+            return cells_[static_cast<std::size_t>(c)]->decide(
+                cell_states[static_cast<std::size_t>(c)]);
+          }));
+    }
+    for (int c = 0; c < cells; ++c) {
+      cell_decisions[static_cast<std::size_t>(c)] =
+          futures[static_cast<std::size_t>(c)].get();
+    }
+  } else {
+    for (int c = 0; c < cells; ++c) {
+      cell_decisions[static_cast<std::size_t>(c)] =
+          cells_[static_cast<std::size_t>(c)]->decide(
+              cell_states[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  // 4. Merge in fixed cell order.
+  sim::SlotDecision merged(I, cluster_.zoo().max_variants(), K);
+  for (int c = 0; c < cells; ++c) {
+    const auto& members = partition_.members[static_cast<std::size_t>(c)];
+    const auto& dec = cell_decisions[static_cast<std::size_t>(c)];
+    std::int64_t cell_demand = 0;
+    for (int i = 0; i < I; ++i) {
+      for (int j = 0; j < dec.max_variants(); ++j) {
+        for (int lk = 0; lk < dec.devices(); ++lk) {
+          const int k = members[static_cast<std::size_t>(lk)];
+          merged.served(i, j, k) = dec.served(i, j, lk);
+          merged.kernel(i, j, k) = dec.kernel(i, j, lk);
+        }
+      }
+      for (int lk = 0; lk < dec.devices(); ++lk) {
+        const int k = members[static_cast<std::size_t>(lk)];
+        merged.drops(i, k) = dec.drops(i, lk);
+        cell_demand += cell_states[static_cast<std::size_t>(c)].demand(i, lk);
+      }
+    }
+    for (const auto& flow : dec.flows) {
+      merged.flows.push_back(sim::Flow{
+          flow.app, members[static_cast<std::size_t>(flow.from)],
+          members[static_cast<std::size_t>(flow.to)], flow.count});
+    }
+    merged.pad_partial_launches =
+        merged.pad_partial_launches || dec.pad_partial_launches;
+    balancer_.record_decision(c, cell_demand, dec.total_dropped());
+  }
+  // Balancer moves become real inter-cell flows, which keeps global
+  // conservation exact: the donor already solved without the moved demand
+  // (export covered), the recipient solved with it (import covers it).
+  for (const auto& move : moves) {
+    merged.flows.push_back(sim::Flow{move.app, move.from, move.to, move.count});
+  }
+  return merged;
+}
+
+void CellScheduler::observe(const sim::SlotFeedback& feedback) {
+  const int cells = partition_.cells();
+  std::vector<sim::SlotFeedback> cell_feedback(
+      static_cast<std::size_t>(cells));
+  for (int c = 0; c < cells; ++c) {
+    cell_feedback[static_cast<std::size_t>(c)].slot = feedback.slot;
+  }
+  for (const auto& obs : feedback.observations) {
+    const int c = partition_.cell_of[static_cast<std::size_t>(obs.device)];
+    auto local = obs;
+    local.device = local_of_[static_cast<std::size_t>(obs.device)];
+    cell_feedback[static_cast<std::size_t>(c)].observations.push_back(local);
+  }
+  if (!feedback.busy_s.empty()) {
+    for (int c = 0; c < cells; ++c) {
+      const auto& members = partition_.members[static_cast<std::size_t>(c)];
+      auto& busy = cell_feedback[static_cast<std::size_t>(c)].busy_s;
+      busy.resize(members.size(), 0.0);
+      double total = 0.0;
+      for (std::size_t lk = 0; lk < members.size(); ++lk) {
+        busy[lk] = feedback.busy_s[static_cast<std::size_t>(members[lk])];
+        total += busy[lk];
+      }
+      balancer_.record_busy(
+          c, total / (static_cast<double>(members.size()) * cluster_.tau_s()));
+    }
+  }
+  for (int c = 0; c < cells; ++c) {
+    cells_[static_cast<std::size_t>(c)]->observe(
+        cell_feedback[static_cast<std::size_t>(c)]);
+  }
+}
+
+std::int64_t CellScheduler::fallback_count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell->fallback_count();
+  return total;
+}
+
+}  // namespace birp::cluster

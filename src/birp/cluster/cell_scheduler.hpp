@@ -1,0 +1,108 @@
+// CellScheduler: hierarchical sharded scheduling for large edge clusters.
+//
+// Wraps one BirpScheduler per partition cell behind the ordinary
+// sim::Scheduler interface, so the Simulator and the ServeEngine drive a
+// sharded cluster exactly like a monolithic one. Per slot:
+//
+//   1. the InterCellBalancer plans bounded inter-cell demand moves from
+//      per-cell pressure summaries (straight-line, on the calling thread);
+//   2. the slot state is sliced per cell — demand submatrix, the previous
+//      decision restricted to cell devices, edge_up subvector, guard hints
+//      subgrid — against each cell's own sub-ClusterSpec;
+//   3. cells solve concurrently on an optional runtime::ThreadPool, each
+//      with its own warm-start basis, TIR estimators, and fault mask;
+//   4. cell decisions merge back into one global SlotDecision in fixed cell
+//      order, with balancer moves appended as real inter-cell Flows so
+//      conservation and network accounting stay exact under
+//      sim::validate_and_repair.
+//
+// Determinism: cells are independent given their slices and the merge order
+// is fixed, so decisions are bit-identical at any cell_threads (and any
+// solver_threads — the inner solver is already wave-deterministic). With
+// k = 1 and the balancer idle the wrapper is a byte-identical pass-through
+// of the wrapped BirpScheduler.
+//
+// Thread sizing: cell_threads workers each drive a solver that may own
+// birp.solver_threads more workers. Keep
+//   cell_threads * (1 + birp.solver_threads) <~ hardware concurrency,
+// or leave birp.solver_threads = 0 (the default) and parallelize across
+// cells only — with many cells that is where the speedup is. Nested pools
+// cannot deadlock (each pool owns dedicated workers); oversubscription only
+// costs latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "birp/cluster/balancer.hpp"
+#include "birp/cluster/partition.hpp"
+#include "birp/core/birp_scheduler.hpp"
+#include "birp/device/cluster.hpp"
+#include "birp/runtime/thread_pool.hpp"
+#include "birp/sim/scheduler.hpp"
+
+namespace birp::cluster {
+
+struct CellSchedulerConfig {
+  /// Per-cell scheduler configuration (shared by every cell). See the
+  /// header comment for the cell_threads x solver_threads sizing rule.
+  core::BirpConfig birp;
+  BalancerConfig balancer;
+  /// Worker threads for solving cells concurrently; 0 solves every cell on
+  /// the calling thread. Purely a latency knob: decisions are bit-identical
+  /// at any value.
+  int cell_threads = 0;
+  /// Construct cells as BIRP-OFF (oracle TIR) instead of online BIRP.
+  bool offline = false;
+  std::string name_override;
+};
+
+class CellScheduler : public sim::Scheduler {
+ public:
+  /// `partition` must cover exactly the devices of `cluster`.
+  CellScheduler(const device::ClusterSpec& cluster, Partition partition,
+                CellSchedulerConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] sim::SlotDecision decide(const sim::SlotState& state) override;
+  void observe(const sim::SlotFeedback& feedback) override;
+  /// Sum of the cells' greedy-fallback slot counts.
+  [[nodiscard]] std::int64_t fallback_count() const noexcept override;
+
+  [[nodiscard]] const Partition& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] const InterCellBalancer& balancer() const noexcept {
+    return balancer_;
+  }
+  [[nodiscard]] int cells() const noexcept { return partition_.cells(); }
+  /// The wrapped per-cell scheduler (diagnostics / tests).
+  [[nodiscard]] const core::BirpScheduler& cell(int c) const {
+    return *cells_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  /// Restriction of a full-cluster decision to `members` (local indexing);
+  /// keeps only flows with both endpoints inside the cell.
+  [[nodiscard]] sim::SlotDecision restrict_decision(
+      const sim::SlotDecision& full, const std::vector<int>& members) const;
+
+  const device::ClusterSpec& cluster_;
+  Partition partition_;
+  CellSchedulerConfig config_;
+  std::vector<int> local_of_;  ///< parent device -> index within its cell
+  /// Stable sub-spec ownership: each BirpScheduler holds a reference to its
+  /// ClusterSpec for its whole lifetime.
+  std::vector<std::unique_ptr<device::ClusterSpec>> specs_;
+  std::vector<std::unique_ptr<core::BirpScheduler>> cells_;
+  InterCellBalancer balancer_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  /// Per-decide scratch kept as members so the per-cell SlotState pointers
+  /// (previous, hints) stay valid while cells solve on pool workers.
+  std::vector<sim::SlotDecision> prev_scratch_;
+  std::vector<sim::SchedulerHints> hints_scratch_;
+};
+
+}  // namespace birp::cluster

@@ -34,6 +34,12 @@ struct BirpConfig {
   /// 0 solves on the calling thread. Decisions are bit-identical either way
   /// (the solver's wave merge is deterministic), so this is purely a
   /// latency knob.
+  ///
+  /// Nesting note (cluster::CellScheduler runs one BirpScheduler per cell):
+  /// every pool owns dedicated workers, so nested pools cannot deadlock —
+  /// but thread counts multiply. Keep
+  ///   cell_threads * (1 + solver_threads) <~ hardware concurrency,
+  /// or leave this 0 when sharding and parallelize across cells only.
   int solver_threads = 0;
   /// Optional display-name override (used by ablation variants).
   std::string name_override;

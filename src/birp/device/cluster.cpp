@@ -12,6 +12,15 @@ ClusterSpec::ClusterSpec(std::vector<DeviceProfile> devices, model::Zoo zoo,
                                                truth_seed);
 }
 
+ClusterSpec::ClusterSpec(model::Zoo zoo, double tau_s,
+                         std::shared_ptr<const GroundTruth> truth)
+    : zoo_(std::move(zoo)), tau_s_(tau_s), truth_(std::move(truth)) {}
+
+ClusterSpec ClusterSpec::subcluster(const std::vector<int>& devices) const {
+  return ClusterSpec(zoo_, tau_s_,
+                     std::make_shared<const GroundTruth>(*truth_, devices));
+}
+
 ClusterSpec ClusterSpec::paper_large(double tau_s) {
   return ClusterSpec(paper_testbed(), model::Zoo::standard(), tau_s, 0x1a23e);
 }

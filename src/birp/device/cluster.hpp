@@ -61,7 +61,17 @@ class ClusterSpec {
   static ClusterSpec paper_small(double tau_s = 6.0);   ///< 6 edges, 1x3 models
   static ClusterSpec sweep(double tau_s = 6.0);         ///< 6 edges, 3x3 models
 
+  /// Restriction of this spec to `devices` (parent indices, in the given
+  /// order): same zoo and tau, and the parent's ground-truth rows copied
+  /// verbatim, so local device k behaves bit-identically to parent device
+  /// `devices[k]`. This is how birp/cluster builds one sub-cluster per
+  /// partition cell without perturbing the seeded truth.
+  [[nodiscard]] ClusterSpec subcluster(const std::vector<int>& devices) const;
+
  private:
+  ClusterSpec(model::Zoo zoo, double tau_s,
+              std::shared_ptr<const GroundTruth> truth);
+
   model::Zoo zoo_;
   double tau_s_;
   std::shared_ptr<const GroundTruth> truth_;

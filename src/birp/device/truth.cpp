@@ -88,6 +88,32 @@ GroundTruth::GroundTruth(std::vector<DeviceProfile> devices,
   }
 }
 
+GroundTruth::GroundTruth(const GroundTruth& parent,
+                         const std::vector<int>& devices)
+    : num_apps_(parent.num_apps_), max_variants_(parent.max_variants_) {
+  util::check(!devices.empty(), "GroundTruth: empty device restriction");
+  devices_.reserve(devices.size());
+  const std::size_t stride = static_cast<std::size_t>(num_apps_) *
+                             static_cast<std::size_t>(max_variants_);
+  gamma_s_.reserve(devices.size() * stride);
+  host_s_.reserve(devices.size() * stride);
+  tir_.reserve(devices.size() * stride);
+  for (const int k : devices) {
+    util::check(k >= 0 && k < parent.num_devices(),
+                "GroundTruth: restriction device out of range");
+    devices_.push_back(parent.devices_[static_cast<std::size_t>(k)]);
+    const auto begin =
+        static_cast<std::ptrdiff_t>(static_cast<std::size_t>(k) * stride);
+    const auto end = begin + static_cast<std::ptrdiff_t>(stride);
+    gamma_s_.insert(gamma_s_.end(), parent.gamma_s_.begin() + begin,
+                    parent.gamma_s_.begin() + end);
+    host_s_.insert(host_s_.end(), parent.host_s_.begin() + begin,
+                   parent.host_s_.begin() + end);
+    tir_.insert(tir_.end(), parent.tir_.begin() + begin,
+                parent.tir_.begin() + end);
+  }
+}
+
 std::size_t GroundTruth::index(int device, int app, int variant) const {
   util::check(device >= 0 && device < num_devices(), "GroundTruth: bad device");
   util::check(app >= 0 && app < num_apps_, "GroundTruth: bad app");

@@ -38,6 +38,13 @@ class GroundTruth {
   GroundTruth(std::vector<DeviceProfile> devices, const model::Zoo& zoo,
               std::uint64_t seed);
 
+  /// Restriction of `parent` to the given device indices (in the given
+  /// order). The selected rows are copied verbatim, so local device k of the
+  /// restriction behaves bit-identically to parent device `devices[k]` —
+  /// this is what lets a partitioned cell reuse the parent cluster's truth
+  /// (re-seeding a smaller cluster would reshuffle the jitter stream).
+  GroundTruth(const GroundTruth& parent, const std::vector<int>& devices);
+
   [[nodiscard]] int num_devices() const noexcept {
     return static_cast<int>(devices_.size());
   }

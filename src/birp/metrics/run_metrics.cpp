@@ -1,5 +1,7 @@
 #include "birp/metrics/run_metrics.hpp"
 
+#include <algorithm>
+
 namespace birp::metrics {
 
 RunMetrics::RunMetrics(int expected_slots) {
@@ -144,6 +146,57 @@ void RunMetrics::record_edge_busy(double fraction) {
 }
 
 void RunMetrics::record_energy(double joules) { energy_j_ += joules; }
+
+void RunMetrics::merge(const RunMetrics& other) {
+  completion_.merge(other.completion_);
+  queue_wait_.merge(other.queue_wait_);
+  dispatch_wait_.merge(other.dispatch_wait_);
+  exec_latency_.merge(other.exec_latency_);
+
+  if (slot_loss_.size() < other.slot_loss_.size()) {
+    slot_loss_.resize(other.slot_loss_.size(), 0.0);
+  }
+  for (std::size_t t = 0; t < other.slot_loss_.size(); ++t) {
+    slot_loss_[t] += other.slot_loss_[t];
+  }
+  total_loss_ += other.total_loss_;
+
+  total_requests_ += other.total_requests_;
+  slo_failures_ += other.slo_failures_;
+  dropped_ += other.dropped_;
+  queue_dropped_ += other.queue_dropped_;
+  orphan_dropped_ += other.orphan_dropped_;
+  deadline_shed_ += other.deadline_shed_;
+  retries_ += other.retries_;
+  breaker_trips_ += other.breaker_trips_;
+  breaker_reopens_ += other.breaker_reopens_;
+  breaker_probes_ += other.breaker_probes_;
+  breaker_recoveries_ += other.breaker_recoveries_;
+  degraded_slots_ += other.degraded_slots_;
+  max_degradation_level_ =
+      std::max(max_degradation_level_, other.max_degradation_level_);
+  solver_fallbacks_ += other.solver_fallbacks_;
+
+  if (batch_seals_.size() < other.batch_seals_.size()) {
+    batch_seals_.resize(other.batch_seals_.size(), 0);
+  }
+  for (std::size_t r = 0; r < other.batch_seals_.size(); ++r) {
+    batch_seals_[r] += other.batch_seals_[r];
+  }
+
+  if (edge_up_slots_.size() < other.edge_up_slots_.size()) {
+    edge_up_slots_.resize(other.edge_up_slots_.size(), 0);
+    edge_down_slots_.resize(other.edge_down_slots_.size(), 0);
+  }
+  for (std::size_t k = 0; k < other.edge_up_slots_.size(); ++k) {
+    edge_up_slots_[k] += other.edge_up_slots_[k];
+    edge_down_slots_[k] += other.edge_down_slots_[k];
+  }
+
+  edge_busy_.merge(other.edge_busy_);
+  queue_depth_.merge(other.queue_depth_);
+  energy_j_ += other.energy_j_;
+}
 
 std::vector<double> RunMetrics::cumulative_loss() const {
   std::vector<double> cumulative;

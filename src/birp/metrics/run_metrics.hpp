@@ -79,6 +79,19 @@ class RunMetrics {
   /// Records one edge's accelerator busy fraction for one slot.
   void record_edge_busy(double fraction);
 
+  /// Merges `other` into this accumulator. The operation is associative and
+  /// commutative: raw latency samples are merged (never pre-computed
+  /// percentiles), so quantile queries on the merged object are exactly the
+  /// quantiles of the union sample set — cluster-level percentiles and
+  /// goodput stay exact when a run is sharded into per-cell metrics.
+  /// Per-slot losses add elementwise (shards observe the same slot clock;
+  /// the shorter series is zero-extended), and per-edge liveness counters
+  /// add index-wise (callers merging shards with cell-local edge indices
+  /// must remap first). Two counters are upper bounds after a merge of
+  /// same-slot shards rather than exact: degraded_slots() and
+  /// max_degradation_level() summarize shard-local ladder views.
+  void merge(const RunMetrics& other);
+
   /// Adds one edge-slot's energy consumption (joules).
   void record_energy(double joules);
 

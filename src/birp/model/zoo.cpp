@@ -81,6 +81,20 @@ Zoo Zoo::sweep_scale() {
   return Zoo(std::move(apps));
 }
 
+Zoo Zoo::synthetic(int num_apps, int num_variants, std::uint64_t seed) {
+  util::check(num_apps > 0, "Zoo::synthetic: num_apps must be positive");
+  util::check(num_variants > 0 && num_variants <= 5,
+              "Zoo::synthetic: num_variants must be in [1, 5]");
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<Application> apps;
+  apps.reserve(static_cast<std::size_t>(num_apps));
+  for (int i = 0; i < num_apps; ++i) {
+    apps.push_back(
+        make_app(i, "synthetic_" + std::to_string(i), num_variants, rng));
+  }
+  return Zoo(std::move(apps));
+}
+
 Zoo::Zoo(std::vector<Application> apps) : apps_(std::move(apps)) {
   util::check(!apps_.empty(), "Zoo: no applications");
   for (std::size_t i = 0; i < apps_.size(); ++i) {

@@ -54,6 +54,14 @@ class Zoo {
   /// (Fig. 4 / Fig. 5): 3 applications x 3 models each.
   static Zoo sweep_scale();
 
+  /// Seeded synthetic configuration of arbitrary width for large-topology
+  /// experiments (birp/cluster benches): `num_apps` applications x
+  /// `num_variants` models each, parameters drawn from the same ladders and
+  /// ranges as the paper configurations. Deterministic in (num_apps,
+  /// num_variants, seed).
+  static Zoo synthetic(int num_apps, int num_variants,
+                       std::uint64_t seed = 0x5f00);
+
   /// Fully custom construction (used by tests).
   explicit Zoo(std::vector<Application> apps);
 

@@ -284,5 +284,44 @@ TEST(Cluster, RejectsNonPositiveTau) {
       std::logic_error);
 }
 
+// ----------------------------------------------------------- subcluster ----
+
+TEST(Subcluster, RestrictionIsBitIdenticalToParentRows) {
+  const ClusterSpec parent(paper_testbed(), model::Zoo::standard(), 6.0,
+                           0xabcd);
+  const std::vector<int> picked{4, 1, 3};
+  const auto sub = parent.subcluster(picked);
+  ASSERT_EQ(sub.num_devices(), 3);
+  EXPECT_EQ(sub.num_apps(), parent.num_apps());
+  EXPECT_DOUBLE_EQ(sub.tau_s(), parent.tau_s());
+  for (int local = 0; local < sub.num_devices(); ++local) {
+    const int k = picked[static_cast<std::size_t>(local)];
+    EXPECT_EQ(sub.device(local).name, parent.device(k).name);
+    EXPECT_DOUBLE_EQ(sub.memory_mb(local), parent.memory_mb(k));
+    EXPECT_DOUBLE_EQ(sub.network_mb(local), parent.network_mb(k));
+    for (int i = 0; i < parent.num_apps(); ++i) {
+      for (int j = 0; j < parent.zoo().num_variants(i); ++j) {
+        // The seeded jitter must carry over verbatim — a re-seeded truth
+        // would diverge, and sharded scheduling would stop being an exact
+        // decomposition of the monolithic cluster.
+        EXPECT_DOUBLE_EQ(sub.gamma_s(local, i, j), parent.gamma_s(k, i, j));
+        const auto& a = sub.oracle_tir(local, i, j);
+        const auto& b = parent.oracle_tir(k, i, j);
+        EXPECT_DOUBLE_EQ(a.eta, b.eta);
+        EXPECT_EQ(a.beta, b.beta);
+        EXPECT_DOUBLE_EQ(a.c, b.c);
+      }
+    }
+  }
+}
+
+TEST(Subcluster, RejectsBadDeviceLists) {
+  const ClusterSpec parent(one_of_each(), model::Zoo::small_scale(), 6.0,
+                           0xabcd);
+  EXPECT_THROW((void)parent.subcluster({}), std::logic_error);
+  EXPECT_THROW((void)parent.subcluster({0, 99}), std::logic_error);
+  EXPECT_THROW((void)parent.subcluster({-1}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace birp::device

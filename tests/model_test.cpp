@@ -117,5 +117,31 @@ TEST(Zoo, AppNamesAreDistinct) {
   EXPECT_EQ(names.size(), static_cast<std::size_t>(zoo.num_apps()));
 }
 
+TEST(Zoo, SyntheticMatchesRequestedScaleDeterministically) {
+  const auto zoo = Zoo::synthetic(12, 3, 0x1234);
+  EXPECT_EQ(zoo.num_apps(), 12);
+  EXPECT_EQ(zoo.max_variants(), 3);
+  for (int i = 0; i < zoo.num_apps(); ++i) {
+    EXPECT_EQ(zoo.num_variants(i), 3);
+    EXPECT_GT(zoo.app(i).request_mb, 0.0);
+  }
+  const auto again = Zoo::synthetic(12, 3, 0x1234);
+  for (int i = 0; i < zoo.num_apps(); ++i) {
+    for (int j = 0; j < zoo.num_variants(i); ++j) {
+      EXPECT_DOUBLE_EQ(zoo.variant(i, j).loss, again.variant(i, j).loss);
+      EXPECT_DOUBLE_EQ(zoo.variant(i, j).weights_mb,
+                       again.variant(i, j).weights_mb);
+    }
+  }
+  const auto other = Zoo::synthetic(12, 3, 0x9999);
+  bool any_diff = false;
+  for (int i = 0; i < zoo.num_apps() && !any_diff; ++i) {
+    for (int j = 0; j < zoo.num_variants(i) && !any_diff; ++j) {
+      any_diff = zoo.variant(i, j).loss != other.variant(i, j).loss;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
 }  // namespace
 }  // namespace birp::model

@@ -11,6 +11,7 @@
 #include "birp/util/stats.hpp"
 #include "birp/workload/arrivals.hpp"
 #include "birp/workload/generator.hpp"
+#include "birp/workload/topology.hpp"
 #include "birp/workload/trace.hpp"
 
 namespace birp::workload {
@@ -267,6 +268,112 @@ TEST(Arrivals, CsvRoundTrip) {
   write_arrivals_csv(out, arrivals);
   const auto parsed = read_arrivals_csv(out.str());
   EXPECT_EQ(parsed, arrivals);  // bit-exact offsets via round-trip doubles
+}
+
+// ------------------------------------------------------------- topology ----
+
+TEST(Topology, DeterministicInConfig) {
+  TopologyConfig config;
+  config.edges = 40;
+  const auto a = generate_topology(config);
+  const auto b = generate_topology(config);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.link_mbps.raw(), b.link_mbps.raw());  // bit-identical
+
+  TopologyConfig other = config;
+  other.seed = config.seed + 1;
+  const auto c = generate_topology(other);
+  EXPECT_NE(a.link_mbps.raw(), c.link_mbps.raw());
+}
+
+TEST(Topology, ConnectedAndSymmetric) {
+  TopologyConfig config;
+  config.edges = 60;
+  config.attachment = 2;
+  const auto topology = generate_topology(config);
+  EXPECT_EQ(topology.num_edges(), 60);
+  EXPECT_GE(topology.num_links(), topology.num_edges() - 1);
+  // Symmetry + zero diagonal.
+  for (int a = 0; a < topology.num_edges(); ++a) {
+    EXPECT_DOUBLE_EQ(topology.link_mbps(a, a), 0.0);
+    for (int b = 0; b < topology.num_edges(); ++b) {
+      EXPECT_DOUBLE_EQ(topology.link_mbps(a, b), topology.link_mbps(b, a));
+    }
+  }
+  // Preferential attachment keeps the graph connected: BFS from node 0.
+  std::vector<char> seen(static_cast<std::size_t>(topology.num_edges()), 0);
+  std::vector<int> frontier{0};
+  seen[0] = 1;
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    for (int u = 0; u < topology.num_edges(); ++u) {
+      if (!seen[static_cast<std::size_t>(u)] &&
+          topology.link_mbps(v, u) > 0.0) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](char s) { return s != 0; }));
+}
+
+TEST(Topology, ScaleFreeHubsEmerge) {
+  // Preferential attachment should concentrate degree: the best-connected
+  // node ends well above the mean degree.
+  TopologyConfig config;
+  config.edges = 120;
+  config.attachment = 2;
+  const auto topology = generate_topology(config);
+  std::vector<int> degree(static_cast<std::size_t>(topology.num_edges()), 0);
+  for (int a = 0; a < topology.num_edges(); ++a) {
+    for (int b = 0; b < topology.num_edges(); ++b) {
+      if (topology.link_mbps(a, b) > 0.0) ++degree[static_cast<std::size_t>(a)];
+    }
+  }
+  const double mean =
+      2.0 * topology.num_links() / static_cast<double>(topology.num_edges());
+  const int hub = *std::max_element(degree.begin(), degree.end());
+  EXPECT_GT(static_cast<double>(hub), 3.0 * mean);
+}
+
+TEST(Topology, CsvRoundTripIsExact) {
+  TopologyConfig config;
+  config.edges = 25;
+  const auto topology = generate_topology(config);
+  std::ostringstream out;
+  topology.write_csv(out);
+  const auto parsed = Topology::read_csv(out.str());
+  ASSERT_EQ(parsed.num_edges(), topology.num_edges());
+  for (int k = 0; k < topology.num_edges(); ++k) {
+    const auto& a = topology.devices[static_cast<std::size_t>(k)];
+    const auto& b = parsed.devices[static_cast<std::size_t>(k)];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.memory_mb, b.memory_mb);
+    EXPECT_DOUBLE_EQ(a.bandwidth_mbps, b.bandwidth_mbps);
+    EXPECT_DOUBLE_EQ(a.accel_speed, b.accel_speed);
+  }
+  EXPECT_EQ(parsed.link_mbps.raw(), topology.link_mbps.raw());
+}
+
+TEST(Topology, MakeClusterMatchesConfigDimensions) {
+  TopologyConfig config;
+  config.edges = 12;
+  config.apps = 4;
+  config.variants_per_app = 3;
+  const auto topology = generate_topology(config);
+  const auto cluster = make_cluster(topology, config);
+  EXPECT_EQ(cluster.num_devices(), 12);
+  EXPECT_EQ(cluster.num_apps(), 4);
+  EXPECT_EQ(cluster.zoo().max_variants(), 3);
+  // Device profiles carry through unchanged.
+  for (int k = 0; k < cluster.num_devices(); ++k) {
+    EXPECT_EQ(cluster.device(k).name,
+              topology.devices[static_cast<std::size_t>(k)].name);
+  }
 }
 
 }  // namespace
