@@ -1,18 +1,29 @@
 // Solver perf sweep: the tracked baseline for per-slot MILP solving.
 //
-// Replays a paper_large slot sequence through BirpScheduler::decide under
-// three solver configurations —
-//   cold-serial    warm starts off, one node LP at a time (the pre-warm-start
-//                  solver, kept as the comparison baseline)
-//   warm-serial    parent-basis + cross-slot warm starts, serial waves
-//   warm-parallel  warm starts plus wave-parallel node LPs on a thread pool
-// — and emits BENCH_solver.json with per-config node/pivot totals and
-// decide-latency percentiles. CI runs `bench_solver --quick` and archives the
-// JSON, so the solver's perf trajectory is tracked PR over PR; the committed
-// BENCH_solver.json at the repo root is the current baseline.
+// Replays slot sequences through BirpScheduler::decide under five solver
+// arms —
+//   cold-serial        warm starts off, one node LP at a time (the
+//                      pre-warm-start solver, kept as the comparison baseline)
+//   warm-serial        parent-basis + cross-slot warm starts, serial waves
+//   warm-parallel      warm starts plus wave-parallel node LPs on a pool
+//   dense-warm-serial  warm-serial on the dense-tableau reference engine
+//                      (the regression baseline for the sparse rewrite)
+//   sparse-large       a synthetic 100-edge x 20-app cluster scheduled the
+//                      way the repo schedules large clusters: CellScheduler
+//                      sharding (10 cells), warm-started sparse node LPs per
+//                      cell, cells solved on a pool. The dense engine cannot
+//                      touch this scale (the monolithic tableau alone would
+//                      be ~1 GB per node LP)
+// — and emits BENCH_solver.json with per-arm node/pivot totals and
+// decide-latency percentiles. CI runs `bench_solver --quick --check` and
+// archives the JSON, so the solver's perf trajectory is tracked PR over PR;
+// the committed BENCH_solver.json at the repo root is the current baseline.
 //
 // Decisions are bit-identical across thread counts by construction (see
-// branch_and_bound.hpp), so the configs differ in speed, not in policy.
+// branch_and_bound.hpp). The sparse and dense engines are additionally
+// asserted bit-identical on paper_large: the bench compares the full
+// SlotDecision stream (served/kernel/drops grids and flow lists) between
+// warm-serial and dense-warm-serial and `--check` fails on any divergence.
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -23,14 +34,20 @@
 
 #include "common.hpp"
 
+#include "birp/cluster/cell_scheduler.hpp"
+#include "birp/cluster/partition.hpp"
 #include "birp/core/birp_scheduler.hpp"
 #include "birp/device/cluster.hpp"
 #include "birp/util/stats.hpp"
+#include "birp/workload/topology.hpp"
 
 namespace {
 
 struct ConfigResult {
   std::string name;
+  std::string cluster;
+  std::string algorithm;
+  int cells = 1;  ///< scheduler shards (1 = monolithic BirpScheduler)
   std::int64_t nodes = 0;
   std::int64_t simplex_pivots = 0;
   std::int64_t factor_pivots = 0;
@@ -40,16 +57,36 @@ struct ConfigResult {
   double decide_ms_total = 0.0;
   double decide_ms_p50 = 0.0;
   double decide_ms_p95 = 0.0;
+  std::vector<birp::sim::SlotDecision> decisions;  ///< for bit-compare
 };
 
-ConfigResult run_config(const std::string& name,
+bool decisions_equal(const birp::sim::SlotDecision& a,
+                     const birp::sim::SlotDecision& b) {
+  if (a.served.raw() != b.served.raw()) return false;
+  if (a.kernel.raw() != b.kernel.raw()) return false;
+  if (a.drops.raw() != b.drops.raw()) return false;
+  if (a.pad_partial_launches != b.pad_partial_launches) return false;
+  if (a.flows.size() != b.flows.size()) return false;
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    if (a.flows[f].app != b.flows[f].app || a.flows[f].from != b.flows[f].from ||
+        a.flows[f].to != b.flows[f].to || a.flows[f].count != b.flows[f].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ConfigResult run_config(const std::string& name, const std::string& cluster,
                         const birp::bench::Scenario& scenario, bool warm,
-                        int threads) {
+                        int threads,
+                        birp::solver::SimplexAlgorithm algorithm =
+                            birp::solver::SimplexAlgorithm::SparseRevised) {
   birp::core::BirpConfig config;
   config.solver.warm_start = warm;
   if (!warm) config.solver.wave_size = 1;  // the classic serial loop
   config.solver_threads = threads;
-  // Offline beliefs keep the three runs on identical problems (no online
+  config.solver.lp.algorithm = algorithm;
+  // Offline beliefs keep the arms on identical problems (no online
   // estimator state drifting with feedback ordering).
   auto scheduler = birp::core::BirpScheduler::offline(scenario.cluster, config);
 
@@ -57,6 +94,13 @@ ConfigResult run_config(const std::string& name,
   const int devices = scenario.cluster.num_devices();
   birp::sim::SlotDecision previous(apps, scenario.cluster.zoo().max_variants(),
                                    devices);
+  ConfigResult result;
+  result.name = name;
+  result.cluster = cluster;
+  result.algorithm =
+      algorithm == birp::solver::SimplexAlgorithm::SparseRevised
+          ? "sparse-revised"
+          : "dense-tableau";
   std::vector<double> decide_ms;
   decide_ms.reserve(static_cast<std::size_t>(scenario.trace.slots()));
   for (int t = 0; t < scenario.trace.slots(); ++t) {
@@ -75,11 +119,10 @@ ConfigResult run_config(const std::string& name,
     const auto stop = std::chrono::steady_clock::now();
     decide_ms.push_back(
         std::chrono::duration<double, std::milli>(stop - start).count());
+    result.decisions.push_back(decision);
     previous = std::move(decision);
   }
 
-  ConfigResult result;
-  result.name = name;
   result.nodes = scheduler.total_nodes();
   result.simplex_pivots = scheduler.total_pivots();
   result.factor_pivots = scheduler.total_factor_pivots();
@@ -92,21 +135,103 @@ ConfigResult run_config(const std::string& name,
   return result;
 }
 
+// The large arm runs the way the repo actually schedules clusters of this
+// size: sharded through CellScheduler (one warm-started BirpScheduler per
+// partition cell, cells solved concurrently), with the sparse engine inside
+// every cell. Counters are summed over cells so the JSON stays comparable
+// with the monolithic arms.
+ConfigResult run_large_config(const std::string& name,
+                              const std::string& cluster,
+                              const birp::bench::Scenario& scenario,
+                              const birp::workload::Topology& topology,
+                              int cells, int threads) {
+  birp::cluster::PartitionConfig pc;
+  pc.cells = cells;
+  auto partition = birp::cluster::partition_cluster(scenario.cluster,
+                                                    &topology.link_mbps, pc);
+
+  birp::cluster::CellSchedulerConfig cc;
+  cc.birp.solver.warm_start = true;
+  cc.birp.solver.lp.algorithm = birp::solver::SimplexAlgorithm::SparseRevised;
+  // Same real-time pivot budget bench_cluster uses for its sharded arms: a
+  // cell that blows past it falls back to the greedy repair instead of
+  // blocking the slot deadline.
+  cc.birp.solver.lp.max_iterations = 3000;
+  cc.cell_threads = threads;
+  cc.offline = true;  // identical problems across runs, as in the other arms
+  birp::cluster::CellScheduler scheduler(scenario.cluster, std::move(partition),
+                                         cc);
+
+  const int apps = scenario.cluster.num_apps();
+  const int devices = scenario.cluster.num_devices();
+  birp::sim::SlotDecision previous(apps, scenario.cluster.zoo().max_variants(),
+                                   devices);
+  ConfigResult result;
+  result.name = name;
+  result.cluster = cluster;
+  result.algorithm = "sparse-revised";
+  result.cells = cells;
+  std::vector<double> decide_ms;
+  decide_ms.reserve(static_cast<std::size_t>(scenario.trace.slots()));
+  for (int t = 0; t < scenario.trace.slots(); ++t) {
+    birp::sim::SlotState state;
+    state.slot = t;
+    state.demand = birp::util::Grid2<std::int64_t>(apps, devices, 0);
+    for (int i = 0; i < apps; ++i) {
+      for (int k = 0; k < devices; ++k) {
+        state.demand(i, k) = scenario.trace.at(t, i, k);
+      }
+    }
+    state.previous = t == 0 ? nullptr : &previous;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto decision = scheduler.decide(state);
+    const auto stop = std::chrono::steady_clock::now();
+    decide_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    result.decisions.push_back(decision);
+    previous = std::move(decision);
+  }
+
+  for (int c = 0; c < scheduler.cells(); ++c) {
+    const auto& cell = scheduler.cell(c);
+    result.nodes += cell.total_nodes();
+    result.simplex_pivots += cell.total_pivots();
+    result.factor_pivots += cell.total_factor_pivots();
+    result.warm_lp_solves += cell.warm_lp_solves();
+    result.cold_lp_solves += cell.cold_lp_solves();
+  }
+  result.fallbacks = scheduler.fallback_count();
+  for (const double ms : decide_ms) result.decide_ms_total += ms;
+  result.decide_ms_p50 = birp::util::percentile(decide_ms, 0.5);
+  result.decide_ms_p95 = birp::util::percentile(decide_ms, 0.95);
+  return result;
+}
+
 void write_json(const std::string& path, const birp::bench::Cli& cli,
-                int threads, const std::vector<ConfigResult>& results) {
+                int threads, int large_slots,
+                const std::vector<ConfigResult>& results,
+                bool bit_identical) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"bench\": \"bench_solver\",\n";
   out << "  \"cluster\": \"paper_large\",\n";
+  out << "  \"large_cluster\": \"synthetic-100x20\",\n";
   out << "  \"slots\": " << cli.slots << ",\n";
+  out << "  \"large_slots\": " << large_slots << ",\n";
   out << "  \"target\": " << cli.target << ",\n";
   out << "  \"seed\": " << cli.seed << ",\n";
   out << "  \"threads\": " << threads << ",\n";
+  out << "  \"sparse_dense_bit_identical\": "
+      << (bit_identical ? "true" : "false") << ",\n";
   out << "  \"configs\": [\n";
   for (std::size_t c = 0; c < results.size(); ++c) {
     const auto& r = results[c];
     out << "    {\n";
     out << "      \"name\": \"" << r.name << "\",\n";
+    out << "      \"cluster\": \"" << r.cluster << "\",\n";
+    out << "      \"algorithm\": \"" << r.algorithm << "\",\n";
+    out << "      \"cells\": " << r.cells << ",\n";
     out << "      \"nodes\": " << r.nodes << ",\n";
     out << "      \"simplex_pivots\": " << r.simplex_pivots << ",\n";
     out << "      \"factor_pivots\": " << r.factor_pivots << ",\n";
@@ -121,10 +246,13 @@ void write_json(const std::string& path, const birp::bench::Cli& cli,
   out << "  ],\n";
   const double cold = static_cast<double>(results.front().simplex_pivots);
   out << "  \"pivot_reduction_vs_cold\": {";
+  bool first = true;
   for (std::size_t c = 1; c < results.size(); ++c) {
+    if (results[c].cluster != results.front().cluster) continue;
     const double mine = static_cast<double>(results[c].simplex_pivots);
-    out << (c > 1 ? ", " : "") << "\"" << results[c].name
+    out << (first ? "" : ", ") << "\"" << results[c].name
         << "\": " << (mine > 0.0 ? cold / mine : 0.0);
+    first = false;
   }
   out << "}\n";
   out << "}\n";
@@ -138,32 +266,73 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_solver.json";
   int threads = 4;
   bool check = false;
+  bool quick = false;
   for (int a = 1; a < argc; ++a) {
     const std::string flag = argv[a];
     if (flag == "--quick") {
+      quick = true;
       cli.slots = 12;
     } else if (flag == "--json" && a + 1 < argc) {
       json_path = argv[++a];
     } else if (flag == "--threads" && a + 1 < argc) {
       threads = std::atoi(argv[++a]);
     } else if (flag == "--check") {
-      check = true;  // fail (exit 1) unless warm halves the pivot count
+      check = true;  // fail (exit 1) on any regression gate below
     }
   }
 
   const auto scenario = birp::bench::make_scenario(
       birp::device::ClusterSpec::paper_large(), cli);
 
+  using birp::solver::SimplexAlgorithm;
   std::vector<ConfigResult> results;
-  results.push_back(run_config("cold-serial", scenario, false, 0));
-  results.push_back(run_config("warm-serial", scenario, true, 0));
-  results.push_back(run_config("warm-parallel", scenario, true, threads));
+  results.push_back(
+      run_config("cold-serial", "paper_large", scenario, false, 0));
+  results.push_back(
+      run_config("warm-serial", "paper_large", scenario, true, 0));
+  results.push_back(
+      run_config("warm-parallel", "paper_large", scenario, true, threads));
+  results.push_back(run_config("dense-warm-serial", "paper_large", scenario,
+                               true, 0, SimplexAlgorithm::DenseTableau));
 
-  birp::util::TextTable table({"config", "nodes", "simplex pivots",
-                               "factor pivots", "warm LPs", "cold LPs",
-                               "decide p50 ms", "decide p95 ms", "total ms"});
+  // Engine bit-identity: the sparse rewrite must not change scheduling
+  // policy, only speed. Compare the full decision stream.
+  bool bit_identical = true;
+  const auto& sparse_warm = results[1];
+  const auto& dense_warm = results[3];
+  for (std::size_t t = 0; t < sparse_warm.decisions.size(); ++t) {
+    if (!decisions_equal(sparse_warm.decisions[t], dense_warm.decisions[t])) {
+      bit_identical = false;
+      break;
+    }
+  }
+
+  // The arm the dense engine cannot run: a synthetic 100-edge x 20-app
+  // cluster, scheduled through CellScheduler sharding (10 cells of ~10
+  // edges) the way ROADMAP's large-cluster path prescribes. Each cell's
+  // node LPs run the sparse engine with per-cell warm starts. Fewer slots
+  // than paper_large — each decide still spans ten MILPs.
+  birp::workload::TopologyConfig topo_config;
+  topo_config.edges = 100;
+  topo_config.apps = 20;
+  topo_config.variants_per_app = 2;
+  topo_config.seed = cli.seed;
+  const auto topology = birp::workload::generate_topology(topo_config);
+  auto large_cli = cli;
+  large_cli.slots = quick ? 4 : 10;
+  const int large_slots = large_cli.slots;
+  const auto large_scenario = birp::bench::make_scenario(
+      birp::workload::make_cluster(topology, topo_config), large_cli);
+  results.push_back(run_large_config("sparse-large", "synthetic-100x20",
+                                     large_scenario, topology, /*cells=*/48,
+                                     threads));
+
+  birp::util::TextTable table({"config", "cluster", "engine", "nodes",
+                               "simplex pivots", "factor pivots", "warm LPs",
+                               "cold LPs", "decide p50 ms", "decide p95 ms",
+                               "total ms"});
   for (const auto& r : results) {
-    table.add_row({r.name, std::to_string(r.nodes),
+    table.add_row({r.name, r.cluster, r.algorithm, std::to_string(r.nodes),
                    std::to_string(r.simplex_pivots),
                    std::to_string(r.factor_pivots),
                    std::to_string(r.warm_lp_solves),
@@ -172,22 +341,62 @@ int main(int argc, char** argv) {
                    birp::util::fixed(r.decide_ms_p95, 3),
                    birp::util::fixed(r.decide_ms_total, 1)});
   }
-  table.print(std::cout, "bench_solver — paper_large, " +
-                             std::to_string(cli.slots) + " slots");
+  table.print(std::cout, "bench_solver — paper_large " +
+                             std::to_string(cli.slots) +
+                             " slots, synthetic-100x20 " +
+                             std::to_string(large_slots) + " slots");
 
-  write_json(json_path, cli, threads, results);
+  write_json(json_path, cli, threads, large_slots, results, bit_identical);
   std::cout << "\nwrote " << json_path << "\n";
 
   const double cold = static_cast<double>(results[0].simplex_pivots);
   const double warm = static_cast<double>(results[1].simplex_pivots);
   const double reduction = warm > 0.0 ? cold / warm : 0.0;
-  std::cout << "warm-path pivot reduction vs cold: " << birp::util::fixed(
-                   reduction, 2)
-            << "x\n";
-  if (check && reduction < 2.0) {
-    std::cerr << "FAIL: warm starts reduced simplex pivots by only "
-              << birp::util::fixed(reduction, 2) << "x (< 2x)\n";
-    return 1;
+  std::cout << "warm-path pivot reduction vs cold: "
+            << birp::util::fixed(reduction, 2) << "x\n";
+  std::cout << "sparse vs dense decisions on paper_large: "
+            << (bit_identical ? "bit-identical" : "DIVERGED") << "\n";
+  const auto& large = results.back();
+  std::cout << "sparse-large decide p95: "
+            << birp::util::fixed(large.decide_ms_p95, 1) << " ms\n";
+
+  bool ok = true;
+  if (check) {
+    if (reduction < 2.0) {
+      std::cerr << "FAIL: warm starts reduced simplex pivots by only "
+                << birp::util::fixed(reduction, 2) << "x (< 2x)\n";
+      ok = false;
+    }
+    if (!bit_identical) {
+      std::cerr << "FAIL: sparse and dense engines diverged on paper_large\n";
+      ok = false;
+    }
+    // Regression gates for the sparse engine against the in-run dense
+    // baseline: same pivots (same pricing decisions, small slack for
+    // tie-order noise) and no decide-time blowup on the shared cluster.
+    const double dense_pivots =
+        static_cast<double>(dense_warm.simplex_pivots);
+    if (static_cast<double>(sparse_warm.simplex_pivots) >
+        1.25 * dense_pivots + 64.0) {
+      std::cerr << "FAIL: sparse engine pivot count "
+                << sparse_warm.simplex_pivots << " regressed vs dense "
+                << dense_warm.simplex_pivots << "\n";
+      ok = false;
+    }
+    if (sparse_warm.decide_ms_total >
+        2.0 * dense_warm.decide_ms_total + 50.0) {
+      std::cerr << "FAIL: sparse engine decide time "
+                << birp::util::fixed(sparse_warm.decide_ms_total, 1)
+                << " ms regressed vs dense "
+                << birp::util::fixed(dense_warm.decide_ms_total, 1) << " ms\n";
+      ok = false;
+    }
+    if (large.decide_ms_p95 >= 1000.0) {
+      std::cerr << "FAIL: sparse-large decide p95 "
+                << birp::util::fixed(large.decide_ms_p95, 1)
+                << " ms >= 1000 ms on the 100-edge cluster\n";
+      ok = false;
+    }
   }
-  return 0;
+  return ok ? 0 : 1;
 }

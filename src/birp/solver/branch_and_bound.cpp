@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#ifdef BIRP_LP_TRACE
+#include <cstdio>
+#endif
 #include <future>
 #include <limits>
 #include <memory>
@@ -26,19 +29,32 @@ struct Node {
   double bound_value = 0.0;           ///< new bound for branch_var
   bool tighten_upper = false;  ///< true: upper := value, false: lower := value
   double bound = -kInfinity;   ///< parent LP objective: subtree lower bound
+  double bound_q = -kInfinity;  ///< quantized bound, used for queue ordering
   int depth = 0;
   std::int64_t id = 0;  ///< assigned in push order; final ordering tiebreak
 };
 
 using NodePtr = std::shared_ptr<Node>;
 
+/// Snaps a subtree bound to a coarse grid for frontier ordering. Under
+/// degeneracy sibling subtrees carry mathematically equal bounds that the
+/// two LP engines (or different platforms) compute with sub-1e-12 noise;
+/// ordering on the raw doubles would let that noise reorder the frontier
+/// and send the search down different trees. The grid (1e-8 absolute) is
+/// far above arithmetic noise and far below any meaningful bound gap, and
+/// quantizing once keeps the comparator an exact — hence strict-weak —
+/// ordering.
+double quantize_bound(double bound) {
+  return std::isfinite(bound) ? std::nearbyint(bound * 1e8) / 1e8 : bound;
+}
+
 struct NodeOrder {
-  // Best-first: smaller LP bound explored first; deeper nodes win ties so
-  // the search dives toward incumbents; push order (id) breaks the rest so
-  // the pop sequence is a pure function of the tree, never of pointer
-  // values or thread timing.
+  // Best-first: smaller (quantized) LP bound explored first; deeper nodes
+  // win ties so the search dives toward incumbents; push order (id) breaks
+  // the rest so the pop sequence is a pure function of the tree, never of
+  // pointer values or thread timing.
   bool operator()(const NodePtr& a, const NodePtr& b) const {
-    if (a->bound != b->bound) return a->bound > b->bound;
+    if (a->bound_q != b->bound_q) return a->bound_q > b->bound_q;
     if (a->depth != b->depth) return a->depth < b->depth;
     return a->id > b->id;
   }
@@ -64,7 +80,15 @@ void materialize_bounds(const Node& node, std::span<const double> root_lower,
 }
 
 /// Picks the integer variable whose LP value is most fractional, i.e. whose
-/// distance to the nearest integer is largest (maximal at 0.5).
+/// distance to the nearest integer is largest (maximal at 0.5). Scores
+/// within kBranchTieWidth of the maximum count as tied and break to the
+/// smallest variable index: in a degenerate slot LP several binaries sit at
+/// exactly 0.5 up to rounding noise, and a strict comparison would let
+/// sub-1e-13 arithmetic differences (between LP engines, or across
+/// platforms) pick different branch variables and send the whole search
+/// down different trees.
+constexpr double kBranchTieWidth = 1e-9;
+
 int most_fractional(const Model& model, std::span<const double> values,
                     double tol) {
   int best = -1;
@@ -74,7 +98,7 @@ int most_fractional(const Model& model, std::span<const double> values,
     const double v = values[static_cast<std::size_t>(j)];
     const double frac = v - std::floor(v);
     const double score = std::min(frac, 1.0 - frac);
-    if (score > best_score) {
+    if (score > best_score + kBranchTieWidth) {
       best_score = score;
       best = j;
     }
@@ -91,7 +115,12 @@ bool try_rounding(const Model& model, std::span<const double> lp_values,
   for (int j = 0; j < model.num_variables(); ++j) {
     if (model.variable(j).type == VarType::Continuous) continue;
     auto& v = out[static_cast<std::size_t>(j)];
-    v = std::round(v);
+    // Degenerate LPs leave integer variables at 0.5 up to arithmetic noise;
+    // raw round() would flip such entries between engines/platforms. Snap
+    // the tie zone to the round-half-up side deterministically.
+    const double frac = v - std::floor(v);
+    v = std::abs(frac - 0.5) <= kBranchTieWidth ? std::floor(v) + 1.0
+                                                : std::round(v);
     v = std::max(v, model.variable(j).lower);
     if (std::isfinite(model.variable(j).upper)) {
       v = std::min(v, model.variable(j).upper);
@@ -125,6 +154,10 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
       return;
     }
     const double obj = model.objective_value(candidate);
+#ifdef BIRP_LP_TRACE
+    std::fprintf(stderr, "  consider obj=%.17g vs inc=%.17g\n", obj,
+                 incumbent_objective);
+#endif
     if (obj < incumbent_objective) {
       incumbent_objective = obj;
       incumbent.values = candidate;
@@ -259,6 +292,15 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
 
       const int branch_var =
           most_fractional(model, lp.values, options.integrality_tolerance);
+#ifdef BIRP_LP_TRACE
+      std::fprintf(stderr,
+                   "  node id=%lld obj=%.17g branch_var=%d v=%.17g warm=%d\n",
+                   (long long)node->id, lp.objective, branch_var,
+                   branch_var >= 0
+                       ? lp.values[static_cast<std::size_t>(branch_var)]
+                       : 0.0,
+                   lp.warm_started ? 1 : 0);
+#endif
       if (branch_var < 0) {
         // Integral LP optimum: new incumbent.
         if (lp.objective < incumbent_objective) {
@@ -291,6 +333,7 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
       down->bound_value = std::floor(v);
       down->tighten_upper = true;
       down->bound = lp.objective;
+      down->bound_q = quantize_bound(lp.objective);
       down->depth = node->depth + 1;
       down->id = next_id++;
       auto up = std::make_shared<Node>();
@@ -300,6 +343,7 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& options) {
       up->bound_value = std::ceil(v);
       up->tighten_upper = false;
       up->bound = lp.objective;
+      up->bound_q = quantize_bound(lp.objective);
       up->depth = node->depth + 1;
       up->id = next_id++;
       open.push(std::move(down));

@@ -1,32 +1,74 @@
+// Sparse revised simplex engine (the default LP backend) and the public
+// solve_lp dispatcher. See simplex.hpp for the contract and
+// dense_tableau.cpp for the dense reference engine.
 #include "birp/solver/simplex.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <vector>
 
+#include "birp/solver/basis_lu.hpp"
+#include "birp/solver/lp_engine.hpp"
+#include "birp/solver/standard_form.hpp"
 #include "birp/util/check.hpp"
 
 namespace birp::solver {
 namespace {
 
-/// Dense working storage for one simplex solve. Columns are ordered
-/// [structural | slack/surplus | artificial]; the tableau holds B^{-1}A and
-/// is updated in place on every pivot.
-///
-/// Two construction modes share the pivoting core: the cold constructor
-/// builds a Phase I start (slacks basic where they absorb the residual,
-/// artificials elsewhere), while the warm constructor rebuilds a caller
-/// basis against the current bounds by Gauss-Jordan refactorization and
-/// repairs any bound violations with a dual simplex, skipping Phase I.
-class Tableau {
+/// Relative tie window for ratio tests: two steps within this fraction of
+/// each other are considered tied (Bland tie-breaks then apply). The
+/// historical absolute 1e-12 window stopped meaning anything once steps
+/// left the O(1) range.
+constexpr double kRatioTie = 1e-11;
+
+/// Tie margin for the dual-repair picks (leaving row, ratio window, pivot
+/// magnitude). Wider than kRatioTie on purpose: the two LP engines compute
+/// these quantities through different linear algebra (eta-file solves vs
+/// in-place tableau updates), so near-ties carry ~1e-12 cross-engine noise.
+/// A first-within-margin-wins pick keeps both engines on the same pivot
+/// path, which is what keeps scheduler decisions bit-identical across
+/// engines when alternate optima exist.
+constexpr double kDualPickTie = 1e-9;
+
+/// Revised simplex over the shared standard form. The basis inverse lives
+/// in a BasisLu eta file; pricing recomputes duals/reduced costs from
+/// BTRAN each iteration (self-correcting, O(nnz)), the ratio test FTRANs
+/// the entering column, and every pivot appends one product-form eta with
+/// scheduled refactorization. The solve drivers (Phase I/II, warm repair)
+/// mirror the dense engine step for step so statuses and objectives match.
+class RevisedSimplex {
  public:
-  Tableau(const Model& model, std::span<const double> lower_override,
-          std::span<const double> upper_override, SimplexOptions options);
+  RevisedSimplex(const Model& model, std::span<const double> lower_override,
+                 std::span<const double> upper_override,
+                 SimplexOptions options)
+      : model_(model),
+        options_(options),
+        form_(build_standard_form(model, lower_override, upper_override)) {
+    init();
+    lu_.reset_identity(form_.rows);
+    // Cold start: every initial basic column is a unit vector after the
+    // row flips, so the basis is the identity and needs no factorization.
+  }
+
   /// Warm construction from a prior basis; check warm_ok() before solving.
-  Tableau(const Model& model, std::span<const double> lower_override,
-          std::span<const double> upper_override, SimplexOptions options,
-          const Basis& warm);
+  RevisedSimplex(const Model& model, std::span<const double> lower_override,
+                 std::span<const double> upper_override, SimplexOptions options,
+                 const Basis& warm)
+      : model_(model),
+        options_(options),
+        form_(build_standard_form(model, lower_override, upper_override,
+                                  warm)) {
+    if (!form_.ok) return;
+    init();
+    if (!lu_.factorize(form_, form_.basic_cols, options_.pivot_tolerance,
+                       options_.lu_pivot_threshold, form_.basis)) {
+      return;  // singular: cold fallback
+    }
+    recompute_basic_values();
+    warm_ok_ = true;
+  }
 
   Solution solve();
   /// Warm solve: dual repair + Phase II. nullopt asks the caller to fall
@@ -37,460 +79,205 @@ class Tableau {
   [[nodiscard]] Basis extract_basis() const;
   [[nodiscard]] std::int64_t iterations() const noexcept { return iterations_; }
   [[nodiscard]] std::int64_t factor_pivots() const noexcept {
-    return factor_pivots_;
+    return lu_.factor_pivots();
   }
 
  private:
   enum class Repair { Done, Infeasible, GiveUp };
 
-  [[nodiscard]] double& at(int row, int col) noexcept {
-    return tableau_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
-                    static_cast<std::size_t>(col)];
-  }
-  [[nodiscard]] double at(int row, int col) const noexcept {
-    return tableau_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
-                    static_cast<std::size_t>(col)];
+  void init() {
+    iteration_limit_ =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : 200 + 30ll * (form_.rows + form_.cols);
+    y_.assign(static_cast<std::size_t>(form_.rows), 0.0);
+    cb_.assign(static_cast<std::size_t>(form_.rows), 0.0);
+    alpha_.assign(static_cast<std::size_t>(form_.rows), 0.0);
+    work_.assign(static_cast<std::size_t>(form_.rows), 0.0);
+    row_alpha_.assign(static_cast<std::size_t>(form_.cols), 0.0);
+    row_ratio_.assign(static_cast<std::size_t>(form_.cols), 0.0);
   }
 
-  void init_structural_bounds(std::span<const double> lower_override,
-                              std::span<const double> upper_override);
-  void compute_reduced_costs(const std::vector<double>& costs);
-  void recompute_basic_values();
-  [[nodiscard]] std::vector<double> phase2_costs() const;
-  /// One phase of the primal simplex. Returns Optimal / Unbounded /
-  /// IterationLimit relative to the given costs.
+  [[nodiscard]] double column_dot(int col,
+                                  const std::vector<double>& vec) const {
+    double sum = 0.0;
+    for (int p = form_.col_start[static_cast<std::size_t>(col)];
+         p < form_.col_start[static_cast<std::size_t>(col) + 1]; ++p) {
+      sum += form_.values[static_cast<std::size_t>(p)] *
+             vec[static_cast<std::size_t>(
+                 form_.row_index[static_cast<std::size_t>(p)])];
+    }
+    return sum;
+  }
+
+  /// y_ := B^{-T} c_B for the given costs (zero shortcut included).
+  void compute_duals(const std::vector<double>& costs) {
+    bool any_nonzero = false;
+    for (int i = 0; i < form_.rows; ++i) {
+      const double cb =
+          costs[static_cast<std::size_t>(form_.basis[static_cast<std::size_t>(i)])];
+      cb_[static_cast<std::size_t>(i)] = cb;
+      any_nonzero = any_nonzero || cb != 0.0;
+    }
+    if (!any_nonzero) {
+      std::fill(y_.begin(), y_.end(), 0.0);
+      return;
+    }
+    std::copy(cb_.begin(), cb_.end(), y_.begin());
+    lu_.btran(y_);
+  }
+
+  /// alpha_ := B^{-1} A(:, col).
+  void ftran_column(int col) {
+    std::fill(alpha_.begin(), alpha_.end(), 0.0);
+    for (int p = form_.col_start[static_cast<std::size_t>(col)];
+         p < form_.col_start[static_cast<std::size_t>(col) + 1]; ++p) {
+      alpha_[static_cast<std::size_t>(
+          form_.row_index[static_cast<std::size_t>(p)])] =
+          form_.values[static_cast<std::size_t>(p)];
+    }
+    lu_.ftran(alpha_);
+  }
+
+  /// Rebuilds the eta file from the current basis and recomputes the basic
+  /// values from scratch (clearing accumulated drift). False when the
+  /// basis has become numerically singular.
+  [[nodiscard]] bool refactorize() {
+    basic_cols_scratch_.assign(form_.basis.begin(), form_.basis.end());
+    if (!lu_.factorize(form_, basic_cols_scratch_, options_.pivot_tolerance,
+                       options_.lu_pivot_threshold, form_.basis)) {
+      return false;
+    }
+    recompute_basic_values();
+    return true;
+  }
+
+  void recompute_basic_values() {
+    // xB = B^{-1} (b - sum over nonbasic j with nonzero value of A(:,j) x_j).
+    std::copy(form_.rhs.begin(), form_.rhs.end(), work_.begin());
+    for (int j = 0; j < form_.cols; ++j) {
+      if (form_.state[static_cast<std::size_t>(j)] == VarState::Basic) continue;
+      const double v = form_.value[static_cast<std::size_t>(j)];
+      if (v == 0.0) continue;
+      for (int p = form_.col_start[static_cast<std::size_t>(j)];
+           p < form_.col_start[static_cast<std::size_t>(j) + 1]; ++p) {
+        work_[static_cast<std::size_t>(
+            form_.row_index[static_cast<std::size_t>(p)])] -=
+            form_.values[static_cast<std::size_t>(p)] * v;
+      }
+    }
+    lu_.ftran(work_);
+    for (int i = 0; i < form_.rows; ++i) {
+      form_.value[static_cast<std::size_t>(
+          form_.basis[static_cast<std::size_t>(i)])] =
+          work_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  [[nodiscard]] std::vector<double> phase2_costs() const {
+    std::vector<double> costs(static_cast<std::size_t>(form_.cols), 0.0);
+    for (int j = 0; j < form_.structural; ++j) {
+      costs[static_cast<std::size_t>(j)] = model_.variable(j).objective;
+    }
+    return costs;
+  }
+
+  /// Applies the basis change after the ratio test: updates the other
+  /// basic values along alpha_, parks the leaving variable at its bound,
+  /// swaps the entering column in, and appends the eta (refactorizing when
+  /// the update pivot is unusable). False on numerical failure.
+  [[nodiscard]] bool change_basis(int leave_row, int enter, double enter_dir,
+                                  double step, bool leave_to_upper) {
+    for (int i = 0; i < form_.rows; ++i) {
+      if (i == leave_row) continue;
+      const double a = alpha_[static_cast<std::size_t>(i)];
+      if (a == 0.0) continue;
+      const int bvar = form_.basis[static_cast<std::size_t>(i)];
+      form_.value[static_cast<std::size_t>(bvar)] -= enter_dir * step * a;
+    }
+    const int leaving = form_.basis[static_cast<std::size_t>(leave_row)];
+    form_.state[static_cast<std::size_t>(leaving)] =
+        leave_to_upper ? VarState::AtUpper : VarState::AtLower;
+    form_.value[static_cast<std::size_t>(leaving)] =
+        leave_to_upper ? form_.upper[static_cast<std::size_t>(leaving)]
+                       : form_.lower[static_cast<std::size_t>(leaving)];
+
+    const double enter_value =
+        form_.value[static_cast<std::size_t>(enter)] + enter_dir * step;
+    form_.basis[static_cast<std::size_t>(leave_row)] = enter;
+    form_.state[static_cast<std::size_t>(enter)] = VarState::Basic;
+    form_.value[static_cast<std::size_t>(enter)] = enter_value;
+    if (!lu_.update(alpha_, leave_row, options_.pivot_tolerance)) {
+      return refactorize();
+    }
+    return true;
+  }
+
+  /// Flips the entering variable to its opposite bound without a basis
+  /// change, shifting the basic values along alpha_.
+  void bound_flip(int enter, double enter_dir, double step) {
+    for (int i = 0; i < form_.rows; ++i) {
+      const double a = alpha_[static_cast<std::size_t>(i)];
+      if (a == 0.0) continue;
+      const int bvar = form_.basis[static_cast<std::size_t>(i)];
+      form_.value[static_cast<std::size_t>(bvar)] -= enter_dir * step * a;
+    }
+    auto& state = form_.state[static_cast<std::size_t>(enter)];
+    if (enter_dir > 0.0) {
+      state = VarState::AtUpper;
+      form_.value[static_cast<std::size_t>(enter)] =
+          form_.upper[static_cast<std::size_t>(enter)];
+    } else {
+      state = VarState::AtLower;
+      form_.value[static_cast<std::size_t>(enter)] =
+          form_.lower[static_cast<std::size_t>(enter)];
+    }
+  }
+
   SolveStatus iterate(const std::vector<double>& costs);
-  /// Bounded-variable dual simplex: drives basic variables back inside
-  /// their bounds while keeping the reduced costs dual feasible. Requires
-  /// compute_reduced_costs to have run for the Phase II costs.
-  Repair dual_repair();
-  void pivot(int leave_row, int enter_col);
-  /// Gauss-Jordan refactorization of `basic_cols` (one column per row, any
-  /// order) with partial pivoting. False when the basis is singular.
-  bool factorize(const std::vector<int>& basic_cols);
-  /// Shared Optimal tail: duals, cleaned values, objective.
-  void finish(Solution& result);
+  Repair dual_repair(const std::vector<double>& costs);
+  void finish(Solution& result, const std::vector<double>& costs);
 
   const Model& model_;
   SimplexOptions options_;
+  StandardForm form_;
+  BasisLu lu_;
 
-  int rows_ = 0;            // number of constraints m
-  int cols_ = 0;            // total columns n (structural + slack + artificial)
-  int structural_ = 0;      // number of model variables
-  int artificial_begin_ = 0;
-
-  std::vector<double> tableau_;        // m x n, row-major: B^{-1}A
-  std::vector<double> rhs_;            // B^{-1}b
-  std::vector<double> lower_, upper_;  // per column
-  std::vector<double> reduced_;        // reduced costs per column
-  std::vector<VarState> state_;
-  std::vector<double> value_;          // current value per column
-  std::vector<int> basis_;             // basic column per row
-  std::vector<int> dual_col_;          // slack/artificial column anchoring row i's dual
-  std::vector<double> dual_sign_;      // cumulative row flips vs the model's orientation
-  std::vector<int> slack_row_;         // slack/artificial column -> its row (-1 else)
+  std::vector<double> y_;          // duals scratch (rows)
+  std::vector<double> cb_;         // basic costs scratch (rows)
+  std::vector<double> alpha_;      // FTRANed entering column (rows)
+  std::vector<double> work_;       // basic-value recompute scratch (rows)
+  std::vector<double> row_alpha_;  // BTRANed pivot row (cols; dual repair)
+  std::vector<double> row_ratio_;  // dual ratios per column (dual repair)
+  std::vector<int> basic_cols_scratch_;
 
   std::int64_t iterations_ = 0;
   std::int64_t iteration_limit_ = 0;
-  std::int64_t factor_pivots_ = 0;
   bool warm_ok_ = false;
 };
 
-void Tableau::init_structural_bounds(std::span<const double> lower_override,
-                                     std::span<const double> upper_override) {
-  for (int j = 0; j < structural_; ++j) {
-    const auto& info = model_.variable(j);
-    const double lo = lower_override.empty()
-                          ? info.lower
-                          : lower_override[static_cast<std::size_t>(j)];
-    const double hi = upper_override.empty()
-                          ? info.upper
-                          : upper_override[static_cast<std::size_t>(j)];
-    util::check(std::isfinite(lo), "simplex requires finite lower bounds");
-    lower_[static_cast<std::size_t>(j)] = lo;
-    upper_[static_cast<std::size_t>(j)] = hi;
-  }
-}
-
-Tableau::Tableau(const Model& model, std::span<const double> lower_override,
-                 std::span<const double> upper_override, SimplexOptions options)
-    : model_(model), options_(options) {
-  const int m = model.num_constraints();
-  const int n_struct = model.num_variables();
-  rows_ = m;
-  structural_ = n_struct;
-
-  // Count slack columns (one per inequality).
-  int slack_count = 0;
-  for (const auto& constraint : model.constraints()) {
-    if (constraint.relation != Relation::Equal) ++slack_count;
-  }
-  artificial_begin_ = n_struct + slack_count;
-
-  // First pass: structural bounds and residuals decide which rows need an
-  // artificial. Inequality rows whose slack can absorb the residual start
-  // with the slack basic (no artificial) — this typically removes the vast
-  // majority of Phase I work.
-  std::vector<double> start_value(static_cast<std::size_t>(n_struct));
-  for (int j = 0; j < n_struct; ++j) {
-    const auto& info = model.variable(j);
-    const double lo = lower_override.empty()
-                          ? info.lower
-                          : lower_override[static_cast<std::size_t>(j)];
-    util::check(std::isfinite(lo), "simplex requires finite lower bounds");
-    start_value[static_cast<std::size_t>(j)] = lo;
-  }
-  int artificial_count = 0;
-  std::vector<bool> needs_artificial(static_cast<std::size_t>(m), false);
-  {
-    for (int i = 0; i < m; ++i) {
-      const auto& constraint = model.constraint(i);
-      double residual = constraint.rhs;
-      for (const auto& term : constraint.terms) {
-        residual -= term.coeff * start_value[static_cast<std::size_t>(term.var)];
-      }
-      bool slack_ok = false;
-      switch (constraint.relation) {
-        case Relation::LessEqual:
-          slack_ok = residual >= 0.0;  // slack in [0, inf)
-          break;
-        case Relation::GreaterEqual:
-          slack_ok = residual <= 0.0;  // surplus absorbs -residual
-          break;
-        case Relation::Equal:
-          slack_ok = false;  // no slack column: always needs an artificial
-          break;
-      }
-      if (!slack_ok) {
-        needs_artificial[static_cast<std::size_t>(i)] = true;
-        ++artificial_count;
-      }
-    }
-  }
-  cols_ = artificial_begin_ + artificial_count;
-
-  tableau_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_), 0.0);
-  rhs_.assign(static_cast<std::size_t>(rows_), 0.0);
-  lower_.assign(static_cast<std::size_t>(cols_), 0.0);
-  upper_.assign(static_cast<std::size_t>(cols_), kInfinity);
-  state_.assign(static_cast<std::size_t>(cols_), VarState::AtLower);
-  value_.assign(static_cast<std::size_t>(cols_), 0.0);
-  basis_.assign(static_cast<std::size_t>(rows_), -1);
-  slack_row_.assign(static_cast<std::size_t>(cols_), -1);
-
-  // Structural bounds (with branch-and-bound overrides), nonbasic at lower.
-  for (int j = 0; j < n_struct; ++j) {
-    const auto& info = model.variable(j);
-    const double hi = upper_override.empty()
-                          ? info.upper
-                          : upper_override[static_cast<std::size_t>(j)];
-    lower_[static_cast<std::size_t>(j)] = start_value[static_cast<std::size_t>(j)];
-    upper_[static_cast<std::size_t>(j)] = hi;
-    value_[static_cast<std::size_t>(j)] = start_value[static_cast<std::size_t>(j)];
-  }
-
-  // Fill coefficients, slacks, artificials, and the starting basis. Rows are
-  // flipped where needed so every initial basic variable has coefficient +1.
-  dual_col_.assign(static_cast<std::size_t>(m), -1);
-  dual_sign_.assign(static_cast<std::size_t>(m), 1.0);
-  int slack = n_struct;
-  int artificial = artificial_begin_;
-  for (int i = 0; i < m; ++i) {
-    const auto& constraint = model.constraint(i);
-    for (const auto& term : constraint.terms) at(i, term.var) = term.coeff;
-    rhs_[static_cast<std::size_t>(i)] = constraint.rhs;
-
-    double residual = constraint.rhs;
-    for (const auto& term : constraint.terms) {
-      residual -= term.coeff * start_value[static_cast<std::size_t>(term.var)];
-    }
-
-    int slack_col = -1;
-    switch (constraint.relation) {
-      case Relation::LessEqual:
-        slack_col = slack;
-        at(i, slack_col) = 1.0;
-        ++slack;
-        break;
-      case Relation::GreaterEqual:
-        // Written as -Ax <= -b so the surplus has coefficient +1: flip row.
-        for (int j = 0; j < n_struct; ++j) at(i, j) = -at(i, j);
-        rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
-        residual = -residual;
-        dual_sign_[static_cast<std::size_t>(i)] = -1.0;
-        slack_col = slack;
-        at(i, slack_col) = 1.0;
-        ++slack;
-        break;
-      case Relation::Equal:
-        break;
-    }
-    if (slack_col >= 0) slack_row_[static_cast<std::size_t>(slack_col)] = i;
-
-    if (!needs_artificial[static_cast<std::size_t>(i)]) {
-      // Slack absorbs the residual (>= 0 after any flip): basic immediately.
-      basis_[static_cast<std::size_t>(i)] = slack_col;
-      state_[static_cast<std::size_t>(slack_col)] = VarState::Basic;
-      value_[static_cast<std::size_t>(slack_col)] = residual;
-      dual_col_[static_cast<std::size_t>(i)] = slack_col;
-      continue;
-    }
-    if (residual < 0.0) {
-      for (int j = 0; j < cols_; ++j) at(i, j) = -at(i, j);
-      rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
-      residual = -residual;
-      dual_sign_[static_cast<std::size_t>(i)] =
-          -dual_sign_[static_cast<std::size_t>(i)];
-    }
-    at(i, artificial) = 1.0;
-    basis_[static_cast<std::size_t>(i)] = artificial;
-    state_[static_cast<std::size_t>(artificial)] = VarState::Basic;
-    value_[static_cast<std::size_t>(artificial)] = residual;
-    // The artificial anchors the dual: it appears only in this row with
-    // stored coefficient +1 and phase-2 cost 0, so y_i = -d_artificial.
-    dual_col_[static_cast<std::size_t>(i)] = artificial;
-    slack_row_[static_cast<std::size_t>(artificial)] = i;
-    ++artificial;
-  }
-
-  iteration_limit_ = options_.max_iterations > 0
-                         ? options_.max_iterations
-                         : 200 + 30ll * (rows_ + cols_);
-  reduced_.assign(static_cast<std::size_t>(cols_), 0.0);
-}
-
-Tableau::Tableau(const Model& model, std::span<const double> lower_override,
-                 std::span<const double> upper_override, SimplexOptions options,
-                 const Basis& warm)
-    : model_(model), options_(options) {
-  const int m = model.num_constraints();
-  const int n_struct = model.num_variables();
-  rows_ = m;
-  structural_ = n_struct;
-  if (!warm.matches(n_struct, m)) return;  // warm_ok_ stays false
-
-  // Layout: slack per inequality row (same order as the cold path), then one
-  // artificial per equality row (the dual anchor) or per row whose recorded
-  // basic column was an artificial. All artificials are fixed at [0, 0]; the
-  // warm path never runs Phase I.
-  std::vector<int> slack_col(static_cast<std::size_t>(m), -1);
-  std::vector<int> art_col(static_cast<std::size_t>(m), -1);
-  int slack_count = 0;
-  for (int i = 0; i < m; ++i) {
-    if (model.constraint(i).relation != Relation::Equal) {
-      slack_col[static_cast<std::size_t>(i)] = n_struct + slack_count;
-      ++slack_count;
-    }
-  }
-  artificial_begin_ = n_struct + slack_count;
-  int artificial_count = 0;
-  for (int i = 0; i < m; ++i) {
-    const bool is_equal = model.constraint(i).relation == Relation::Equal;
-    if (is_equal || warm.basic[static_cast<std::size_t>(i)] < 0) {
-      art_col[static_cast<std::size_t>(i)] = artificial_begin_ + artificial_count;
-      ++artificial_count;
-    }
-  }
-  cols_ = artificial_begin_ + artificial_count;
-
-  tableau_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_), 0.0);
-  rhs_.assign(static_cast<std::size_t>(rows_), 0.0);
-  lower_.assign(static_cast<std::size_t>(cols_), 0.0);
-  upper_.assign(static_cast<std::size_t>(cols_), kInfinity);
-  state_.assign(static_cast<std::size_t>(cols_), VarState::AtLower);
-  value_.assign(static_cast<std::size_t>(cols_), 0.0);
-  basis_.assign(static_cast<std::size_t>(rows_), -1);
-  slack_row_.assign(static_cast<std::size_t>(cols_), -1);
-  dual_col_.assign(static_cast<std::size_t>(m), -1);
-  dual_sign_.assign(static_cast<std::size_t>(m), 1.0);
-  reduced_.assign(static_cast<std::size_t>(cols_), 0.0);
-
-  init_structural_bounds(lower_override, upper_override);
-
-  // Fill raw coefficients. Only the deterministic >= flip is applied (the
-  // cold path's residual-dependent flips exist to make Phase I starts
-  // positive, which the warm path does not need).
-  for (int i = 0; i < m; ++i) {
-    const auto& constraint = model.constraint(i);
-    for (const auto& term : constraint.terms) at(i, term.var) = term.coeff;
-    rhs_[static_cast<std::size_t>(i)] = constraint.rhs;
-    if (constraint.relation == Relation::GreaterEqual) {
-      for (int j = 0; j < n_struct; ++j) at(i, j) = -at(i, j);
-      rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
-      dual_sign_[static_cast<std::size_t>(i)] = -1.0;
-    }
-    const int sc = slack_col[static_cast<std::size_t>(i)];
-    if (sc >= 0) {
-      at(i, sc) = 1.0;
-      slack_row_[static_cast<std::size_t>(sc)] = i;
-    }
-    const int ac = art_col[static_cast<std::size_t>(i)];
-    if (ac >= 0) {
-      at(i, ac) = 1.0;
-      upper_[static_cast<std::size_t>(ac)] = 0.0;  // fixed at zero
-      slack_row_[static_cast<std::size_t>(ac)] = i;
-    }
-    // Dual anchor: slack where one exists, artificial for equality rows.
-    dual_col_[static_cast<std::size_t>(i)] = sc >= 0 ? sc : ac;
-  }
-
-  // Nonbasic starting point from the recorded states (the basic list below
-  // overrides). A variable recorded AtUpper whose current upper bound is
-  // infinite is parked at its lower bound instead.
-  for (int j = 0; j < n_struct; ++j) {
-    const bool at_upper =
-        warm.structural[static_cast<std::size_t>(j)] == VarState::AtUpper &&
-        std::isfinite(upper_[static_cast<std::size_t>(j)]);
-    state_[static_cast<std::size_t>(j)] =
-        at_upper ? VarState::AtUpper : VarState::AtLower;
-    value_[static_cast<std::size_t>(j)] =
-        at_upper ? upper_[static_cast<std::size_t>(j)]
-                 : lower_[static_cast<std::size_t>(j)];
-  }
-
-  // Decode the basic column list; reject malformed bases (out-of-range
-  // entries, slack of an equality row, duplicates).
-  std::vector<int> basic_cols(static_cast<std::size_t>(m), -1);
-  for (int i = 0; i < m; ++i) {
-    const int code = warm.basic[static_cast<std::size_t>(i)];
-    int col = -1;
-    if (code < 0) {
-      col = art_col[static_cast<std::size_t>(i)];
-    } else if (code < n_struct) {
-      col = code;
-    } else if (code - n_struct < m) {
-      col = slack_col[static_cast<std::size_t>(code - n_struct)];
-    }
-    if (col < 0 || state_[static_cast<std::size_t>(col)] == VarState::Basic) {
-      return;  // invalid or duplicate: cold fallback
-    }
-    state_[static_cast<std::size_t>(col)] = VarState::Basic;
-    basic_cols[static_cast<std::size_t>(i)] = col;
-  }
-
-  iteration_limit_ = options_.max_iterations > 0
-                         ? options_.max_iterations
-                         : 200 + 30ll * (rows_ + cols_);
-
-  if (!factorize(basic_cols)) return;  // singular: cold fallback
-  recompute_basic_values();
-  warm_ok_ = true;
-}
-
-bool Tableau::factorize(const std::vector<int>& basic_cols) {
-  std::vector<char> row_used(static_cast<std::size_t>(rows_), 0);
-  for (int idx = 0; idx < rows_; ++idx) {
-    const int col = basic_cols[static_cast<std::size_t>(idx)];
-    // Partial pivoting over the rows not yet claimed by a basic column.
-    int best_row = -1;
-    double best_abs = options_.pivot_tolerance;
-    for (int i = 0; i < rows_; ++i) {
-      if (row_used[static_cast<std::size_t>(i)]) continue;
-      const double a = std::abs(at(i, col));
-      if (a > best_abs) {
-        best_abs = a;
-        best_row = i;
-      }
-    }
-    if (best_row < 0) return false;  // numerically singular basis
-    pivot(best_row, col);            // reduced_ is all zero here: no-op there
-    ++factor_pivots_;
-    basis_[static_cast<std::size_t>(best_row)] = col;
-    row_used[static_cast<std::size_t>(best_row)] = 1;
-  }
-  return true;
-}
-
-void Tableau::compute_reduced_costs(const std::vector<double>& costs) {
-  // d_j = c_j - sum_i c_{basis(i)} * T(i, j)
-  std::vector<double> basic_costs(static_cast<std::size_t>(rows_));
-  bool any_nonzero = false;
-  for (int i = 0; i < rows_; ++i) {
-    basic_costs[static_cast<std::size_t>(i)] =
-        costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-    any_nonzero = any_nonzero || basic_costs[static_cast<std::size_t>(i)] != 0.0;
-  }
-  std::copy(costs.begin(), costs.end(), reduced_.begin());
-  if (!any_nonzero) return;
-  for (int i = 0; i < rows_; ++i) {
-    const double cb = basic_costs[static_cast<std::size_t>(i)];
-    if (cb == 0.0) continue;
-    const double* row = &tableau_[static_cast<std::size_t>(i) *
-                                  static_cast<std::size_t>(cols_)];
-    for (int j = 0; j < cols_; ++j) reduced_[static_cast<std::size_t>(j)] -= cb * row[j];
-  }
-  for (int i = 0; i < rows_; ++i) {
-    reduced_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = 0.0;
-  }
-}
-
-void Tableau::recompute_basic_values() {
-  // xB = B^{-1} b - sum over nonbasic j with nonzero value of T(:, j) * x_j.
-  std::vector<double> xb(rhs_.begin(), rhs_.end());
-  for (int j = 0; j < cols_; ++j) {
-    if (state_[static_cast<std::size_t>(j)] == VarState::Basic) continue;
-    const double v = value_[static_cast<std::size_t>(j)];
-    if (v == 0.0) continue;
-    for (int i = 0; i < rows_; ++i) xb[static_cast<std::size_t>(i)] -= at(i, j) * v;
-  }
-  for (int i = 0; i < rows_; ++i) {
-    value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
-        xb[static_cast<std::size_t>(i)];
-  }
-}
-
-std::vector<double> Tableau::phase2_costs() const {
-  std::vector<double> costs(static_cast<std::size_t>(cols_), 0.0);
-  for (int j = 0; j < structural_; ++j) {
-    costs[static_cast<std::size_t>(j)] = model_.variable(j).objective;
-  }
-  return costs;
-}
-
-void Tableau::pivot(int leave_row, int enter_col) {
-  const double pivot_value = at(leave_row, enter_col);
-  double* prow = &tableau_[static_cast<std::size_t>(leave_row) *
-                           static_cast<std::size_t>(cols_)];
-  const double inv = 1.0 / pivot_value;
-  for (int j = 0; j < cols_; ++j) prow[j] *= inv;
-  rhs_[static_cast<std::size_t>(leave_row)] *= inv;
-
-  for (int i = 0; i < rows_; ++i) {
-    if (i == leave_row) continue;
-    const double factor = at(i, enter_col);
-    if (factor == 0.0) continue;
-    double* row = &tableau_[static_cast<std::size_t>(i) *
-                            static_cast<std::size_t>(cols_)];
-    for (int j = 0; j < cols_; ++j) row[j] -= factor * prow[j];
-    rhs_[static_cast<std::size_t>(i)] -= factor * rhs_[static_cast<std::size_t>(leave_row)];
-  }
-
-  const double dfactor = reduced_[static_cast<std::size_t>(enter_col)];
-  if (dfactor != 0.0) {
-    for (int j = 0; j < cols_; ++j) reduced_[static_cast<std::size_t>(j)] -= dfactor * prow[j];
-  }
-  reduced_[static_cast<std::size_t>(enter_col)] = 0.0;
-}
-
-SolveStatus Tableau::iterate(const std::vector<double>& costs) {
-  compute_reduced_costs(costs);
+SolveStatus RevisedSimplex::iterate(const std::vector<double>& costs) {
   int stalled = 0;
 
   while (true) {
     if (++iterations_ > iteration_limit_) return SolveStatus::IterationLimit;
+    if (lu_.should_refactorize(options_.refactor_interval) && !refactorize()) {
+      return SolveStatus::IterationLimit;  // numerically singular basis
+    }
     const bool bland = stalled >= options_.stall_threshold;
 
     // --- Pricing: pick an entering column with a profitable direction. ---
+    compute_duals(costs);
     int enter = -1;
     double enter_dir = 0.0;
     double best_score = options_.tolerance;
-    for (int j = 0; j < cols_; ++j) {
-      const auto sj = state_[static_cast<std::size_t>(j)];
+    for (int j = 0; j < form_.cols; ++j) {
+      const auto sj = form_.state[static_cast<std::size_t>(j)];
       if (sj == VarState::Basic) continue;
-      const double lo = lower_[static_cast<std::size_t>(j)];
-      const double hi = upper_[static_cast<std::size_t>(j)];
+      const double lo = form_.lower[static_cast<std::size_t>(j)];
+      const double hi = form_.upper[static_cast<std::size_t>(j)];
       if (lo == hi) continue;  // fixed (includes retired artificials)
-      const double d = reduced_[static_cast<std::size_t>(j)];
+      const double d = costs[static_cast<std::size_t>(j)] - column_dot(j, y_);
       double dir = 0.0;
       if (sj == VarState::AtLower && d < -options_.tolerance) dir = 1.0;
       if (sj == VarState::AtUpper && d > options_.tolerance) dir = -1.0;
@@ -500,7 +287,11 @@ SolveStatus Tableau::iterate(const std::vector<double>& costs) {
         enter_dir = dir;
         break;
       }
-      if (std::abs(d) > best_score) {
+      // Dantzig pricing with a first-wins margin: a later column must beat
+      // the pick by kDualPickTie so near-tied reduced costs (symmetric apps
+      // produce many) resolve to the same column in both engines despite
+      // ~1e-12 cross-engine noise in d.
+      if (std::abs(d) > best_score + kDualPickTie * (1.0 + best_score)) {
         best_score = std::abs(d);
         enter = j;
         enter_dir = dir;
@@ -508,32 +299,48 @@ SolveStatus Tableau::iterate(const std::vector<double>& costs) {
     }
     if (enter == -1) return SolveStatus::Optimal;
 
-    // --- Ratio test: how far can the entering variable move? ---
-    double t_best = upper_[static_cast<std::size_t>(enter)] -
-                    lower_[static_cast<std::size_t>(enter)];
+    // --- Ratio test on the FTRANed column: how far can it move? ---
+    ftran_column(enter);
+    double alpha_scale = 0.0;
+    for (int i = 0; i < form_.rows; ++i) {
+      alpha_scale =
+          std::max(alpha_scale, std::abs(alpha_[static_cast<std::size_t>(i)]));
+    }
+    // Purely scale-relative: a uniformly tiny column (badly scaled slot
+    // problems) still pivots on its relatively-large entries, while noise
+    // entries of a large column stay ineligible. Zero columns skip rows
+    // entirely (eligible == 0 with a <= comparison).
+    const double eligible = options_.pivot_tolerance * alpha_scale;
+
+    double t_best = form_.upper[static_cast<std::size_t>(enter)] -
+                    form_.lower[static_cast<std::size_t>(enter)];
     int leave_row = -1;
     bool leave_to_upper = false;
-    for (int i = 0; i < rows_; ++i) {
-      const double alpha = enter_dir * at(i, enter);
-      if (std::abs(alpha) <= options_.pivot_tolerance) continue;
-      const int bvar = basis_[static_cast<std::size_t>(i)];
-      const double xv = value_[static_cast<std::size_t>(bvar)];
+    for (int i = 0; i < form_.rows; ++i) {
+      const double alpha = enter_dir * alpha_[static_cast<std::size_t>(i)];
+      if (std::abs(alpha) <= eligible) continue;
+      const int bvar = form_.basis[static_cast<std::size_t>(i)];
+      const double xv = form_.value[static_cast<std::size_t>(bvar)];
       double t = kInfinity;
       bool to_upper = false;
       if (alpha > 0.0) {  // basic variable decreases toward its lower bound
-        t = (xv - lower_[static_cast<std::size_t>(bvar)]) / alpha;
+        t = (xv - form_.lower[static_cast<std::size_t>(bvar)]) / alpha;
       } else {  // basic variable increases toward its upper bound
-        const double hi = upper_[static_cast<std::size_t>(bvar)];
+        const double hi = form_.upper[static_cast<std::size_t>(bvar)];
         if (!std::isfinite(hi)) continue;
         t = (hi - xv) / (-alpha);
         to_upper = true;
       }
       t = std::max(t, 0.0);
-      // Strictly smaller step wins; under Bland's rule, ties break toward the
-      // smallest basic variable index to guarantee anti-cycling.
-      if (t < t_best - 1e-12 ||
-          (bland && leave_row >= 0 && t <= t_best + 1e-12 &&
-           bvar < basis_[static_cast<std::size_t>(leave_row)])) {
+      // Strictly smaller step wins (ties measured relative to the step
+      // scale; zero while t_best is still the unbounded sentinel); under
+      // Bland's rule, ties break toward the smallest basic variable index
+      // to guarantee anti-cycling.
+      const double tie =
+          std::isfinite(t_best) ? kRatioTie * (1.0 + std::abs(t_best)) : 0.0;
+      if (t < t_best - tie ||
+          (bland && leave_row >= 0 && t <= t_best + tie &&
+           bvar < form_.basis[static_cast<std::size_t>(leave_row)])) {
         t_best = t;
         leave_row = i;
         leave_to_upper = to_upper;
@@ -544,77 +351,49 @@ SolveStatus Tableau::iterate(const std::vector<double>& costs) {
     stalled = t_best <= options_.tolerance ? stalled + 1 : 0;
 
     if (leave_row == -1) {
-      // Bound flip: the entering variable runs to its opposite bound.
-      const double t = t_best;
-      for (int i = 0; i < rows_; ++i) {
-        const double a = at(i, enter);
-        if (a == 0.0) continue;
-        const int bvar = basis_[static_cast<std::size_t>(i)];
-        value_[static_cast<std::size_t>(bvar)] -= enter_dir * t * a;
-      }
-      auto& sj = state_[static_cast<std::size_t>(enter)];
-      if (enter_dir > 0.0) {
-        sj = VarState::AtUpper;
-        value_[static_cast<std::size_t>(enter)] = upper_[static_cast<std::size_t>(enter)];
-      } else {
-        sj = VarState::AtLower;
-        value_[static_cast<std::size_t>(enter)] = lower_[static_cast<std::size_t>(enter)];
-      }
+      bound_flip(enter, enter_dir, t_best);
       continue;
     }
-
-    // --- Basis change. ---
-    const double t = t_best;
-    for (int i = 0; i < rows_; ++i) {
-      if (i == leave_row) continue;
-      const double a = at(i, enter);
-      if (a == 0.0) continue;
-      const int bvar = basis_[static_cast<std::size_t>(i)];
-      value_[static_cast<std::size_t>(bvar)] -= enter_dir * t * a;
+    if (!change_basis(leave_row, enter, enter_dir, t_best, leave_to_upper)) {
+      return SolveStatus::IterationLimit;  // numerically singular basis
     }
-    const int leaving = basis_[static_cast<std::size_t>(leave_row)];
-    state_[static_cast<std::size_t>(leaving)] =
-        leave_to_upper ? VarState::AtUpper : VarState::AtLower;
-    value_[static_cast<std::size_t>(leaving)] =
-        leave_to_upper ? upper_[static_cast<std::size_t>(leaving)]
-                       : lower_[static_cast<std::size_t>(leaving)];
-
-    const double enter_value =
-        value_[static_cast<std::size_t>(enter)] + enter_dir * t;
-    pivot(leave_row, enter);
-    basis_[static_cast<std::size_t>(leave_row)] = enter;
-    state_[static_cast<std::size_t>(enter)] = VarState::Basic;
-    value_[static_cast<std::size_t>(enter)] = enter_value;
   }
 }
 
-Tableau::Repair Tableau::dual_repair() {
+RevisedSimplex::Repair RevisedSimplex::dual_repair(
+    const std::vector<double>& costs) {
   // Tight budget, separate from the global pivot limit: a genuinely warm
   // basis repairs in far fewer pivots than a cold solve takes, so once the
   // repair rivals a cold solve's cost (or cycles on degeneracy) it is
   // cheaper to give up early and fall back than to grind to the full limit.
   const std::int64_t repair_limit =
-      std::min(iteration_limit_, iterations_ + rows_ + 100);
+      std::min(iteration_limit_, iterations_ + form_.rows + 100);
   while (true) {
     if (++iterations_ > repair_limit) return Repair::GiveUp;
+    if (lu_.should_refactorize(options_.refactor_interval) && !refactorize()) {
+      return Repair::GiveUp;  // numerically singular basis: distrust it
+    }
 
     // --- Leaving row: the basic variable with the largest bound violation.
     // sigma = +1 when it must decrease (above upper), -1 when it must
-    // increase (below lower).
+    // increase (below lower). A later row must beat the pick by the
+    // kDualPickTie margin so that near-tied violations resolve to the same
+    // (smallest) row in both engines.
     int leave_row = -1;
     double best_viol = options_.tolerance;
     double sigma = 0.0;
-    for (int i = 0; i < rows_; ++i) {
-      const int bvar = basis_[static_cast<std::size_t>(i)];
-      const double v = value_[static_cast<std::size_t>(bvar)];
-      const double above = v - upper_[static_cast<std::size_t>(bvar)];
-      const double below = lower_[static_cast<std::size_t>(bvar)] - v;
-      if (above > best_viol) {
+    for (int i = 0; i < form_.rows; ++i) {
+      const int bvar = form_.basis[static_cast<std::size_t>(i)];
+      const double v = form_.value[static_cast<std::size_t>(bvar)];
+      const double above = v - form_.upper[static_cast<std::size_t>(bvar)];
+      const double below = form_.lower[static_cast<std::size_t>(bvar)] - v;
+      const double tie = kDualPickTie * (1.0 + best_viol);
+      if (above > best_viol + tie) {
         best_viol = above;
         leave_row = i;
         sigma = 1.0;
       }
-      if (below > best_viol) {
+      if (below > best_viol + tie) {
         best_viol = below;
         leave_row = i;
         sigma = -1.0;
@@ -622,183 +401,227 @@ Tableau::Repair Tableau::dual_repair() {
     }
     if (leave_row < 0) return Repair::Done;  // primal feasible
 
-    // --- Entering column: dual ratio test. A candidate must move the
-    // violating basic variable toward its bound; among candidates the
-    // smallest |d_j / alpha| keeps the reduced costs dual feasible. Ties
-    // break to the smallest column index (deterministic, anti-cycling).
-    int enter = -1;
-    double enter_dir = 0.0;
-    double best_ratio = kInfinity;
-    for (int j = 0; j < cols_; ++j) {
-      const auto sj = state_[static_cast<std::size_t>(j)];
+    // --- Pivot row and reduced costs: rho = B^{-T} e_r gives the row of
+    // B^{-1}A via sparse dots; the duals give d_j the same way.
+    compute_duals(costs);
+    std::fill(work_.begin(), work_.end(), 0.0);
+    work_[static_cast<std::size_t>(leave_row)] = 1.0;
+    lu_.btran(work_);
+    double row_scale = 0.0;
+    for (int j = 0; j < form_.cols; ++j) {
+      if (form_.state[static_cast<std::size_t>(j)] == VarState::Basic) {
+        continue;
+      }
+      const double alpha = column_dot(j, work_);
+      row_alpha_[static_cast<std::size_t>(j)] = alpha;
+      row_scale = std::max(row_scale, std::abs(alpha));
+    }
+    const double eligible = options_.pivot_tolerance * row_scale;
+
+    // --- Entering candidates: a candidate must move the violating basic
+    // variable toward its bound; its dual ratio |d_j / alpha| measures how
+    // far the duals can move before that candidate's reduced cost changes
+    // sign. The cascade below consumes candidates in ratio order (smallest
+    // first, largest |alpha| among near-ties — under dual degeneracy many
+    // candidates tie at ratio zero, and picking them by index admits
+    // microscopic pivots). Ties in the |alpha| pick break to the smallest
+    // column index (deterministic).
+    bool any_candidate = false;
+    for (int j = 0; j < form_.cols; ++j) {
+      row_ratio_[static_cast<std::size_t>(j)] = kInfinity;
+      const auto sj = form_.state[static_cast<std::size_t>(j)];
       if (sj == VarState::Basic) continue;
-      if (lower_[static_cast<std::size_t>(j)] ==
-          upper_[static_cast<std::size_t>(j)]) {
+      if (form_.lower[static_cast<std::size_t>(j)] ==
+          form_.upper[static_cast<std::size_t>(j)]) {
         continue;  // fixed (artificials)
       }
-      const double alpha = at(leave_row, j);
-      if (std::abs(alpha) <= options_.pivot_tolerance) continue;
-      double dir = 0.0;
+      const double alpha = row_alpha_[static_cast<std::size_t>(j)];
+      if (std::abs(alpha) <= eligible) continue;
       if (sj == VarState::AtLower) {
         if (sigma * alpha <= 0.0) continue;  // moving up must shrink the violation
-        dir = 1.0;
       } else {
         if (sigma * alpha >= 0.0) continue;  // moving down must shrink it
-        dir = -1.0;
       }
-      const double ratio = std::max(
-          0.0, reduced_[static_cast<std::size_t>(j)] / (sigma * alpha));
-      if (ratio < best_ratio - 1e-12) {
-        best_ratio = ratio;
-        enter = j;
-        enter_dir = dir;
-      }
+      const double d = costs[static_cast<std::size_t>(j)] - column_dot(j, y_);
+      row_ratio_[static_cast<std::size_t>(j)] =
+          std::max(0.0, d / (sigma * alpha));
+      any_candidate = true;
     }
-    if (enter < 0) {
+    if (!any_candidate) {
       // No column can reduce the violation: this row proves the bounds
       // cannot be met (the dual is unbounded), i.e. the LP is infeasible.
       return Repair::Infeasible;
     }
 
-    const double alpha = at(leave_row, enter);
-    const double step = sigma * best_viol / (alpha * enter_dir);  // > 0
+    // --- Long-step flip cascade. Candidates whose step overshoots their box
+    // are flipped (no basis change) and consumed; the cascade continues on
+    // the same row until a candidate absorbs the rest of the violation with
+    // a true basis change, or flips alone repair the row. Consuming flipped
+    // candidates inside one ratio pass is what terminates: a zero-ratio flip
+    // makes no dual progress, so without it two rows can trade the same
+    // flip back and forth forever. Flips leave the basis — and therefore
+    // every candidate's alpha and reduced cost — unchanged, so the ratios
+    // computed above stay valid throughout the cascade.
+    double remaining = best_viol;
+    while (true) {
+      double cur_best = kInfinity;
+      for (int j = 0; j < form_.cols; ++j) {
+        cur_best = std::min(cur_best, row_ratio_[static_cast<std::size_t>(j)]);
+      }
+      if (cur_best == kInfinity) return Repair::Infeasible;
+      const double ratio_window = cur_best + kDualPickTie * (1.0 + cur_best);
+      int enter = -1;
+      double enter_dir = 0.0;
+      double enter_alpha = 0.0;
+      for (int j = 0; j < form_.cols; ++j) {
+        if (row_ratio_[static_cast<std::size_t>(j)] > ratio_window) continue;
+        const double a = std::abs(row_alpha_[static_cast<std::size_t>(j)]);
+        if (a > enter_alpha * (1.0 + kDualPickTie)) {
+          enter_alpha = a;
+          enter = j;
+          enter_dir =
+              form_.state[static_cast<std::size_t>(j)] == VarState::AtLower
+                  ? 1.0
+                  : -1.0;
+        }
+      }
+      if (enter < 0) return Repair::Infeasible;
 
-    const double range = upper_[static_cast<std::size_t>(enter)] -
-                         lower_[static_cast<std::size_t>(enter)];
-    if (step > range) {
+      ftran_column(enter);
+      const double alpha = alpha_[static_cast<std::size_t>(leave_row)];
+      const double gain = sigma * alpha * enter_dir;
+      if (gain <= 0.0) {
+        // The FTRANed pivot disagrees in sign with the rho-dot estimate
+        // (cancellation in one of the two): distrust this candidate.
+        row_ratio_[static_cast<std::size_t>(enter)] = kInfinity;
+        continue;
+      }
+      const double step = remaining / gain;  // > 0
+      const double range = form_.upper[static_cast<std::size_t>(enter)] -
+                           form_.lower[static_cast<std::size_t>(enter)];
+      if (step <= range) {
+        // --- Basis change: the violating variable leaves exactly at the
+        // bound it violated; the entering variable absorbs the step.
+#ifdef BIRP_LP_TRACE
+        std::fprintf(stderr, "rp pivot r=%d e=%d step=%.12g\n", leave_row,
+                     enter, step);
+#endif
+        if (!change_basis(leave_row, enter, enter_dir, step, sigma > 0.0)) {
+          return Repair::GiveUp;  // numerically singular basis
+        }
+        break;
+      }
       // Box step: the entering variable hits its opposite bound before the
-      // violation is fully resolved. Flip it without a basis change; the
-      // violation shrank strictly, so the loop makes progress.
-      for (int i = 0; i < rows_; ++i) {
-        const double a = at(i, enter);
-        if (a == 0.0) continue;
-        const int bvar = basis_[static_cast<std::size_t>(i)];
-        value_[static_cast<std::size_t>(bvar)] -= enter_dir * range * a;
-      }
-      auto& sj = state_[static_cast<std::size_t>(enter)];
-      if (enter_dir > 0.0) {
-        sj = VarState::AtUpper;
-        value_[static_cast<std::size_t>(enter)] =
-            upper_[static_cast<std::size_t>(enter)];
-      } else {
-        sj = VarState::AtLower;
-        value_[static_cast<std::size_t>(enter)] =
-            lower_[static_cast<std::size_t>(enter)];
-      }
-      continue;
+      // violation is fully resolved. Flip it, consume it, keep cascading;
+      // the violation shrank strictly by range * |alpha|.
+#ifdef BIRP_LP_TRACE
+      std::fprintf(stderr, "rp flip e=%d range=%.12g\n", enter, range);
+#endif
+      bound_flip(enter, enter_dir > 0.0 ? 1.0 : -1.0, range);
+      row_ratio_[static_cast<std::size_t>(enter)] = kInfinity;
+      remaining -= range * gain;
+      if (++iterations_ > repair_limit) return Repair::GiveUp;
+      if (remaining <= options_.tolerance) break;  // flips repaired the row
     }
-
-    // --- Basis change: the violating variable leaves exactly at the bound
-    // it violated; the entering variable absorbs the step.
-    for (int i = 0; i < rows_; ++i) {
-      if (i == leave_row) continue;
-      const double a = at(i, enter);
-      if (a == 0.0) continue;
-      const int bvar = basis_[static_cast<std::size_t>(i)];
-      value_[static_cast<std::size_t>(bvar)] -= enter_dir * step * a;
-    }
-    const int leaving = basis_[static_cast<std::size_t>(leave_row)];
-    state_[static_cast<std::size_t>(leaving)] =
-        sigma > 0.0 ? VarState::AtUpper : VarState::AtLower;
-    value_[static_cast<std::size_t>(leaving)] =
-        sigma > 0.0 ? upper_[static_cast<std::size_t>(leaving)]
-                    : lower_[static_cast<std::size_t>(leaving)];
-
-    const double enter_value =
-        value_[static_cast<std::size_t>(enter)] + enter_dir * step;
-    pivot(leave_row, enter);
-    basis_[static_cast<std::size_t>(leave_row)] = enter;
-    state_[static_cast<std::size_t>(enter)] = VarState::Basic;
-    value_[static_cast<std::size_t>(enter)] = enter_value;
   }
 }
 
-void Tableau::finish(Solution& result) {
+void RevisedSimplex::finish(Solution& result,
+                            const std::vector<double>& costs) {
   result.status = SolveStatus::Optimal;
 
-  // Constraint duals: every row's slack/artificial column appears only in
-  // that row with original stored coefficient +1 and zero phase-2 cost, so
-  // its reduced cost is d = -y_i (stored orientation); undo the row flips
-  // to express the dual against the model's orientation.
-  result.duals.resize(static_cast<std::size_t>(rows_));
-  for (int i = 0; i < rows_; ++i) {
-    const int anchor = dual_col_[static_cast<std::size_t>(i)];
+  // Constraint duals: every row's slack/artificial anchor appears only in
+  // that row with stored coefficient +1 and zero phase-2 cost, so its
+  // reduced cost is -y_i; undo the row flips to express the dual against
+  // the model's orientation. (Equivalently: duals[i] = dual_sign_i * y_i.)
+  compute_duals(costs);
+  result.duals.resize(static_cast<std::size_t>(form_.rows));
+  for (int i = 0; i < form_.rows; ++i) {
+    const int anchor = form_.dual_col[static_cast<std::size_t>(i)];
+    const double d = costs[static_cast<std::size_t>(anchor)] -
+                     column_dot(anchor, y_);
     result.duals[static_cast<std::size_t>(i)] =
-        dual_sign_[static_cast<std::size_t>(i)] *
-        -reduced_[static_cast<std::size_t>(anchor)];
+        form_.dual_sign[static_cast<std::size_t>(i)] * -d;
   }
 
-  result.values.resize(static_cast<std::size_t>(structural_));
-  for (int j = 0; j < structural_; ++j) {
-    double v = value_[static_cast<std::size_t>(j)];
+  result.values.resize(static_cast<std::size_t>(form_.structural));
+  for (int j = 0; j < form_.structural; ++j) {
+    double v = form_.value[static_cast<std::size_t>(j)];
     // Clean tiny drift against the (possibly overridden) bounds.
-    v = std::max(v, lower_[static_cast<std::size_t>(j)]);
-    if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
-      v = std::min(v, upper_[static_cast<std::size_t>(j)]);
+    v = std::max(v, form_.lower[static_cast<std::size_t>(j)]);
+    if (std::isfinite(form_.upper[static_cast<std::size_t>(j)])) {
+      v = std::min(v, form_.upper[static_cast<std::size_t>(j)]);
     }
     result.values[static_cast<std::size_t>(j)] = v;
   }
   result.objective = model_.objective_value(result.values);
 }
 
-Solution Tableau::solve() {
+Solution RevisedSimplex::solve() {
   Solution result;
 
   // ---- Phase I: minimize the sum of artificial variables. ----
-  std::vector<double> phase1(static_cast<std::size_t>(cols_), 0.0);
-  for (int j = artificial_begin_; j < cols_; ++j) phase1[static_cast<std::size_t>(j)] = 1.0;
+  std::vector<double> phase1(static_cast<std::size_t>(form_.cols), 0.0);
+  for (int j = form_.artificial_begin; j < form_.cols; ++j) {
+    phase1[static_cast<std::size_t>(j)] = 1.0;
+  }
 
   bool need_phase1 = false;
-  for (int i = 0; i < rows_; ++i) {
-    if (value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] >
-        options_.tolerance) {
+  for (int i = 0; i < form_.rows; ++i) {
+    if (form_.value[static_cast<std::size_t>(
+            form_.basis[static_cast<std::size_t>(i)])] > options_.tolerance) {
       need_phase1 = true;
       break;
     }
   }
   if (need_phase1) {
     const SolveStatus status = iterate(phase1);
-    if (status == SolveStatus::IterationLimit) {
-      result.status = SolveStatus::IterationLimit;
-      result.simplex_iterations = iterations_;
-      return result;
-    }
     // Phase I is bounded below by zero, so Unbounded cannot legitimately
     // occur; treat it as a numerical failure surfaced as IterationLimit.
-    if (status == SolveStatus::Unbounded) {
+    if (status == SolveStatus::IterationLimit ||
+        status == SolveStatus::Unbounded) {
       result.status = SolveStatus::IterationLimit;
       result.simplex_iterations = iterations_;
+      result.factor_pivots = lu_.factor_pivots();
       return result;
     }
     recompute_basic_values();
     double infeasibility = 0.0;
-    for (int j = artificial_begin_; j < cols_; ++j) {
-      if (state_[static_cast<std::size_t>(j)] == VarState::Basic ||
-          value_[static_cast<std::size_t>(j)] != 0.0) {
-        infeasibility += value_[static_cast<std::size_t>(j)];
+    for (int j = form_.artificial_begin; j < form_.cols; ++j) {
+      if (form_.state[static_cast<std::size_t>(j)] == VarState::Basic ||
+          form_.value[static_cast<std::size_t>(j)] != 0.0) {
+        infeasibility += form_.value[static_cast<std::size_t>(j)];
       }
     }
-    if (infeasibility > 1e-6) {
+    // Scale-relative verdict (with the tolerance itself as the absolute
+    // floor): an absolute cutoff here turns Phase I rounding noise into
+    // spurious Infeasible results once |b| is large, and matches the
+    // historical 1e-6 cutoff for O(1)-scaled problems.
+    if (infeasibility >
+        10.0 * options_.tolerance * (1.0 + form_.rhs_scale)) {
       result.status = SolveStatus::Infeasible;
       result.simplex_iterations = iterations_;
+      result.factor_pivots = lu_.factor_pivots();
       return result;
     }
   }
 
   // Retire artificials: they may remain basic at value zero (degenerate /
   // redundant rows) but are fixed so they can never re-enter or move.
-  for (int j = artificial_begin_; j < cols_; ++j) {
-    lower_[static_cast<std::size_t>(j)] = 0.0;
-    upper_[static_cast<std::size_t>(j)] = 0.0;
-    if (state_[static_cast<std::size_t>(j)] != VarState::Basic) {
-      value_[static_cast<std::size_t>(j)] = 0.0;
-      state_[static_cast<std::size_t>(j)] = VarState::AtLower;
+  for (int j = form_.artificial_begin; j < form_.cols; ++j) {
+    form_.lower[static_cast<std::size_t>(j)] = 0.0;
+    form_.upper[static_cast<std::size_t>(j)] = 0.0;
+    if (form_.state[static_cast<std::size_t>(j)] != VarState::Basic) {
+      form_.value[static_cast<std::size_t>(j)] = 0.0;
+      form_.state[static_cast<std::size_t>(j)] = VarState::AtLower;
     }
   }
 
   // ---- Phase II: the real objective. ----
-  const SolveStatus status = iterate(phase2_costs());
+  const std::vector<double> costs = phase2_costs();
+  const SolveStatus status = iterate(costs);
   result.simplex_iterations = iterations_;
+  result.factor_pivots = lu_.factor_pivots();
   if (status == SolveStatus::Unbounded) {
     result.status = SolveStatus::Unbounded;
     return result;
@@ -809,45 +632,80 @@ Solution Tableau::solve() {
   }
 
   recompute_basic_values();
-  finish(result);
+  finish(result, costs);
   return result;
 }
 
-std::optional<Solution> Tableau::solve_warm() {
+std::optional<Solution> RevisedSimplex::solve_warm() {
   const std::vector<double> costs = phase2_costs();
-  compute_reduced_costs(costs);
 
   // Primal feasibility of the refactorized basis under the current bounds.
   double primal_viol = 0.0;
-  for (int i = 0; i < rows_; ++i) {
-    const int bvar = basis_[static_cast<std::size_t>(i)];
-    const double v = value_[static_cast<std::size_t>(bvar)];
-    primal_viol = std::max(primal_viol, v - upper_[static_cast<std::size_t>(bvar)]);
-    primal_viol = std::max(primal_viol, lower_[static_cast<std::size_t>(bvar)] - v);
+  for (int i = 0; i < form_.rows; ++i) {
+    const int bvar = form_.basis[static_cast<std::size_t>(i)];
+    const double v = form_.value[static_cast<std::size_t>(bvar)];
+    primal_viol =
+        std::max(primal_viol, v - form_.upper[static_cast<std::size_t>(bvar)]);
+    primal_viol =
+        std::max(primal_viol, form_.lower[static_cast<std::size_t>(bvar)] - v);
   }
 
   if (primal_viol > options_.tolerance) {
-    // Dual repair needs a dual-feasible start; a parent-optimal basis has
-    // one by construction, anything else goes back to the cold path.
-    for (int j = 0; j < cols_; ++j) {
-      const auto sj = state_[static_cast<std::size_t>(j)];
+    // Dual repair needs a dual-feasible start. A parent-optimal basis under
+    // unchanged costs has one by construction; when the costs moved since
+    // the seed basis was optimal (a new slot's demand re-weights the
+    // objective), restore it the boxed-variable way: bound-flip every
+    // nonbasic variable whose reduced cost has the wrong sign. Flips do not
+    // touch the basis, so dual feasibility is exact afterwards; only a
+    // variable with an infinite opposite bound cannot be flipped, and that
+    // start goes back to the cold path.
+    compute_duals(costs);
+    bool flipped = false;
+    for (int j = 0; j < form_.cols; ++j) {
+      const auto sj = form_.state[static_cast<std::size_t>(j)];
       if (sj == VarState::Basic) continue;
-      if (lower_[static_cast<std::size_t>(j)] ==
-          upper_[static_cast<std::size_t>(j)]) {
+      if (form_.lower[static_cast<std::size_t>(j)] ==
+          form_.upper[static_cast<std::size_t>(j)]) {
         continue;
       }
-      const double d = reduced_[static_cast<std::size_t>(j)];
-      if (sj == VarState::AtLower && d < -options_.tolerance) return std::nullopt;
-      if (sj == VarState::AtUpper && d > options_.tolerance) return std::nullopt;
+      const double d = costs[static_cast<std::size_t>(j)] - column_dot(j, y_);
+      if (sj == VarState::AtLower && d < -options_.tolerance) {
+        if (!std::isfinite(form_.upper[static_cast<std::size_t>(j)])) {
+#ifdef BIRP_LP_TRACE
+          std::fprintf(stderr, "warmfail dual-infeasible d=%.3g\n", d);
+#endif
+          return std::nullopt;
+        }
+        form_.state[static_cast<std::size_t>(j)] = VarState::AtUpper;
+        form_.value[static_cast<std::size_t>(j)] =
+            form_.upper[static_cast<std::size_t>(j)];
+        flipped = true;
+      } else if (sj == VarState::AtUpper && d > options_.tolerance) {
+        if (!std::isfinite(form_.lower[static_cast<std::size_t>(j)])) {
+#ifdef BIRP_LP_TRACE
+          std::fprintf(stderr, "warmfail dual-infeasible d=%.3g\n", d);
+#endif
+          return std::nullopt;
+        }
+        form_.state[static_cast<std::size_t>(j)] = VarState::AtLower;
+        form_.value[static_cast<std::size_t>(j)] =
+            form_.lower[static_cast<std::size_t>(j)];
+        flipped = true;
+      }
     }
-    switch (dual_repair()) {
+    if (flipped) recompute_basic_values();
+    switch (dual_repair(costs)) {
       case Repair::GiveUp:
+#ifdef BIRP_LP_TRACE
+        std::fprintf(stderr, "warmfail repair-giveup iters=%lld\n",
+                     (long long)iterations_);
+#endif
         return std::nullopt;  // stalled: distrust the basis, cold retry
       case Repair::Infeasible: {
         Solution result;
         result.status = SolveStatus::Infeasible;
         result.simplex_iterations = iterations_;
-        result.factor_pivots = factor_pivots_;
+        result.factor_pivots = lu_.factor_pivots();
         result.warm_started = true;
         return result;
       }
@@ -856,40 +714,46 @@ std::optional<Solution> Tableau::solve_warm() {
     }
   }
 
-  // Phase II from a primal-feasible basis (recomputes reduced costs, so any
-  // drift accumulated during repair is corrected).
+  // Phase II from a primal-feasible basis (reduced costs are recomputed
+  // every iteration, so any drift accumulated during repair is corrected).
   const SolveStatus status = iterate(costs);
-  if (status == SolveStatus::IterationLimit) return std::nullopt;
+  if (status == SolveStatus::IterationLimit) {
+#ifdef BIRP_LP_TRACE
+    std::fprintf(stderr, "warmfail phase2-limit iters=%lld\n",
+                 (long long)iterations_);
+#endif
+    return std::nullopt;
+  }
 
   Solution result;
   result.simplex_iterations = iterations_;
-  result.factor_pivots = factor_pivots_;
+  result.factor_pivots = lu_.factor_pivots();
   result.warm_started = true;
   if (status == SolveStatus::Unbounded) {
     result.status = SolveStatus::Unbounded;
     return result;
   }
   recompute_basic_values();
-  finish(result);
+  finish(result, costs);
   return result;
 }
 
-Basis Tableau::extract_basis() const {
+Basis RevisedSimplex::extract_basis() const {
   Basis basis;
-  basis.structural.assign(static_cast<std::size_t>(structural_),
+  basis.structural.assign(static_cast<std::size_t>(form_.structural),
                           VarState::AtLower);
-  for (int j = 0; j < structural_; ++j) {
+  for (int j = 0; j < form_.structural; ++j) {
     basis.structural[static_cast<std::size_t>(j)] =
-        state_[static_cast<std::size_t>(j)];
+        form_.state[static_cast<std::size_t>(j)];
   }
-  basis.basic.assign(static_cast<std::size_t>(rows_), -1);
-  for (int i = 0; i < rows_; ++i) {
-    const int col = basis_[static_cast<std::size_t>(i)];
-    if (col < structural_) {
+  basis.basic.assign(static_cast<std::size_t>(form_.rows), -1);
+  for (int i = 0; i < form_.rows; ++i) {
+    const int col = form_.basis[static_cast<std::size_t>(i)];
+    if (col < form_.structural) {
       basis.basic[static_cast<std::size_t>(i)] = col;
-    } else if (col < artificial_begin_) {
+    } else if (col < form_.artificial_begin) {
       basis.basic[static_cast<std::size_t>(i)] =
-          structural_ + slack_row_[static_cast<std::size_t>(col)];
+          form_.structural + form_.slack_row[static_cast<std::size_t>(col)];
     }
     // Artificial columns stay encoded as -1.
   }
@@ -897,6 +761,14 @@ Basis Tableau::extract_basis() const {
 }
 
 }  // namespace
+
+Solution solve_lp_revised(const Model& model, std::span<const double> lower,
+                          std::span<const double> upper,
+                          const SimplexOptions& options,
+                          const Basis* warm_start, bool emit_basis) {
+  return solve_lp_with<RevisedSimplex>(model, lower, upper, options,
+                                       warm_start, emit_basis);
+}
 
 Solution solve_lp(const Model& model, const SimplexOptions& options) {
   return solve_lp(model, {}, {}, options);
@@ -911,43 +783,10 @@ Solution solve_lp(const Model& model, std::span<const double> lower,
   util::check(upper.empty() ||
                   upper.size() == static_cast<std::size_t>(model.num_variables()),
               "solve_lp: upper override size mismatch");
-  for (std::size_t j = 0; j < lower.size(); ++j) {
-    if (lower[j] > upper[j]) {
-      Solution infeasible;
-      infeasible.status = SolveStatus::Infeasible;
-      return infeasible;
-    }
+  if (options.algorithm == SimplexAlgorithm::DenseTableau) {
+    return solve_lp_dense(model, lower, upper, options, warm_start, emit_basis);
   }
-
-  // Attempt the warm path first; any rejection (shape mismatch, singular
-  // basis, dual-infeasible start, stalled repair) falls through to the cold
-  // two-phase solve, carrying the wasted work in the diagnostics.
-  std::int64_t warm_iterations = 0;
-  std::int64_t warm_factor_pivots = 0;
-  if (warm_start != nullptr && !warm_start->empty() &&
-      warm_start->matches(model.num_variables(), model.num_constraints())) {
-    Tableau tableau(model, lower, upper, options, *warm_start);
-    warm_factor_pivots = tableau.factor_pivots();
-    if (tableau.warm_ok()) {
-      if (auto solution = tableau.solve_warm()) {
-        if (emit_basis && solution->status == SolveStatus::Optimal) {
-          solution->basis = tableau.extract_basis();
-        }
-        return *std::move(solution);
-      }
-      warm_iterations = tableau.iterations();
-      warm_factor_pivots = tableau.factor_pivots();
-    }
-  }
-
-  Tableau tableau(model, lower, upper, options);
-  Solution solution = tableau.solve();
-  solution.simplex_iterations += warm_iterations;
-  solution.factor_pivots += warm_factor_pivots;
-  if (emit_basis && solution.status == SolveStatus::Optimal) {
-    solution.basis = tableau.extract_basis();
-  }
-  return solution;
+  return solve_lp_revised(model, lower, upper, options, warm_start, emit_basis);
 }
 
 }  // namespace birp::solver

@@ -1,4 +1,4 @@
-// Dense bounded-variable primal simplex.
+// Bounded-variable primal simplex over sparse columns.
 //
 // Solves   min c'x   s.t.   Ax {<=,>=,=} b,   l <= x <= u
 // with finite lower bounds (all BIRP variables are nonnegative) and possibly
@@ -6,6 +6,30 @@
 // zero; Phase II optimizes the real objective. Nonbasic variables sit at a
 // bound; bound flips are handled without basis changes. Dantzig pricing with
 // a Bland's-rule fallback guards against cycling under degeneracy.
+//
+// Two interchangeable engines solve the same standard form (see
+// standard_form.hpp):
+//
+//  - SparseRevised (default): revised simplex on a compressed-sparse-column
+//    snapshot. The basis is held as a product-form LU factorization
+//    (basis_lu.hpp) built with threshold partial pivoting; each pivot
+//    appends one eta, and the file is rebuilt when it outgrows the
+//    refactorization trigger. Pricing, the ratio test, and the dual-repair
+//    path work off BTRAN/FTRAN solves, so a pivot costs O(nnz) instead of
+//    the dense tableau's O(rows * cols) — this is what lets the slot
+//    problem scale to hundred-edge clusters.
+//  - DenseTableau: the dense Gauss–Jordan tableau kept as the bit-exact
+//    reference implementation (dense_tableau.cpp) for tests and the
+//    bench_solver regression arm. Memory is O(rows * cols); do not use it
+//    beyond paper-scale instances.
+//
+// All feasibility and pivot comparisons are scale-relative: pivot
+// eligibility is measured against the transformed column's (or row's)
+// infinity norm, ratio-test ties against the step magnitude, and the
+// Phase I infeasibility verdict against the rhs norm. Absolute cutoffs
+// (1e-12 / 1e-6 historically) misfire as coefficients scale — tiny uniform
+// scaling rejected every ratio-test pivot, huge rhs norms turned rounding
+// noise into spurious Infeasible verdicts.
 //
 // This solver is the LP engine under the branch-and-bound MILP solver that
 // replaces the paper's Gurobi dependency; per-node bound overrides let B&B
@@ -18,7 +42,9 @@
 // bounded-variable dual simplex before Phase II polishes — Phase I never
 // runs on the warm path. A singular or unrepairable basis falls back to the
 // cold two-phase path, so warm starts are a pure optimization: statuses and
-// objectives match the cold solver.
+// objectives match the cold solver. The Basis encoding and the
+// warm-attempt accounting are engine-independent (lp_engine.hpp), so a
+// basis emitted by one engine warm-starts the other.
 #pragma once
 
 #include <cstdint>
@@ -31,15 +57,33 @@
 
 namespace birp::solver {
 
+/// LP engine selection; see the header comment.
+enum class SimplexAlgorithm : std::uint8_t {
+  SparseRevised,  ///< revised simplex + product-form LU (default)
+  DenseTableau,   ///< dense Gauss–Jordan tableau (reference / A-B baseline)
+};
+
 struct SimplexOptions {
   /// Pivot budget; <= 0 means automatic (scales with problem size).
   std::int64_t max_iterations = 0;
   /// Feasibility / optimality tolerance.
   double tolerance = 1e-7;
-  /// Minimum magnitude accepted for a pivot element.
+  /// Minimum magnitude accepted for a pivot element, relative to the
+  /// transformed column's (or pivot row's) infinity norm.
   double pivot_tolerance = 1e-9;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int stall_threshold = 40;
+  /// Engine selection. SparseRevised is the production path; DenseTableau
+  /// is kept for reference tests and the bench_solver regression arm.
+  SimplexAlgorithm algorithm = SimplexAlgorithm::SparseRevised;
+  /// SparseRevised only: eta updates appended before the basis is
+  /// refactorized from scratch (the file is also rebuilt early when its
+  /// fill outgrows the factorization; see BasisLu::should_refactorize).
+  int refactor_interval = 96;
+  /// SparseRevised only: threshold partial pivoting acceptance for the LU
+  /// factorization — a row is an eligible pivot when it reaches this
+  /// fraction of the column maximum.
+  double lu_pivot_threshold = 0.1;
 };
 
 /// Solves the LP relaxation of `model` (integrality ignored).

@@ -577,5 +577,145 @@ TEST_P(MilpBruteForce, MatchesExhaustiveSearch) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MilpBruteForce, ::testing::Range(1, 21));
 
+// ------------------------------------------------------- both engines ----
+
+// The scale and cycling regressions below must hold on the sparse revised
+// engine (production) and the dense tableau (reference) alike.
+const SimplexAlgorithm kBothEngines[] = {SimplexAlgorithm::SparseRevised,
+                                         SimplexAlgorithm::DenseTableau};
+
+TEST(SimplexScaling, TinyUniformScalingStillPivots) {
+  // Dantzig's textbook LP with both constraint sides scaled by 1e-10: the
+  // optimum (2, 6) and objective -36 are unchanged. A historical absolute
+  // pivot cutoff (1e-9) rejected every ratio-test row at this scale and
+  // misreported the problem as Unbounded.
+  constexpr double kScale = 1e-10;
+  for (const auto algorithm : kBothEngines) {
+    Model model;
+    const int a = model.add_continuous("a", 0.0, kInfinity);
+    const int b = model.add_continuous("b", 0.0, kInfinity);
+    model.set_objective(a, -3.0);
+    model.set_objective(b, -5.0);
+    model.add_constraint({{a, 1.0 * kScale}}, Relation::LessEqual,
+                         4.0 * kScale);
+    model.add_constraint({{b, 2.0 * kScale}}, Relation::LessEqual,
+                         12.0 * kScale);
+    model.add_constraint({{a, 3.0 * kScale}, {b, 2.0 * kScale}},
+                         Relation::LessEqual, 18.0 * kScale);
+    SimplexOptions options;
+    options.algorithm = algorithm;
+    const auto solution = solve_lp(model, options);
+    ASSERT_EQ(solution.status, SolveStatus::Optimal)
+        << "algorithm " << static_cast<int>(algorithm);
+    EXPECT_NEAR(solution.objective, -36.0, kTol);
+    EXPECT_NEAR(solution.values[0], 2.0, kTol);
+    EXPECT_NEAR(solution.values[1], 6.0, kTol);
+  }
+}
+
+TEST(SimplexScaling, HugeRhsPhaseOneIsNotSpuriouslyInfeasible) {
+  // Equality rows at |b| ~ 3e9 force Phase I through artificials whose
+  // retirement leaves rounding residue proportional to the rhs norm. The
+  // feasibility verdict must scale with |b|; an absolute 1e-6 cutoff reads
+  // that residue as infeasibility.
+  for (const auto algorithm : kBothEngines) {
+    Model model;
+    const int x = model.add_continuous("x", 0.0, kInfinity);
+    const int y = model.add_continuous("y", 0.0, kInfinity);
+    model.set_objective(x, 1.0);
+    model.set_objective(y, 2.0);
+    model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 3.0e9);
+    model.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::Equal, 1.0e9);
+    SimplexOptions options;
+    options.algorithm = algorithm;
+    const auto solution = solve_lp(model, options);
+    ASSERT_EQ(solution.status, SolveStatus::Optimal)
+        << "algorithm " << static_cast<int>(algorithm);
+    const double expected = 2.0e9 + 2.0 * 1.0e9;
+    EXPECT_NEAR(solution.objective, expected, 1e-6 * expected);
+    EXPECT_NEAR(solution.values[0], 2.0e9, 1e3);
+    EXPECT_NEAR(solution.values[1], 1.0e9, 1e3);
+  }
+}
+
+TEST(SimplexScaling, HugeCoefficientRowsKeepScaledDuals) {
+  // One row inflated by 1e8: primal answer unchanged, its shadow price
+  // deflates by the same factor. Pivot eligibility must track the column
+  // magnitude or the mixed-scale ratio test picks noise pivots.
+  for (const auto algorithm : kBothEngines) {
+    Model model;
+    const int a = model.add_continuous("a", 0.0, kInfinity);
+    const int b = model.add_continuous("b", 0.0, kInfinity);
+    model.set_objective(a, -3.0);
+    model.set_objective(b, -5.0);
+    model.add_constraint({{a, 1.0}}, Relation::LessEqual, 4.0);
+    model.add_constraint({{b, 2.0e8}}, Relation::LessEqual, 12.0e8);
+    model.add_constraint({{a, 3.0}, {b, 2.0}}, Relation::LessEqual, 18.0);
+    SimplexOptions options;
+    options.algorithm = algorithm;
+    const auto solution = solve_lp(model, options);
+    ASSERT_EQ(solution.status, SolveStatus::Optimal)
+        << "algorithm " << static_cast<int>(algorithm);
+    EXPECT_NEAR(solution.objective, -36.0, kTol);
+    // Tight rows: scaled one prices at -1.5e-8, the combined row at -1.
+    EXPECT_NEAR(solution.duals[1] * 2.0e8, -3.0, kTol);
+    EXPECT_NEAR(solution.duals[2], -1.0, kTol);
+  }
+}
+
+TEST(SimplexCycling, BealeExampleTerminatesUnderBlandFallback) {
+  // Beale's classic cycling LP: Dantzig pricing with exact tie-breaking
+  // loops forever on its degenerate vertex. With an aggressive stall
+  // threshold the Bland fallback must engage and terminate at the known
+  // optimum -0.05 = (0.04, 0, 1, 0) on both engines, within a pivot budget
+  // far below the automatic limit.
+  for (const auto algorithm : kBothEngines) {
+    for (const int stall_threshold : {1, 40}) {
+      Model model;
+      const int x1 = model.add_continuous("x1", 0.0, kInfinity);
+      const int x2 = model.add_continuous("x2", 0.0, kInfinity);
+      const int x3 = model.add_continuous("x3", 0.0, kInfinity);
+      const int x4 = model.add_continuous("x4", 0.0, kInfinity);
+      model.set_objective(x1, -0.75);
+      model.set_objective(x2, 150.0);
+      model.set_objective(x3, -0.02);
+      model.set_objective(x4, 6.0);
+      model.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                           Relation::LessEqual, 0.0);
+      model.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                           Relation::LessEqual, 0.0);
+      model.add_constraint({{x3, 1.0}}, Relation::LessEqual, 1.0);
+      SimplexOptions options;
+      options.algorithm = algorithm;
+      options.stall_threshold = stall_threshold;
+      options.max_iterations = 500;
+      const auto solution = solve_lp(model, options);
+      ASSERT_EQ(solution.status, SolveStatus::Optimal)
+          << "algorithm " << static_cast<int>(algorithm) << " stall "
+          << stall_threshold;
+      EXPECT_NEAR(solution.objective, -0.05, kTol);
+      EXPECT_LT(solution.simplex_iterations, 500);
+    }
+  }
+}
+
+TEST(SimplexEngines, DenseArmStillSolvesTextbookLp) {
+  // The dense tableau stays available behind SimplexOptions::algorithm as
+  // the reference arm for benches and cross-checks.
+  Model model;
+  const int a = model.add_continuous("a", 0.0, kInfinity);
+  const int b = model.add_continuous("b", 0.0, kInfinity);
+  model.set_objective(a, -3.0);
+  model.set_objective(b, -5.0);
+  model.add_constraint({{a, 1.0}}, Relation::LessEqual, 4.0);
+  model.add_constraint({{b, 2.0}}, Relation::LessEqual, 12.0);
+  model.add_constraint({{a, 3.0}, {b, 2.0}}, Relation::LessEqual, 18.0);
+  SimplexOptions options;
+  options.algorithm = SimplexAlgorithm::DenseTableau;
+  const auto solution = solve_lp(model, options);
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -36.0, kTol);
+}
+
 }  // namespace
 }  // namespace birp::solver

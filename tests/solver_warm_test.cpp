@@ -461,5 +461,136 @@ TEST(SlotSequence, SchedulerDecisionsUnchangedBySolverThreads) {
   }
 }
 
+// ---------------------------------------------- sparse/dense equivalence ----
+
+class EngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalence, StatusObjectiveAndDualsMatch) {
+  const Model model = random_lp(static_cast<std::uint64_t>(GetParam()) + 100);
+  SimplexOptions sparse_options;  // default: SparseRevised
+  SimplexOptions dense_options;
+  dense_options.algorithm = SimplexAlgorithm::DenseTableau;
+
+  const Solution sparse = solve_lp(model, {}, {}, sparse_options);
+  const Solution dense = solve_lp(model, {}, {}, dense_options);
+  ASSERT_EQ(sparse.status, dense.status);
+  if (sparse.status != SolveStatus::Optimal) return;
+  EXPECT_NEAR(sparse.objective, dense.objective,
+              kTol * (1.0 + std::abs(dense.objective)));
+  ASSERT_EQ(sparse.duals.size(), dense.duals.size());
+  for (std::size_t i = 0; i < sparse.duals.size(); ++i) {
+    EXPECT_NEAR(sparse.duals[i], dense.duals[i], kTol) << "row " << i;
+  }
+}
+
+TEST_P(EngineEquivalence, BasesCrossWarmBetweenEngines) {
+  // The Basis encoding is engine-independent: an optimal basis emitted by
+  // the dense tableau must warm-start the sparse engine and vice versa.
+  const Model model = random_lp(static_cast<std::uint64_t>(GetParam()) + 200);
+  SimplexOptions sparse_options;
+  SimplexOptions dense_options;
+  dense_options.algorithm = SimplexAlgorithm::DenseTableau;
+
+  const Solution dense = solve_lp(model, {}, {}, dense_options, nullptr, true);
+  ASSERT_EQ(dense.status, SolveStatus::Optimal);
+  const Solution sparse_from_dense =
+      solve_lp(model, {}, {}, sparse_options, &dense.basis, true);
+  ASSERT_EQ(sparse_from_dense.status, SolveStatus::Optimal);
+  EXPECT_TRUE(sparse_from_dense.warm_started);
+  EXPECT_NEAR(sparse_from_dense.objective, dense.objective,
+              kTol * (1.0 + std::abs(dense.objective)));
+
+  const Solution dense_from_sparse = solve_lp(
+      model, {}, {}, dense_options, &sparse_from_dense.basis, false);
+  ASSERT_EQ(dense_from_sparse.status, SolveStatus::Optimal);
+  EXPECT_TRUE(dense_from_sparse.warm_started);
+  EXPECT_NEAR(dense_from_sparse.objective, dense.objective,
+              kTol * (1.0 + std::abs(dense.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence, ::testing::Range(1, 13));
+
+TEST(EngineEquivalence, RefactorIntervalOneMatchesDefault) {
+  // Forcing a full refactorization after every pivot exercises the rebuild
+  // path on each iteration; the answer must not move.
+  const Model model = random_lp(42);
+  SimplexOptions defaults;
+  SimplexOptions eager;
+  eager.refactor_interval = 1;
+
+  const Solution base = solve_lp(model, {}, {}, defaults);
+  const Solution rebuilt = solve_lp(model, {}, {}, eager);
+  ASSERT_EQ(base.status, SolveStatus::Optimal);
+  ASSERT_EQ(rebuilt.status, SolveStatus::Optimal);
+  EXPECT_NEAR(rebuilt.objective, base.objective,
+              kTol * (1.0 + std::abs(base.objective)));
+}
+
+// ------------------------------------------------- fallback accounting ----
+
+TEST(WarmAccounting, SingularSeedChargesTheColdSolveOnce) {
+  // A singular seed basis must leave warm_started false (so the scheduler
+  // counts exactly one cold solve) and charge the aborted factorization's
+  // eliminations to the cold Solution exactly once, on both engines.
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 5.0);
+  const int y = model.add_continuous("y", 0.0, 5.0);
+  model.set_objective(x, -1.0);
+  model.set_objective(y, -2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 2.0);
+
+  Basis singular;
+  singular.structural = {VarState::Basic, VarState::Basic};
+  singular.basic = {0, 1};
+
+  for (const auto algorithm :
+       {SimplexAlgorithm::SparseRevised, SimplexAlgorithm::DenseTableau}) {
+    SimplexOptions options;
+    options.algorithm = algorithm;
+    const Solution sol = solve_lp(model, {}, {}, options, &singular, false);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal)
+        << "algorithm " << static_cast<int>(algorithm);
+    EXPECT_FALSE(sol.warm_started);
+    // One pivot succeeded before the factorization hit the dependent
+    // column; the cold solve itself starts from the identity basis.
+    EXPECT_EQ(sol.factor_pivots, 1)
+        << "algorithm " << static_cast<int>(algorithm);
+  }
+}
+
+TEST(WarmAccounting, DisabledWarmStartCountsEveryNodeCold) {
+  const Model model = random_milp(13);
+  BranchAndBoundOptions options;
+  options.warm_start = false;
+  const Solution sol = solve_milp(model, options);
+  ASSERT_TRUE(sol.usable());
+  EXPECT_EQ(sol.warm_lp_solves, 0);
+  EXPECT_GT(sol.cold_lp_solves, 0);
+}
+
+TEST(WarmAccounting, WarmAndColdPartitionNodeSolves) {
+  // Every node LP is counted exactly once, as warm or cold — never both,
+  // never neither — so the two counters always sum to the same total for
+  // the same search tree (warm on/off changes which bucket, not the sum).
+  const Model model = random_milp(17);
+
+  BranchAndBoundOptions cold_options;
+  cold_options.warm_start = false;
+  cold_options.wave_size = 1;
+  const Solution cold = solve_milp(model, cold_options);
+  ASSERT_TRUE(cold.usable());
+  EXPECT_EQ(cold.warm_lp_solves, 0);
+
+  BranchAndBoundOptions warm_options;
+  warm_options.warm_start = true;
+  warm_options.wave_size = 1;
+  const Solution warm = solve_milp(model, warm_options);
+  ASSERT_TRUE(warm.usable());
+  EXPECT_GT(warm.warm_lp_solves, 0);
+  EXPECT_EQ(warm.warm_lp_solves + warm.cold_lp_solves,
+            cold.warm_lp_solves + cold.cold_lp_solves);
+}
+
 }  // namespace
 }  // namespace birp::solver
