@@ -74,6 +74,12 @@ class InterCellBalancer {
   [[nodiscard]] const CellPressure& pressure(int cell) const {
     return pressure_[static_cast<std::size_t>(cell)];
   }
+  /// Installs a pressure state wholesale (control-plane handoff: carrying
+  /// the smoothed signals across a repartition instead of restarting the
+  /// EMAs from zero).
+  void set_pressure(int cell, const CellPressure& pressure) {
+    pressure_[static_cast<std::size_t>(cell)] = pressure;
+  }
   [[nodiscard]] std::int64_t moved_total() const noexcept {
     return moved_total_;
   }

@@ -34,6 +34,7 @@ CellScheduler::CellScheduler(const device::ClusterSpec& cluster,
 
   specs_.reserve(static_cast<std::size_t>(partition_.cells()));
   cells_.reserve(static_cast<std::size_t>(partition_.cells()));
+  greedy_cells_.reserve(static_cast<std::size_t>(partition_.cells()));
   for (int c = 0; c < partition_.cells(); ++c) {
     specs_.push_back(std::make_unique<device::ClusterSpec>(cluster_.subcluster(
         partition_.members[static_cast<std::size_t>(c)])));
@@ -41,6 +42,8 @@ CellScheduler::CellScheduler(const device::ClusterSpec& cluster,
         config_.offline
             ? core::BirpScheduler::offline(*specs_.back(), config_.birp)
             : core::BirpScheduler(*specs_.back(), config_.birp)));
+    greedy_cells_.push_back(
+        std::make_unique<sched::GreedyLocalScheduler>(*specs_.back()));
   }
   if (config_.cell_threads > 0 && partition_.cells() > 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(
@@ -48,6 +51,10 @@ CellScheduler::CellScheduler(const device::ClusterSpec& cluster,
   }
   prev_scratch_.resize(static_cast<std::size_t>(partition_.cells()));
   hints_scratch_.resize(static_cast<std::size_t>(partition_.cells()));
+  last_pivots_.assign(static_cast<std::size_t>(partition_.cells()), 0);
+  last_fallbacks_.assign(static_cast<std::size_t>(partition_.cells()), 0);
+  strikes_.assign(static_cast<std::size_t>(partition_.cells()), 0);
+  degraded_until_.assign(static_cast<std::size_t>(partition_.cells()), 0);
 }
 
 std::string CellScheduler::name() const {
@@ -154,27 +161,41 @@ sim::SlotDecision CellScheduler::decide(const sim::SlotState& state) {
 
   // 3. Solve cells — concurrently when a pool exists. Each future is
   //    collected in cell order, so the merge below is order-deterministic.
+  //    Watchdog-degraded cells skip their MILP entirely and serve the slot
+  //    with GreedyLocal (cheap and serial, so always on the calling thread).
+  std::vector<std::uint8_t> degraded(static_cast<std::size_t>(cells), 0);
+  if (config_.watchdog.enabled) {
+    for (int c = 0; c < cells; ++c) {
+      degraded[static_cast<std::size_t>(c)] =
+          state.slot < degraded_until_[static_cast<std::size_t>(c)] ? 1 : 0;
+    }
+  }
   std::vector<sim::SlotDecision> cell_decisions(
       static_cast<std::size_t>(cells));
   if (pool_ != nullptr) {
-    std::vector<std::future<sim::SlotDecision>> futures;
-    futures.reserve(static_cast<std::size_t>(cells));
+    std::vector<std::future<sim::SlotDecision>> futures(
+        static_cast<std::size_t>(cells));
     for (int c = 0; c < cells; ++c) {
-      futures.push_back(pool_->submit(
+      if (degraded[static_cast<std::size_t>(c)] != 0) continue;
+      futures[static_cast<std::size_t>(c)] = pool_->submit(
           [this, c, &cell_states]() {
             return cells_[static_cast<std::size_t>(c)]->decide(
                 cell_states[static_cast<std::size_t>(c)]);
-          }));
+          });
     }
     for (int c = 0; c < cells; ++c) {
       cell_decisions[static_cast<std::size_t>(c)] =
-          futures[static_cast<std::size_t>(c)].get();
+          degraded[static_cast<std::size_t>(c)] != 0
+              ? degraded_decision(c, cell_states[static_cast<std::size_t>(c)])
+              : futures[static_cast<std::size_t>(c)].get();
     }
   } else {
     for (int c = 0; c < cells; ++c) {
       cell_decisions[static_cast<std::size_t>(c)] =
-          cells_[static_cast<std::size_t>(c)]->decide(
-              cell_states[static_cast<std::size_t>(c)]);
+          degraded[static_cast<std::size_t>(c)] != 0
+              ? degraded_decision(c, cell_states[static_cast<std::size_t>(c)])
+              : cells_[static_cast<std::size_t>(c)]->decide(
+                    cell_states[static_cast<std::size_t>(c)]);
     }
   }
 
@@ -213,7 +234,62 @@ sim::SlotDecision CellScheduler::decide(const sim::SlotState& state) {
   for (const auto& move : moves) {
     merged.flows.push_back(sim::Flow{move.app, move.from, move.to, move.count});
   }
+
+  // 5. Watchdog bookkeeping, in fixed cell order after every solve joined.
+  //    The deltas come from the solver's deterministic counters, so the
+  //    trip/recover schedule is bit-identical at any cell_threads.
+  if (config_.watchdog.enabled) {
+    for (int c = 0; c < cells; ++c) {
+      if (degraded[static_cast<std::size_t>(c)] != 0) {
+        ++degraded_cell_slots_;
+        continue;
+      }
+      const std::int64_t pivots =
+          cells_[static_cast<std::size_t>(c)]->total_pivots();
+      const std::int64_t fallbacks =
+          cells_[static_cast<std::size_t>(c)]->fallback_count();
+      const bool overrun =
+          pivots - last_pivots_[static_cast<std::size_t>(c)] >
+              config_.watchdog.pivot_budget ||
+          fallbacks > last_fallbacks_[static_cast<std::size_t>(c)];
+      last_pivots_[static_cast<std::size_t>(c)] = pivots;
+      last_fallbacks_[static_cast<std::size_t>(c)] = fallbacks;
+      if (!overrun) {
+        strikes_[static_cast<std::size_t>(c)] = 0;
+        continue;
+      }
+      if (++strikes_[static_cast<std::size_t>(c)] >=
+          config_.watchdog.strike_threshold) {
+        degraded_until_[static_cast<std::size_t>(c)] =
+            state.slot + 1 + config_.watchdog.degraded_slots;
+        strikes_[static_cast<std::size_t>(c)] = 0;
+        ++watchdog_trips_;
+      }
+    }
+  }
   return merged;
+}
+
+sim::SlotDecision CellScheduler::degraded_decision(
+    int c, const sim::SlotState& cell_state) {
+  sim::SlotDecision decision =
+      greedy_cells_[static_cast<std::size_t>(c)]->decide(cell_state);
+  // GreedyLocal ignores the liveness mask (it predates faults), so mask down
+  // edges post-hoc: nothing served there, their demand is dropped. The
+  // baseline plans no flows, so this keeps conservation exact.
+  if (!cell_state.edge_up.empty()) {
+    for (int lk = 0; lk < decision.devices(); ++lk) {
+      if (cell_state.edge_up[static_cast<std::size_t>(lk)] != 0) continue;
+      for (int i = 0; i < decision.apps(); ++i) {
+        for (int j = 0; j < decision.max_variants(); ++j) {
+          decision.served(i, j, lk) = 0;
+          decision.kernel(i, j, lk) = 0;
+        }
+        decision.drops(i, lk) = cell_state.demand(i, lk);
+      }
+    }
+  }
+  return decision;
 }
 
 void CellScheduler::observe(const sim::SlotFeedback& feedback) {

@@ -41,9 +41,31 @@
 #include "birp/core/birp_scheduler.hpp"
 #include "birp/device/cluster.hpp"
 #include "birp/runtime/thread_pool.hpp"
+#include "birp/sched/greedy_local.hpp"
 #include "birp/sim/scheduler.hpp"
 
 namespace birp::cluster {
+
+/// Per-cell solve watchdog: degraded operation for cells whose MILP stops
+/// being real-time. A cell "overruns" a slot when its solve spends more than
+/// pivot_budget simplex pivots (the deterministic proxy for wall-clock: the
+/// solver is wave-deterministic, so the pivot count is a pure function of the
+/// inputs and never of thread timing) or lands in the greedy fallback.
+/// strike_threshold consecutive overruns trip the breaker: the cell serves
+/// its next degraded_slots slots with GreedyLocal (serve locally, most
+/// accurate model that fits, drop overflow, honoring the liveness mask),
+/// then the MILP is retried. Tripping never touches the cell's warm-start or
+/// estimator state, so recovery resumes where the cell left off.
+struct CellWatchdogConfig {
+  bool enabled = false;
+  /// Max simplex pivots one cell solve may spend before it counts as an
+  /// overrun.
+  std::int64_t pivot_budget = 200000;
+  /// Consecutive overruns before the cell is degraded.
+  int strike_threshold = 2;
+  /// Slots a tripped cell serves with GreedyLocal before retrying the MILP.
+  int degraded_slots = 8;
+};
 
 struct CellSchedulerConfig {
   /// Per-cell scheduler configuration (shared by every cell). See the
@@ -56,6 +78,8 @@ struct CellSchedulerConfig {
   int cell_threads = 0;
   /// Construct cells as BIRP-OFF (oracle TIR) instead of online BIRP.
   bool offline = false;
+  /// Degraded-operation watchdog (off by default).
+  CellWatchdogConfig watchdog;
   std::string name_override;
 };
 
@@ -83,11 +107,35 @@ class CellScheduler : public sim::Scheduler {
     return *cells_[static_cast<std::size_t>(c)];
   }
 
+  // --- Control-plane hooks (birp/cluster/control_plane) --------------------
+  /// Mutable access for scheduler-state handoff during live repartitioning.
+  [[nodiscard]] core::BirpScheduler& cell_mutable(int c) {
+    return *cells_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] InterCellBalancer& balancer_mutable() noexcept {
+    return balancer_;
+  }
+  /// Parent device index -> index within its cell.
+  [[nodiscard]] int local_index(int device) const {
+    return local_of_[static_cast<std::size_t>(device)];
+  }
+
+  /// Watchdog diagnostics: breaker trips and cell-slots served degraded.
+  [[nodiscard]] std::int64_t watchdog_trips() const noexcept {
+    return watchdog_trips_;
+  }
+  [[nodiscard]] std::int64_t degraded_cell_slots() const noexcept {
+    return degraded_cell_slots_;
+  }
+
  private:
   /// Restriction of a full-cluster decision to `members` (local indexing);
   /// keeps only flows with both endpoints inside the cell.
   [[nodiscard]] sim::SlotDecision restrict_decision(
       const sim::SlotDecision& full, const std::vector<int>& members) const;
+  /// One degraded (GreedyLocal) cell slot, with down edges masked post-hoc.
+  [[nodiscard]] sim::SlotDecision degraded_decision(
+      int c, const sim::SlotState& cell_state);
 
   const device::ClusterSpec& cluster_;
   Partition partition_;
@@ -97,12 +145,22 @@ class CellScheduler : public sim::Scheduler {
   /// ClusterSpec for its whole lifetime.
   std::vector<std::unique_ptr<device::ClusterSpec>> specs_;
   std::vector<std::unique_ptr<core::BirpScheduler>> cells_;
+  /// GreedyLocal twins for watchdog-degraded slots (stateless per slot).
+  std::vector<std::unique_ptr<sched::GreedyLocalScheduler>> greedy_cells_;
   InterCellBalancer balancer_;
   std::unique_ptr<runtime::ThreadPool> pool_;
   /// Per-decide scratch kept as members so the per-cell SlotState pointers
   /// (previous, hints) stay valid while cells solve on pool workers.
   std::vector<sim::SlotDecision> prev_scratch_;
   std::vector<sim::SchedulerHints> hints_scratch_;
+  // Watchdog state (all updated in fixed cell order after the solves join,
+  // from deterministic solver counters — bit-identical at any cell_threads).
+  std::vector<std::int64_t> last_pivots_;
+  std::vector<std::int64_t> last_fallbacks_;
+  std::vector<int> strikes_;
+  std::vector<int> degraded_until_;  ///< cell serves GreedyLocal while slot <
+  std::int64_t watchdog_trips_ = 0;
+  std::int64_t degraded_cell_slots_ = 0;
 };
 
 }  // namespace birp::cluster

@@ -1,0 +1,104 @@
+#include "birp/cluster/health.hpp"
+
+#include "birp/util/check.hpp"
+
+namespace birp::cluster {
+
+HealthTracker::HealthTracker(int edges, HealthConfig config)
+    : config_(config) {
+  util::check(edges >= 0, "HealthTracker: negative edge count");
+  util::check(config_.down_after_misses >= 1 && config_.up_after_beats >= 1,
+              "HealthTracker: hysteresis thresholds must be >= 1");
+  state_.assign(static_cast<std::size_t>(edges), EdgeHealth::kHealthy);
+  misses_.assign(static_cast<std::size_t>(edges), 0);
+  beats_.assign(static_cast<std::size_t>(edges), 0);
+  open_event_.assign(static_cast<std::size_t>(edges), -1);
+}
+
+void HealthTracker::observe(int slot, const std::vector<std::uint8_t>& up) {
+  util::check(up.empty() || up.size() == state_.size(),
+              "HealthTracker: liveness mask size mismatch");
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    const bool beat = up.empty() || up[k] != 0;
+    if (beat) {
+      misses_[k] = 0;
+      switch (state_[k]) {
+        case EdgeHealth::kHealthy:
+          break;
+        case EdgeHealth::kSuspect:
+          // Never declared down: the blip closes without a failure event.
+          state_[k] = EdgeHealth::kHealthy;
+          break;
+        case EdgeHealth::kDown:
+          state_[k] = EdgeHealth::kRecovering;
+          beats_[k] = 1;
+          if (beats_[k] >= config_.up_after_beats) {
+            state_[k] = EdgeHealth::kHealthy;
+            events_[static_cast<std::size_t>(open_event_[k])].recovered_slot =
+                slot;
+            open_event_[k] = -1;
+            ++declared_recoveries_;
+          }
+          break;
+        case EdgeHealth::kRecovering:
+          ++beats_[k];
+          if (beats_[k] >= config_.up_after_beats) {
+            state_[k] = EdgeHealth::kHealthy;
+            events_[static_cast<std::size_t>(open_event_[k])].recovered_slot =
+                slot;
+            open_event_[k] = -1;
+            ++declared_recoveries_;
+          }
+          break;
+      }
+    } else {
+      beats_[k] = 0;
+      switch (state_[k]) {
+        case EdgeHealth::kHealthy:
+          state_[k] = EdgeHealth::kSuspect;
+          misses_[k] = 1;
+          if (misses_[k] >= config_.down_after_misses) {
+            state_[k] = EdgeHealth::kDown;
+            open_event_[k] = static_cast<int>(events_.size());
+            events_.push_back({static_cast<int>(k), slot, slot, -1});
+            ++declared_downs_;
+          }
+          break;
+        case EdgeHealth::kSuspect:
+          ++misses_[k];
+          if (misses_[k] >= config_.down_after_misses) {
+            state_[k] = EdgeHealth::kDown;
+            open_event_[k] = static_cast<int>(events_.size());
+            events_.push_back(
+                {static_cast<int>(k), slot - misses_[k] + 1, slot, -1});
+            ++declared_downs_;
+          }
+          break;
+        case EdgeHealth::kDown:
+          break;
+        case EdgeHealth::kRecovering:
+          // Relapse: same outage, same open event — no new record.
+          state_[k] = EdgeHealth::kDown;
+          break;
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> HealthTracker::live_mask() const {
+  std::vector<std::uint8_t> mask(state_.size(), 1);
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    if (state_[k] == EdgeHealth::kDown) mask[k] = 0;
+  }
+  return mask;
+}
+
+int HealthTracker::live_count() const {
+  int live = 0;
+  for (const EdgeHealth s : state_) {
+    if (s != EdgeHealth::kDown) ++live;
+  }
+  return live;
+}
+
+}  // namespace birp::cluster

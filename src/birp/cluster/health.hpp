@@ -1,0 +1,102 @@
+// Per-edge health tracking for the self-healing control plane.
+//
+// The tracker consumes the per-slot liveness mask (the heartbeat view the
+// runtime already hands schedulers via SlotState::edge_up) and turns the raw
+// up/down signal into a *debounced* health verdict with hysteresis:
+//
+//   Healthy --miss--> Suspect --(down_after_misses consecutive)--> Down
+//   Down --beat--> Recovering --(up_after_beats consecutive)--> Healthy
+//
+// A single missed heartbeat never declares an edge dead, and a single beat
+// never declares it recovered, so flapping edges cannot thrash the
+// repartitioner. The debounced view drives *topology decisions only*
+// (repartitioning, MTTR accounting); the instantaneous mask still hard-masks
+// the slot MILP, so correctness never waits on the detector.
+//
+// Every Healthy -> Down transition opens a FailureEvent recording the first
+// missed slot, and the matching Recovering -> Healthy transition closes it —
+// MTTR per failure event is (recovered - first_miss) slots. A relapse during
+// Recovering folds back into the same open event (it is the same outage).
+//
+// All state is straight-line per-edge arithmetic in a fixed order:
+// deterministic at any thread count by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace birp::cluster {
+
+enum class EdgeHealth {
+  kHealthy,     ///< beating normally
+  kSuspect,     ///< missed beats, not yet declared down
+  kDown,        ///< declared down (debounced)
+  kRecovering,  ///< beating again, not yet declared healthy
+};
+
+struct HealthConfig {
+  /// Consecutive missed heartbeats before an edge is declared Down.
+  int down_after_misses = 3;
+  /// Consecutive heartbeats before a Down edge is declared Healthy again.
+  int up_after_beats = 2;
+};
+
+/// One debounced outage: opened when the edge is declared Down, closed when
+/// it is declared Healthy again. Open events have recovered_slot == -1.
+struct FailureEvent {
+  int edge = 0;
+  int first_miss_slot = 0;     ///< first consecutive missed heartbeat
+  int declared_down_slot = 0;  ///< slot the detector fired
+  int recovered_slot = -1;     ///< slot the edge was declared healthy; -1 open
+
+  [[nodiscard]] bool closed() const noexcept { return recovered_slot >= 0; }
+  /// Mean time to recovery in slots (first miss -> declared healthy).
+  [[nodiscard]] int mttr_slots() const noexcept {
+    return recovered_slot - first_miss_slot;
+  }
+};
+
+class HealthTracker {
+ public:
+  HealthTracker(int edges, HealthConfig config = {});
+
+  /// Consumes one slot's heartbeat view. `up` empty means every edge beat.
+  void observe(int slot, const std::vector<std::uint8_t>& up);
+
+  [[nodiscard]] EdgeHealth state(int edge) const {
+    return state_[static_cast<std::size_t>(edge)];
+  }
+  /// Control-plane liveness: everything not declared Down.
+  [[nodiscard]] bool is_live(int edge) const {
+    return state(edge) != EdgeHealth::kDown;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> live_mask() const;
+  [[nodiscard]] int live_count() const;
+  [[nodiscard]] int edges() const noexcept {
+    return static_cast<int>(state_.size());
+  }
+
+  /// All failure events in open order (closed and still-open).
+  [[nodiscard]] const std::vector<FailureEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Debounced transitions this tracker has declared (diagnostics).
+  [[nodiscard]] std::int64_t declared_downs() const noexcept {
+    return declared_downs_;
+  }
+  [[nodiscard]] std::int64_t declared_recoveries() const noexcept {
+    return declared_recoveries_;
+  }
+
+ private:
+  HealthConfig config_;
+  std::vector<EdgeHealth> state_;
+  std::vector<int> misses_;      ///< consecutive missed heartbeats
+  std::vector<int> beats_;       ///< consecutive heartbeats
+  std::vector<int> open_event_;  ///< index into events_ while Down/Recovering
+  std::vector<FailureEvent> events_;
+  std::int64_t declared_downs_ = 0;
+  std::int64_t declared_recoveries_ = 0;
+};
+
+}  // namespace birp::cluster

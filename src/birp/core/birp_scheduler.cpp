@@ -45,6 +45,39 @@ device::TirParams BirpScheduler::believed_tir(int device, int app,
       slot_);
 }
 
+std::vector<TirEstimator> BirpScheduler::export_device_estimators(
+    int device) const {
+  if (!config_.online) return {};
+  util::check(device >= 0 && device < cluster_.num_devices(),
+              "BirpScheduler: export device out of range");
+  const std::size_t per_device =
+      static_cast<std::size_t>(cluster_.num_apps()) *
+      static_cast<std::size_t>(cluster_.zoo().max_variants());
+  const std::size_t base = estimator_index(device, 0, 0);
+  return {estimators_.begin() + static_cast<std::ptrdiff_t>(base),
+          estimators_.begin() + static_cast<std::ptrdiff_t>(base + per_device)};
+}
+
+void BirpScheduler::import_device_estimators(
+    int device, const std::vector<TirEstimator>& state) {
+  if (!config_.online || state.empty()) return;
+  util::check(device >= 0 && device < cluster_.num_devices(),
+              "BirpScheduler: import device out of range");
+  const std::size_t per_device =
+      static_cast<std::size_t>(cluster_.num_apps()) *
+      static_cast<std::size_t>(cluster_.zoo().max_variants());
+  util::check(state.size() == per_device,
+              "BirpScheduler: imported estimator slice has the wrong shape");
+  std::copy(state.begin(), state.end(),
+            estimators_.begin() +
+                static_cast<std::ptrdiff_t>(estimator_index(device, 0, 0)));
+}
+
+void BirpScheduler::invalidate_warm_start() {
+  prev_basis_ = solver::Basis{};
+  prev_values_.clear();
+}
+
 sim::SlotDecision BirpScheduler::decide(const sim::SlotState& state) {
   slot_ = state.slot;
   const TirLookup lookup = [this](int k, int i, int j) {

@@ -74,6 +74,23 @@ class BirpScheduler : public sim::Scheduler {
   [[nodiscard]] device::TirParams believed_tir(int device, int app,
                                                int variant) const;
 
+  // --- Scheduler-state handoff (live repartitioning, birp/cluster) ---------
+  /// All of one device's TIR/MAB estimator state, in [app][variant] order.
+  /// Empty in offline mode (oracle beliefs carry no state).
+  [[nodiscard]] std::vector<TirEstimator> export_device_estimators(
+      int device) const;
+  /// Installs previously exported estimator state for `device`. No-op in
+  /// offline mode or when `state` is empty; the slice size must match.
+  void import_device_estimators(int device,
+                                const std::vector<TirEstimator>& state);
+  /// Drops the cross-slot warm-start basis and seed decision. Called after a
+  /// handoff: the carried state describes a different subcluster, so reusing
+  /// it would be wrong (the next solve starts cold, which is merely slower).
+  void invalidate_warm_start();
+  /// Sets the MAB slot clock (confidence-bound widths grow with ln(t)), so
+  /// imported estimators keep aging on the global clock after a handoff.
+  void set_slot(int slot) noexcept { slot_ = slot; }
+
   /// Cumulative solver diagnostics.
   [[nodiscard]] std::int64_t total_nodes() const noexcept {
     return total_nodes_;

@@ -22,6 +22,7 @@ FaultKind kind_from_string(std::string_view text) {
   if (text == "down") return FaultKind::kDown;
   if (text == "bandwidth") return FaultKind::kBandwidth;
   if (text == "straggler") return FaultKind::kStraggler;
+  if (text == "up") return FaultKind::kUp;
   util::check(false, "FaultPlan: unknown fault kind in CSV");
   return FaultKind::kDown;
 }
@@ -53,6 +54,8 @@ std::string_view to_string(FaultKind kind) {
       return "bandwidth";
     case FaultKind::kStraggler:
       return "straggler";
+    case FaultKind::kUp:
+      return "up";
   }
   return "down";
 }
@@ -63,6 +66,7 @@ void FaultPlan::add(const FaultEvent& event) {
               "FaultPlan: event interval must satisfy 0 <= from < to");
   switch (event.kind) {
     case FaultKind::kDown:
+    case FaultKind::kUp:
       break;
     case FaultKind::kBandwidth:
       util::check(event.factor > 0.0 && event.factor <= 1.0,
@@ -90,11 +94,18 @@ void FaultPlan::add_straggler(int device, int from_slot, int to_slot,
   add({FaultKind::kStraggler, device, from_slot, to_slot, factor});
 }
 
+void FaultPlan::add_up(int device, int from_slot, int to_slot) {
+  add({FaultKind::kUp, device, from_slot, to_slot, 1.0});
+}
+
 bool FaultPlan::is_down(int device, int slot) const noexcept {
+  bool down = false;
   for (const FaultEvent& e : events_) {
-    if (e.kind == FaultKind::kDown && covers(e, device, slot)) return true;
+    if (!covers(e, device, slot)) continue;
+    if (e.kind == FaultKind::kUp) return false;  // forced recovery wins
+    if (e.kind == FaultKind::kDown) down = true;
   }
-  return false;
+  return down;
 }
 
 double FaultPlan::bandwidth_factor(int device, int slot) const noexcept {
@@ -196,13 +207,100 @@ FaultPlan FaultPlan::generate(const FaultPlanOptions& options) {
   return plan;
 }
 
+FaultPlan FaultPlan::generate_correlated(
+    const CorrelatedFailureOptions& options) {
+  util::check(options.slots >= 0 && options.devices >= 0,
+              "FaultPlan: negative horizon or device count");
+  util::check(options.group_size >= 1, "FaultPlan: group_size must be >= 1");
+  util::check(options.group_fraction > 0.0 && options.group_fraction <= 1.0,
+              "FaultPlan: group_fraction must be in (0, 1]");
+  util::check(options.cascade_bandwidth_factor > 0.0 &&
+                  options.cascade_bandwidth_factor <= 1.0,
+              "FaultPlan: cascade factor must be in (0, 1]");
+  util::check(options.rescue_fraction >= 0.0 && options.rescue_fraction <= 1.0,
+              "FaultPlan: rescue_fraction must be in [0, 1]");
+  util::check(options.min_outage_slots >= 1 &&
+                  options.max_outage_slots >= options.min_outage_slots,
+              "FaultPlan: outage bounds must satisfy 1 <= min <= max");
+
+  FaultPlan plan;
+  if (options.devices == 0 || options.slots == 0) return plan;
+  const int group = std::min(options.group_size, options.devices);
+  const int racks = (options.devices + group - 1) / group;
+
+  util::Xoshiro256StarStar rng(options.seed);
+  int incident = 0;
+  int next_allowed = 0;
+  for (int t = 0; t < options.slots; ++t) {
+    if (t < next_allowed || !rng.bernoulli(options.storm_rate)) continue;
+
+    // One rack is struck; a seeded subset of its members goes down together.
+    const int rack = static_cast<int>(rng.uniform_int(0, racks - 1));
+    const int first = rack * group;
+    const int size = std::min(group, options.devices - first);
+    std::vector<int> members(static_cast<std::size_t>(size));
+    for (int m = 0; m < size; ++m) members[static_cast<std::size_t>(m)] = first + m;
+    rng.shuffle(members);
+    const int victims = std::max(
+        1, static_cast<int>(options.group_fraction * static_cast<double>(size)));
+    const int length = static_cast<int>(rng.uniform_int(
+        options.min_outage_slots, options.max_outage_slots));
+
+    for (int v = 0; v < victims; ++v) {
+      const int device = members[static_cast<std::size_t>(v)];
+      // Recovery wave: the v-th victim stays down v * stagger slots longer.
+      const int until = std::min(
+          options.slots, t + length + v * options.recovery_stagger_slots);
+      if (until <= t) continue;
+      plan.add({FaultKind::kDown, device, t, until, 1.0, incident});
+      if (options.rescue_fraction > 0.0 &&
+          rng.bernoulli(options.rescue_fraction) && until - t >= 4) {
+        // Transient mid-outage recovery followed by relapse (a flap): up for
+        // the third quarter of the outage window.
+        const int rescue_from = t + (until - t) / 2;
+        const int rescue_to = t + 3 * (until - t) / 4;
+        if (rescue_to > rescue_from) {
+          plan.add({FaultKind::kUp, device, rescue_from, rescue_to, 1.0,
+                    incident});
+        }
+      }
+    }
+    // Cascading bandwidth collapse on the struck rack's survivors: the storm
+    // saturates the shared uplink while traffic reroutes.
+    if (options.cascade_bandwidth_factor < 1.0) {
+      for (int v = victims; v < size; ++v) {
+        const int device = members[static_cast<std::size_t>(v)];
+        const int until = std::min(options.slots, t + length);
+        if (until <= t) continue;
+        plan.add({FaultKind::kBandwidth, device, t, until,
+                  options.cascade_bandwidth_factor, incident});
+      }
+    }
+    ++incident;
+    next_allowed = t + length + options.cooldown_slots;
+  }
+  return plan;
+}
+
+int FaultPlan::num_incidents() const {
+  std::vector<int> seen;
+  for (const FaultEvent& e : events_) {
+    if (e.root_cause < 0) continue;
+    if (std::find(seen.begin(), seen.end(), e.root_cause) == seen.end()) {
+      seen.push_back(e.root_cause);
+    }
+  }
+  return static_cast<int>(seen.size());
+}
+
 void FaultPlan::write_csv(std::ostream& out) const {
   util::CsvWriter writer(out);
-  writer.row({"kind", "device", "from_slot", "to_slot", "factor"});
+  writer.row({"kind", "device", "from_slot", "to_slot", "factor",
+              "root_cause"});
   for (const FaultEvent& e : events_) {
     writer.row({to_string(e.kind), std::to_string(e.device),
                 std::to_string(e.from_slot), std::to_string(e.to_slot),
-                util::format_double(e.factor)});
+                util::format_double(e.factor), std::to_string(e.root_cause)});
   }
 }
 
@@ -212,13 +310,15 @@ FaultPlan FaultPlan::from_csv(std::string_view text) {
   FaultPlan plan;
   for (std::size_t r = 1; r < rows.size(); ++r) {
     const auto& row = rows[r];
-    util::check(row.size() == 5, "FaultPlan: CSV row must have 5 fields");
+    util::check(row.size() == 5 || row.size() == 6,
+                "FaultPlan: CSV row must have 5 or 6 fields");
     FaultEvent event;
     event.kind = kind_from_string(row[0]);
     event.device = parse_int(row[1]);
     event.from_slot = parse_int(row[2]);
     event.to_slot = parse_int(row[3]);
     event.factor = parse_double(row[4]);
+    if (row.size() == 6) event.root_cause = parse_int(row[5]);
     plan.add(event);
   }
   return plan;

@@ -10,6 +10,18 @@
 //                   `factor` in (0, 1] for the interval (degradation).
 //   * kStraggler  — batch completion times on the device are multiplied by
 //                   `factor` >= 1 for the interval (slow node).
+//   * kUp         — forced recovery: during [from_slot, to_slot) the device is
+//                   up even where kDown intervals cover it. Outages punched
+//                   through by kUp model operator intervention and transient
+//                   recoveries (an edge that comes back mid-outage and
+//                   relapses — the flapping input the control plane's
+//                   hysteresis exists for).
+//
+// Correlated failures: events carry an optional root_cause id (-1 = none), so
+// a rack-style storm that downs a whole device group is one labeled incident
+// rather than coincidental independent outages. generate_correlated() builds
+// seeded storms — grouped edge-down with a shared root cause, staggered
+// recovery waves, and cascading bandwidth collapse on the survivors.
 //
 // Plans are pure data: the runtime (sim::Simulator / serve::ServeEngine)
 // applies the observable effects, while schedulers only ever see the
@@ -31,6 +43,7 @@ enum class FaultKind {
   kDown,
   kBandwidth,
   kStraggler,
+  kUp,
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -41,8 +54,10 @@ struct FaultEvent {
   int from_slot = 0;  ///< inclusive
   int to_slot = 0;    ///< exclusive
   /// kBandwidth: multiplier in (0, 1]; kStraggler: multiplier >= 1;
-  /// ignored for kDown.
+  /// ignored for kDown and kUp.
   double factor = 1.0;
+  /// Shared incident label for correlated failures (-1 = uncorrelated).
+  int root_cause = -1;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -69,6 +84,36 @@ struct FaultPlanOptions {
   int max_straggler_slots = 60;
 };
 
+/// Seeded correlated-failure storms: devices are grouped into racks of
+/// `group_size` consecutive ids; a storm takes down a seeded fraction of one
+/// rack at once (shared root_cause id), recovery arrives as a staggered wave,
+/// and the surviving rack-mates suffer a bandwidth collapse for the storm's
+/// duration. Optionally a seeded fraction of victims flap: a transient kUp
+/// rescue window mid-outage followed by relapse — the hysteresis stressor.
+struct CorrelatedFailureOptions {
+  int slots = 0;
+  int devices = 0;
+  std::uint64_t seed = 0xc0a5e;
+  /// Rack size (consecutive device ids share a rack); clamped to devices.
+  int group_size = 8;
+  /// Per-slot probability (outside cooldown) that a storm starts.
+  double storm_rate = 0.02;
+  /// Fraction of the struck rack taken down (at least one device).
+  double group_fraction = 1.0;
+  int min_outage_slots = 8;
+  int max_outage_slots = 24;
+  /// Successive victims recover this many slots apart (recovery wave).
+  int recovery_stagger_slots = 2;
+  /// Bandwidth multiplier applied to the struck rack's surviving members for
+  /// the storm interval; 1 disables the cascade.
+  double cascade_bandwidth_factor = 0.5;
+  /// Fraction of victims that transiently recover mid-outage (kUp window in
+  /// the middle half of their outage) and then relapse. 0 disables.
+  double rescue_fraction = 0.0;
+  /// Minimum slots between storm starts.
+  int cooldown_slots = 12;
+};
+
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -85,8 +130,11 @@ class FaultPlan {
   void add_down(int device, int from_slot, int to_slot);
   void add_bandwidth(int device, int from_slot, int to_slot, double factor);
   void add_straggler(int device, int from_slot, int to_slot, double factor);
+  /// Forced recovery: overrides kDown coverage on [from_slot, to_slot).
+  void add_up(int device, int from_slot, int to_slot);
 
-  /// Device is offline during `slot`.
+  /// Device is offline during `slot`: covered by a kDown interval and not
+  /// rescued by a kUp interval.
   [[nodiscard]] bool is_down(int device, int slot) const noexcept;
   /// Effective bandwidth multiplier at `slot` (overlapping events combine
   /// multiplicatively, floored at 0.01).
@@ -112,8 +160,15 @@ class FaultPlan {
                                                     int to_slot, double factor);
   /// Seeded random plan; same options -> same plan.
   [[nodiscard]] static FaultPlan generate(const FaultPlanOptions& options);
+  /// Seeded correlated-failure storms; same options -> same plan.
+  [[nodiscard]] static FaultPlan generate_correlated(
+      const CorrelatedFailureOptions& options);
 
-  /// CSV round-trip: header "kind,device,from_slot,to_slot,factor".
+  /// Distinct root-cause ids present in the plan (>= 0 only).
+  [[nodiscard]] int num_incidents() const;
+
+  /// CSV round-trip: header "kind,device,from_slot,to_slot,factor,root_cause".
+  /// from_csv also accepts the legacy 5-column layout (root_cause = -1).
   void write_csv(std::ostream& out) const;
   [[nodiscard]] static FaultPlan from_csv(std::string_view text);
 

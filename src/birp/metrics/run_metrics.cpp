@@ -80,6 +80,18 @@ std::int64_t RunMetrics::total_batches() const noexcept {
 
 void RunMetrics::record_retries(std::int64_t count) { retries_ += count; }
 
+void RunMetrics::record_failure_event(int mttr_slots) {
+  ++failure_events_;
+  mttr_slots_.add(static_cast<double>(mttr_slots));
+}
+
+void RunMetrics::record_repartition(double latency_ms,
+                                    std::int64_t requests_at_risk) {
+  ++repartitions_;
+  repartition_latency_ms_.add(latency_ms);
+  requests_at_risk_ += requests_at_risk;
+}
+
 void RunMetrics::record_edge_slot(int edge, bool up) {
   if (edge < 0) return;
   const auto index = static_cast<std::size_t>(edge);
@@ -176,6 +188,11 @@ void RunMetrics::merge(const RunMetrics& other) {
   max_degradation_level_ =
       std::max(max_degradation_level_, other.max_degradation_level_);
   solver_fallbacks_ += other.solver_fallbacks_;
+  failure_events_ += other.failure_events_;
+  mttr_slots_.merge(other.mttr_slots_);
+  repartitions_ += other.repartitions_;
+  repartition_latency_ms_.merge(other.repartition_latency_ms_);
+  requests_at_risk_ += other.requests_at_risk_;
 
   if (batch_seals_.size() < other.batch_seals_.size()) {
     batch_seals_.resize(other.batch_seals_.size(), 0);

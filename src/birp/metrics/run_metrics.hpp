@@ -60,6 +60,15 @@ class RunMetrics {
   /// attribution and cluster availability).
   void record_edge_slot(int edge, bool up);
 
+  /// Records one debounced failure event's recovery time in slots (first
+  /// missed heartbeat -> declared healthy), from the control plane's health
+  /// tracker. mean/max of mttr_slots() are the run's MTTR statistics.
+  void record_failure_event(int mttr_slots);
+  /// Records one live repartition: control-plane planning + state-handoff
+  /// latency (wall clock, measurement only) and the slot demand at edges
+  /// whose cell assignment changed (requests at risk during the handoff).
+  void record_repartition(double latency_ms, std::int64_t requests_at_risk);
+
   /// Records the wait breakdown of one served request (units of tau):
   /// batch-formation wait, dispatch wait (accelerator contention), and
   /// execution latency. Companion to record_request for the serve engine.
@@ -152,6 +161,28 @@ class RunMetrics {
     return solver_fallbacks_;
   }
 
+  /// Closed (recovered) failure events recorded by the control plane.
+  [[nodiscard]] std::int64_t failure_events() const noexcept {
+    return failure_events_;
+  }
+  /// Recovery-time samples, one per closed failure event (slots); mean() is
+  /// the run's MTTR.
+  [[nodiscard]] const util::RunningStats& mttr_slots() const noexcept {
+    return mttr_slots_;
+  }
+  /// Live repartitions performed by the control plane.
+  [[nodiscard]] std::int64_t repartitions() const noexcept {
+    return repartitions_;
+  }
+  [[nodiscard]] const util::RunningStats& repartition_latency_ms()
+      const noexcept {
+    return repartition_latency_ms_;
+  }
+  /// Total slot demand at edges whose cell changed across all repartitions.
+  [[nodiscard]] std::int64_t requests_at_risk() const noexcept {
+    return requests_at_risk_;
+  }
+
   /// Down slots recorded for `edge` (0 for edges never sampled).
   [[nodiscard]] std::int64_t downtime_slots(int edge) const noexcept;
   /// Edges with at least one liveness sample.
@@ -242,6 +273,11 @@ class RunMetrics {
   std::int64_t degraded_slots_ = 0;
   int max_degradation_level_ = 0;
   std::int64_t solver_fallbacks_ = 0;
+  std::int64_t failure_events_ = 0;
+  util::RunningStats mttr_slots_;
+  std::int64_t repartitions_ = 0;
+  util::RunningStats repartition_latency_ms_;
+  std::int64_t requests_at_risk_ = 0;
   /// Per-reason sealed-launch counts; grown on first out-of-range reason.
   std::vector<std::int64_t> batch_seals_;
   /// Per-edge (up, down) slot counts; grown on first sample of each edge.

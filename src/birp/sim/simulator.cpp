@@ -380,11 +380,7 @@ SlotResult Simulator::step(Scheduler& scheduler, metrics::RunMetrics* metrics) {
   return result;
 }
 
-metrics::RunMetrics Simulator::run(Scheduler& scheduler, int max_slots) {
-  const int horizon = max_slots > 0 ? std::min(max_slots, trace_.slots())
-                                    : trace_.slots();
-  metrics::RunMetrics metrics(horizon);
-  while (slot_ < horizon) step(scheduler, &metrics);
+void Simulator::finish(Scheduler& scheduler, metrics::RunMetrics& metrics) {
   if (config_.carryover_unserved) {
     // Flush: requests still deferred at the horizon never get their retry.
     for (int i = 0; i < cluster_.num_apps(); ++i) {
@@ -402,6 +398,14 @@ metrics::RunMetrics Simulator::run(Scheduler& scheduler, int max_slots) {
     metrics.record_orphan_drop();
   }
   metrics.set_solver_fallbacks(scheduler.fallback_count());
+}
+
+metrics::RunMetrics Simulator::run(Scheduler& scheduler, int max_slots) {
+  const int horizon = max_slots > 0 ? std::min(max_slots, trace_.slots())
+                                    : trace_.slots();
+  metrics::RunMetrics metrics(horizon);
+  while (slot_ < horizon) step(scheduler, &metrics);
+  finish(scheduler, metrics);
   return metrics;
 }
 

@@ -75,6 +75,13 @@ class Simulator {
   /// (previous-decision tracking). Used by tests and the ablations.
   SlotResult step(Scheduler& scheduler, metrics::RunMetrics* metrics = nullptr);
 
+  /// Flushes terminal state into `metrics`: carryover requests that never got
+  /// their retry, failover orphans still awaiting re-admission (both terminal
+  /// drops), and the scheduler's fallback count. run() calls this at the
+  /// horizon; harnesses driving step() themselves must call it once after the
+  /// last step for exact request conservation.
+  void finish(Scheduler& scheduler, metrics::RunMetrics& metrics);
+
   /// Slots executed so far.
   [[nodiscard]] int current_slot() const noexcept { return slot_; }
 

@@ -50,6 +50,16 @@ Trace generate(const device::ClusterSpec& cluster,
   std::vector<double> phase(static_cast<std::size_t>(K));
   for (double& p : phase) p = rng.uniform(0.0, 1.0);
 
+  if (config.flash_start >= 0) {
+    util::check(config.flash_duration > 0,
+                "generate: flash_duration must be positive");
+    util::check(config.flash_edge_fraction > 0.0 &&
+                    config.flash_edge_fraction <= 1.0,
+                "generate: flash_edge_fraction must be in (0, 1]");
+    util::check(config.flash_scale >= 0.0,
+                "generate: flash_scale must be >= 0");
+  }
+
   for (int t = 0; t < config.slots; ++t) {
     for (int k = 0; k < K; ++k) {
       const double day_pos =
@@ -66,6 +76,39 @@ Trace generate(const device::ClusterSpec& cluster,
                             share[static_cast<std::size_t>(i)] * diurnal *
                             burst_mult;
         trace.set(t, i, k, rng.poisson(mean));
+      }
+    }
+  }
+
+  // Flash-crowd overlay: additive extra arrivals from a dedicated RNG
+  // stream, so disabling it leaves every base draw (and thus the whole
+  // trace) byte-identical.
+  if (config.flash_start >= 0 && config.flash_scale > 0.0) {
+    util::Xoshiro256StarStar crowd_rng(config.seed ^ 0xf1a5'c0d5ULL);
+    std::vector<int> edges(static_cast<std::size_t>(K));
+    for (int k = 0; k < K; ++k) edges[static_cast<std::size_t>(k)] = k;
+    crowd_rng.shuffle(edges);
+    const int hit = std::max(
+        1, static_cast<int>(config.flash_edge_fraction *
+                            static_cast<double>(K)));
+    const int from = std::max(0, config.flash_start);
+    const int to = std::min(config.slots,
+                            config.flash_start + config.flash_duration);
+    for (int t = from; t < to; ++t) {
+      // Triangular envelope: ramp to flash_scale mid-crowd, back to zero.
+      const double pos = (static_cast<double>(t - config.flash_start) + 0.5) /
+                         static_cast<double>(config.flash_duration);
+      const double envelope = 1.0 - std::abs(2.0 * pos - 1.0);
+      for (int e = 0; e < hit; ++e) {
+        const int k = edges[static_cast<std::size_t>(e)];
+        for (int i = 0; i < I; ++i) {
+          const double extra_mean = config.mean_per_edge *
+                                    share[static_cast<std::size_t>(i)] *
+                                    config.flash_scale * envelope;
+          if (extra_mean <= 0.0) continue;
+          trace.set(t, i, k,
+                    trace.at(t, i, k) + crowd_rng.poisson(extra_mean));
+        }
       }
     }
   }

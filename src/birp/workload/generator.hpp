@@ -25,6 +25,18 @@ struct GeneratorConfig {
   double burst_probability = 0.05;  ///< per-(slot, edge) burst chance
   double burst_scale = 1.5;         ///< burst intensity multiplier
   std::uint64_t seed = 0x77ace;
+
+  // Optional flash-crowd overlay (chaos-harness stressor): one regional
+  // demand spike layered additively on the base trace. A seeded subset of
+  // edges receives extra Poisson arrivals that ramp up and back down over
+  // [flash_start, flash_start + flash_duration) with a triangular envelope
+  // peaking at flash_scale x the slot mean. The overlay draws from its own
+  // RNG stream, so flash_start = -1 (disabled) leaves the base trace
+  // byte-identical.
+  int flash_start = -1;               ///< first slot of the crowd; -1 disables
+  int flash_duration = 12;            ///< slots the crowd lasts
+  double flash_scale = 2.0;           ///< peak extra mean / base mean
+  double flash_edge_fraction = 0.35;  ///< seeded fraction of edges hit
 };
 
 /// Generates a trace for `cluster`'s dimensions.

@@ -18,6 +18,7 @@
 #include "birp/serve/engine.hpp"
 #include "birp/sim/simulator.hpp"
 #include "birp/sim/validate.hpp"
+#include "birp/util/rng.hpp"
 #include "birp/workload/generator.hpp"
 #include "birp/workload/topology.hpp"
 
@@ -309,6 +310,60 @@ TEST_F(BalancerFixture, DisabledPlansNothing) {
   bc.enabled = false;
   InterCellBalancer balancer(cluster_, bc, partition_.cells());
   EXPECT_TRUE(balancer.plan(skewed_state(0, 50), partition_).empty());
+}
+
+TEST_F(BalancerFixture, PropertyMovesRespectLivenessUnderMassFailure) {
+  // Seeded property sweep: under arbitrary mass edge-down masks (up to half
+  // the cluster at once) every planned move stays on live edges and within
+  // the donor's demand. Exercises the storm regime the control plane sees
+  // between a failure and the next repartition.
+  BalancerConfig bc;
+  bc.pressure_margin = 0.0;
+  bc.move_fraction = 0.5;
+  util::Xoshiro256StarStar rng(0xdead5eedULL);
+  const int K = cluster_.num_devices();
+  for (int trial = 0; trial < 48; ++trial) {
+    InterCellBalancer balancer(cluster_, bc, partition_.cells());
+    auto state = skewed_state(trial % partition_.cells(), 60);
+    state.edge_up.assign(static_cast<std::size_t>(K), 1);
+    for (int k = 0; k < K; ++k) {
+      if (rng.bernoulli(0.5)) state.edge_up[static_cast<std::size_t>(k)] = 0;
+    }
+    const auto moves = balancer.plan(state, partition_);
+    for (const auto& move : moves) {
+      EXPECT_TRUE(state.is_up(move.from))
+          << "trial " << trial << ": donated from down edge " << move.from;
+      EXPECT_TRUE(state.is_up(move.to))
+          << "trial " << trial << ": imported at down edge " << move.to;
+      EXPECT_GT(move.count, 0);
+      EXPECT_LE(move.count, state.demand(move.app, move.from));
+    }
+  }
+}
+
+TEST_F(BalancerFixture, FullyDownCellNeitherDonatesNorReceives) {
+  // Kill every member of two cells outright: no move may originate in or
+  // land on either, however empty (and thus "cold") they look. The hot cell
+  // stays live so moves are actually planned.
+  BalancerConfig bc;
+  bc.pressure_margin = 0.0;
+  bc.move_fraction = 0.5;
+  InterCellBalancer balancer(cluster_, bc, partition_.cells());
+  auto state = skewed_state(/*hot=*/2, /*load=*/80);
+  state.edge_up.assign(static_cast<std::size_t>(cluster_.num_devices()), 1);
+  for (const int c : {0, 1}) {
+    for (const int k : partition_.members[static_cast<std::size_t>(c)]) {
+      state.edge_up[static_cast<std::size_t>(k)] = 0;
+    }
+  }
+  const auto moves = balancer.plan(state, partition_);
+  ASSERT_FALSE(moves.empty());
+  for (const auto& move : moves) {
+    const int from_cell = partition_.cell_of[static_cast<std::size_t>(move.from)];
+    const int to_cell = partition_.cell_of[static_cast<std::size_t>(move.to)];
+    EXPECT_GT(from_cell, 1);
+    EXPECT_GT(to_cell, 1);
+  }
 }
 
 // -------------------------------------------------------- cell scheduler ----

@@ -178,6 +178,97 @@ TEST(FaultPlan, CanonicalScenarios) {
   EXPECT_EQ(degraded.down_slots(2, 50), 0);
 }
 
+TEST(FaultPlan, UpRescuePunchesThroughDown) {
+  FaultPlan plan;
+  plan.add_down(0, 10, 20);
+  plan.add_up(0, 14, 16);  // transient recovery mid-outage
+  EXPECT_TRUE(plan.is_down(0, 13));
+  EXPECT_FALSE(plan.is_down(0, 14));
+  EXPECT_FALSE(plan.is_down(0, 15));
+  EXPECT_TRUE(plan.is_down(0, 16));  // relapse: the outage resumes
+  EXPECT_TRUE(plan.is_down(0, 19));
+  EXPECT_FALSE(plan.is_down(0, 20));
+  // The rescue window is interval-scoped: it cannot mask a later outage.
+  plan.add_down(0, 30, 35);
+  EXPECT_TRUE(plan.is_down(0, 32));
+  // Rescued slots count as up in the mask and the downtime tally.
+  EXPECT_EQ(plan.up_mask(1, 15)[0], 1);
+  EXPECT_EQ(plan.up_mask(1, 17)[0], 0);
+  EXPECT_EQ(plan.down_slots(0, 40), 8 + 5);
+}
+
+TEST(FaultPlan, RootCauseLabelsCountIncidents) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.num_incidents(), 0);
+  plan.add(FaultEvent{FaultKind::kDown, 0, 5, 15, 1.0, /*root_cause=*/7});
+  plan.add(FaultEvent{FaultKind::kDown, 1, 5, 18, 1.0, /*root_cause=*/7});
+  plan.add(FaultEvent{FaultKind::kBandwidth, 2, 5, 15, 0.5, /*root_cause=*/7});
+  plan.add(FaultEvent{FaultKind::kDown, 3, 40, 50, 1.0, /*root_cause=*/9});
+  plan.add_down(4, 60, 65);  // uncorrelated: root_cause = -1
+  EXPECT_EQ(plan.num_incidents(), 2);
+}
+
+TEST(FaultPlan, GenerateCorrelatedIsDeterministicAndLabeled) {
+  CorrelatedFailureOptions options;
+  options.slots = 200;
+  options.devices = 24;
+  options.group_size = 6;
+  options.storm_rate = 0.05;
+  options.group_fraction = 0.75;
+  options.rescue_fraction = 0.5;
+  const auto a = FaultPlan::generate_correlated(options);
+  const auto b = FaultPlan::generate_correlated(options);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_GE(a.num_incidents(), 1);
+
+  options.seed ^= 0xbeef;
+  EXPECT_NE(FaultPlan::generate_correlated(options), a);
+
+  // Every generated event belongs to a labeled incident, victims of one
+  // incident share its rack, and rescue windows sit inside their outage.
+  bool saw_up = false;
+  for (const auto& event : a.events()) {
+    EXPECT_GE(event.root_cause, 0);
+    if (event.kind == FaultKind::kUp) {
+      saw_up = true;
+      bool inside = false;
+      for (const auto& other : a.events()) {
+        if (other.kind == FaultKind::kDown && other.device == event.device &&
+            other.root_cause == event.root_cause &&
+            other.from_slot < event.from_slot &&
+            event.to_slot < other.to_slot) {
+          inside = true;
+        }
+      }
+      EXPECT_TRUE(inside) << "kUp rescue outside its outage interval";
+    }
+  }
+  EXPECT_TRUE(saw_up);  // rescue_fraction = 0.5 over several storms
+}
+
+TEST(FaultPlan, CsvRoundTripsRootCauseAndAcceptsLegacyLayout) {
+  FaultPlan plan;
+  plan.add(FaultEvent{FaultKind::kDown, 2, 10, 40, 1.0, /*root_cause=*/3});
+  plan.add(FaultEvent{FaultKind::kUp, 2, 20, 22, 1.0, /*root_cause=*/3});
+  plan.add_bandwidth(0, 5, 25, 0.375);
+
+  std::ostringstream out;
+  plan.write_csv(out);
+  EXPECT_NE(out.str().find("root_cause"), std::string::npos);
+  EXPECT_EQ(FaultPlan::from_csv(out.str()), plan);
+
+  // Legacy 5-column layout (pre-root-cause) parses with root_cause = -1.
+  const auto legacy = FaultPlan::from_csv(
+      "kind,device,from_slot,to_slot,factor\n"
+      "down,1,2,5,1\n"
+      "bandwidth,0,3,9,0.5\n");
+  FaultPlan expected;
+  expected.add_down(1, 2, 5);
+  expected.add_bandwidth(0, 3, 9, 0.5);
+  EXPECT_EQ(legacy, expected);
+}
+
 // -------------------------------------------------------------- failover ----
 
 TEST(FailoverPolicy, DisabledDropsEverything) {
