@@ -128,6 +128,10 @@ void RunMetrics::record_request_waits(double queue_wait_tau,
   exec_latency_.add(exec_tau);
 }
 
+void RunMetrics::record_admit_to_launch(double admit_to_launch_tau) {
+  admit_to_launch_.add(admit_to_launch_tau);
+}
+
 void RunMetrics::record_queue_depth(double depth) { queue_depth_.add(depth); }
 
 void RunMetrics::merge_queue_depth(const util::RunningStats& stats) {
@@ -164,6 +168,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   queue_wait_.merge(other.queue_wait_);
   dispatch_wait_.merge(other.dispatch_wait_);
   exec_latency_.merge(other.exec_latency_);
+  admit_to_launch_.merge(other.admit_to_launch_);
 
   if (slot_loss_.size() < other.slot_loss_.size()) {
     slot_loss_.resize(other.slot_loss_.size(), 0.0);

@@ -75,6 +75,12 @@ class RunMetrics {
   void record_request_waits(double queue_wait_tau, double dispatch_wait_tau,
                             double exec_tau);
 
+  /// Records one served request's admit-to-launch latency (units of tau):
+  /// from entering the admission queue (available_s) to its batch's launch
+  /// start — the serve hot path's end-to-end queueing cost, and what
+  /// BENCH_serve.json reports as p50/p99.
+  void record_admit_to_launch(double admit_to_launch_tau);
+
   /// Records one admission-queue depth sample (requests buffered at an edge
   /// at an admission event).
   void record_queue_depth(double depth);
@@ -235,6 +241,9 @@ class RunMetrics {
   [[nodiscard]] const util::Ecdf& exec_latency() const noexcept {
     return exec_latency_;
   }
+  [[nodiscard]] const util::Ecdf& admit_to_launch() const noexcept {
+    return admit_to_launch_;
+  }
   [[nodiscard]] const util::RunningStats& queue_depth() const noexcept {
     return queue_depth_;
   }
@@ -257,6 +266,7 @@ class RunMetrics {
   util::Ecdf queue_wait_;
   util::Ecdf dispatch_wait_;
   util::Ecdf exec_latency_;
+  util::Ecdf admit_to_launch_;
   std::vector<double> slot_loss_;
   double total_loss_ = 0.0;
   std::int64_t total_requests_ = 0;

@@ -1,0 +1,224 @@
+// Bounded lock-free multi-producer / single-consumer ring buffer.
+//
+// The serve runtime's admission path is an MPSC shape: any number of
+// producers (arrival expansion, failover re-admission, flash-crowd
+// overlays) hand requests to exactly one per-edge worker that admits,
+// batches, and launches them. MpscRing is that handoff buffer: a bounded
+// power-of-two ring in the style of Vyukov's bounded queue — each slot
+// carries a sequence counter, producers claim slots with one fetch_add on
+// the tail, and the consumer retires them in FIFO order with plain stores
+// on the head. No mutex anywhere; full slots reject the push (the caller
+// applies its backpressure policy) instead of blocking.
+//
+// Concurrency contract:
+//   * try_push is safe from any number of threads concurrently;
+//   * try_pop / front / size are single-consumer (one thread at a time);
+//   * reset() and the indexed peek used by AdmissionQueue require a
+//     quiescent ring (no concurrent producers) — the serve engine satisfies
+//     this trivially because each slot's stream is fully staged before the
+//     edge worker starts consuming.
+//
+// Determinism: FIFO order per producer is preserved exactly; with a single
+// producer (the engine's staging path) the pop order equals the push order,
+// which is what the byte-identity suite in serve_test pins down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "birp/util/check.hpp"
+
+namespace birp::runtime {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// An empty ring; resize() before use. Kept cheap so pools of rings can
+  /// be default-constructed and sized lazily.
+  MpscRing() = default;
+
+  /// A ring with room for at least `min_capacity` elements (rounded up to a
+  /// power of two).
+  explicit MpscRing(std::size_t min_capacity) { resize(min_capacity); }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Moves require a quiescent source (no concurrent producers/consumer).
+  MpscRing(MpscRing&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        capacity_(other.capacity_),
+        mask_(other.mask_),
+        head_(other.head_.load(std::memory_order_relaxed)),
+        tail_(other.tail_.load(std::memory_order_relaxed)) {
+    other.capacity_ = 0;
+    other.mask_ = 0;
+    other.head_.store(0, std::memory_order_relaxed);
+    other.tail_.store(0, std::memory_order_relaxed);
+  }
+  MpscRing& operator=(MpscRing&& other) noexcept {
+    if (this != &other) {
+      slots_ = std::move(other.slots_);
+      capacity_ = other.capacity_;
+      mask_ = other.mask_;
+      head_.store(other.head_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      tail_.store(other.tail_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      other.capacity_ = 0;
+      other.mask_ = 0;
+      other.head_.store(0, std::memory_order_relaxed);
+      other.tail_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  /// Quiescent-only: empties the ring and grows its storage to hold at
+  /// least `min_capacity` elements. Storage is grow-only, so steady-state
+  /// reuse (the serve engine resets one ring per edge per slot) stops
+  /// allocating once the high-water capacity is reached.
+  void resize(std::size_t min_capacity) {
+    std::size_t want = 1;
+    while (want < min_capacity) want <<= 1;
+    if (want <= capacity_ &&
+        head_.load(std::memory_order_relaxed) ==
+            tail_.load(std::memory_order_relaxed)) {
+      // Already empty with enough room: the slot sequences are exactly the
+      // continuation state the protocol needs, so the ring keeps rolling
+      // from its current position. This is the steady-state reset (the
+      // serve engine drains every slot), and it makes re-arming O(1)
+      // instead of O(capacity) — re-initializing thousands of sequence
+      // words per slot was measurable against small quiet slots.
+      return;
+    }
+    if (want > capacity_) {
+      slots_ = std::make_unique<Slot[]>(want);
+      capacity_ = want;
+      mask_ = want - 1;
+    }
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Multi-producer push; returns false when the ring is full.
+  bool try_push(T value) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry at the new claim point.
+      } else if (diff < 0) {
+        return false;  // slot still holds an unconsumed element: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Multi-producer bulk push: claims up to `count` contiguous slots with a
+  /// single CAS and returns how many of `items` were staged (less than
+  /// `count` only when the ring runs out of room). One tail update per
+  /// batch instead of per element — the engine stages a whole slot's
+  /// arrival stream this way, so the per-request handoff cost collapses to
+  /// one copy plus one release store.
+  ///
+  /// Safety: the consumer retires slots strictly in FIFO order and
+  /// publishes its progress through `head_` with a release store, so every
+  /// slot in [head, head + capacity) has completed its previous-lap
+  /// consumption by the time an acquire load observes that head value. A
+  /// claim bounded by that window can therefore write values immediately —
+  /// no per-slot sequence wait — and publish each slot with the usual
+  /// sequence release.
+  std::size_t try_push_many(const T* items, std::size_t count) {
+    if (count == 0) return 0;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    std::size_t claim;
+    for (;;) {
+      const std::uint64_t head = head_.load(std::memory_order_acquire);
+      const std::size_t used = static_cast<std::size_t>(pos - head);
+      const std::size_t free = capacity_ - used;
+      claim = count < free ? count : free;
+      if (claim == 0) return 0;
+      if (tail_.compare_exchange_weak(pos, pos + claim,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+      // CAS failure reloaded pos; recompute the window from there.
+    }
+    for (std::size_t i = 0; i < claim; ++i) {
+      Slot& slot = slots_[(pos + i) & mask_];
+      slot.value = items[i];
+      slot.seq.store(pos + i + 1, std::memory_order_release);
+    }
+    return claim;
+  }
+
+  /// Single-consumer pop; returns false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) <
+        0) {
+      return false;  // next slot not yet published
+    }
+    out = std::move(slot.value);
+    slot.seq.store(pos + capacity_, std::memory_order_release);
+    // Release so bulk producers that observe this head know the slot's
+    // sequence store above is visible too (try_push_many relies on it).
+    head_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer peek at the oldest element; nullptr when empty.
+  [[nodiscard]] const T* front() const {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    const Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) <
+        0) {
+      return nullptr;
+    }
+    return &slot.value;
+  }
+
+  /// Consumer-side size estimate; exact when quiescent or single-producer
+  /// with the producer done publishing.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer claim point
+};
+
+}  // namespace birp::runtime

@@ -1,0 +1,124 @@
+// Slab recycler: index-addressed object pool with grow-only storage.
+//
+// The serve hot path churns through small per-request nodes (FIFO links,
+// timer events) at request rate; allocating them individually puts the
+// allocator — and its lock — on the hot path. SlabPool hands out nodes from
+// contiguous chunks and recycles them through an intrusive free list, so in
+// steady state (once the high-water mark is reached) acquiring and
+// releasing a node touches no allocator at all. Nodes are addressed by
+// 32-bit indices rather than pointers: chunks never move once created, but
+// indices also stay valid across the pool's own bookkeeping growth, pack
+// into half the space, and make accidental cross-pool references loud.
+//
+// Single-threaded by design: each AdmissionQueue (and each TimerWheel)
+// owns its pool and is driven by one worker. Thread safety comes from the
+// sharding above (one queue per edge), not from this class.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "birp/util/check.hpp"
+
+namespace birp::runtime {
+
+inline constexpr std::int32_t kSlabNil = -1;
+
+template <typename T>
+class SlabPool {
+ public:
+  struct Node {
+    T value{};
+    std::int32_t next = kSlabNil;  ///< free-list / intrusive-FIFO link
+  };
+
+  /// Pops a recycled node or carves a fresh one; returns its index. The
+  /// node's `next` is kSlabNil and its value is whatever the previous
+  /// occupant left (callers assign before linking).
+  std::int32_t acquire() {
+    std::int32_t idx = free_head_;
+    if (idx != kSlabNil) {
+      free_head_ = node(idx).next;
+    } else {
+      if (next_fresh_ >= end_of_storage_) grow();
+      idx = next_fresh_++;
+    }
+    node(idx).next = kSlabNil;
+    ++live_;
+    return idx;
+  }
+
+  /// Returns a node to the free list. The value is left in place (trivial
+  /// payloads; nothing owns resources here).
+  void release(std::int32_t idx) {
+    node(idx).next = free_head_;
+    free_head_ = idx;
+    --live_;
+  }
+
+  [[nodiscard]] T& operator[](std::int32_t idx) { return node(idx).value; }
+  [[nodiscard]] const T& operator[](std::int32_t idx) const {
+    return node(idx).value;
+  }
+  [[nodiscard]] std::int32_t next_of(std::int32_t idx) const {
+    return node(idx).next;
+  }
+  void set_next(std::int32_t idx, std::int32_t next) { node(idx).next = next; }
+  /// Writable link, for callers unlinking mid-chain in place.
+  [[nodiscard]] std::int32_t& mutable_next(std::int32_t idx) {
+    return node(idx).next;
+  }
+
+  /// Nodes currently acquired (live FIFO/timer entries).
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  /// Total nodes ever carved (the high-water footprint).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return static_cast<std::size_t>(end_of_storage_);
+  }
+
+  /// Forgets every live node without walking them (the owning structure
+  /// resets wholesale between slots). Chunk storage is retained, so the
+  /// next acquire() cycle is allocation-free up to the old high-water mark.
+  void reclaim_all() noexcept {
+    free_head_ = kSlabNil;
+    next_fresh_ = 0;
+    live_ = 0;
+  }
+
+  /// Pre-carves storage for at least `n` nodes (warmup outside the
+  /// measured region).
+  void reserve(std::size_t n) {
+    while (static_cast<std::size_t>(end_of_storage_) < n) grow();
+  }
+
+ private:
+  static constexpr std::int32_t kChunkSize = 256;
+
+  [[nodiscard]] Node& node(std::int32_t idx) {
+    return chunks_[static_cast<std::size_t>(idx) / kChunkSize]
+                  [static_cast<std::size_t>(idx) % kChunkSize];
+  }
+  [[nodiscard]] const Node& node(std::int32_t idx) const {
+    return chunks_[static_cast<std::size_t>(idx) / kChunkSize]
+                  [static_cast<std::size_t>(idx) % kChunkSize];
+  }
+
+  void grow() {
+    util::check(end_of_storage_ <= INT32_MAX - kChunkSize,
+                "SlabPool: index space exhausted");
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    end_of_storage_ += kChunkSize;
+  }
+
+  /// Fixed-size chunks that never move: reclaim_all() can restart index 0
+  /// while old chunks keep their storage.
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::int32_t free_head_ = kSlabNil;
+  std::int32_t next_fresh_ = 0;      ///< first never-carved index
+  std::int32_t end_of_storage_ = 0;  ///< total carved capacity
+  std::size_t live_ = 0;
+};
+
+}  // namespace birp::runtime

@@ -1,0 +1,268 @@
+// Hierarchical timer wheel for the serve runtime's deferred-time events.
+//
+// The admission queue defers capacity releases (a sealed batch frees its
+// buffer slots at launch start, not at seal) and previously tracked them in
+// a binary heap: O(log n) per event with a comparison-heavy pop loop on
+// every admission. The wheel replaces that with O(1) scheduling into
+// time-quantized buckets and an advance() that drains whole buckets at
+// once; per-event comparisons happen only inside the single bucket
+// straddling the advance time.
+//
+// Two levels plus an overflow list: level 0 covers kBuckets fine slots of
+// `resolution` seconds each; level 1 covers kBuckets coarse slots of
+// kBuckets * resolution; anything beyond parks in the overflow list and
+// cascades down as the windows move. Events carry their exact timestamp,
+// so quantization NEVER changes results — a bucket that straddles the
+// advance time is walked with exact comparisons, and expired events are
+// only ever summed (the payload is a count), making intra-bucket order
+// irrelevant. That is the determinism argument: the wheel returns exactly
+// the sum the heap would have, for any resolution.
+//
+// Nodes come from an internal SlabPool, so steady-state scheduling is
+// allocation-free once the high-water mark is reached. Single-threaded,
+// like the queue that owns it.
+#pragma once
+
+#include <cstdint>
+
+#include "birp/runtime/slab.hpp"
+#include "birp/util/check.hpp"
+
+namespace birp::runtime {
+
+class TimerWheel {
+ public:
+  /// Events at or before the cursor fire on the next advance; reset()
+  /// before use to set origin and resolution.
+  TimerWheel() {
+    // reset()'s empty-wheel fast path skips the head sweep, so the heads
+    // must start nil here — they have no in-class initializer.
+    for (auto& head : fine_) head = kSlabNil;
+    for (auto& head : coarse_) head = kSlabNil;
+    reset(0.0, kDefaultResolution);
+  }
+
+  /// Empties the wheel (retaining node storage) and re-anchors it: bucket 0
+  /// starts at `origin_s`, fine buckets are `resolution_s` wide. Resolution
+  /// affects performance only, never which events an advance() returns.
+  void reset(double origin_s, double resolution_s) {
+    util::check(resolution_s > 0.0, "TimerWheel: resolution must be > 0");
+    origin_s_ = origin_s;
+    resolution_s_ = resolution_s;
+    cursor_idx_ = 0;
+    if (pending() == 0) {
+      // Drains null every chain head they empty, so an event-free wheel
+      // already has every bucket at kSlabNil — re-anchoring is O(1), not a
+      // 128-bucket sweep. This is the steady-state path: the serve engine
+      // settles all departures at end of slot before re-arming.
+      pool_.reclaim_all();
+      return;
+    }
+    fine_pending_ = 0;
+    coarse_pending_ = 0;
+    overflow_pending_ = 0;
+    pool_.reclaim_all();
+    for (auto& head : fine_) head = kSlabNil;
+    for (auto& head : coarse_) head = kSlabNil;
+    overflow_ = kSlabNil;
+  }
+
+  /// Registers `count` departures at exact time `time_s`. Times already at
+  /// or before the advance cursor land in the current bucket and fire on
+  /// the next advance that reaches them (exact comparison decides).
+  void schedule(double time_s, std::int64_t count) {
+    const std::int32_t node = pool_.acquire();
+    pool_[node] = Event{time_s, count};
+    const std::int64_t idx = fine_index(time_s);
+    if (idx < cursor_idx_ + kBuckets) {
+      const std::int64_t clamped = idx < cursor_idx_ ? cursor_idx_ : idx;
+      push(fine_[static_cast<std::size_t>(clamped % kBuckets)], node);
+      ++fine_pending_;
+    } else if (idx / kBuckets < cursor_idx_ / kBuckets + kBuckets) {
+      push(coarse_[static_cast<std::size_t>((idx / kBuckets) % kBuckets)],
+           node);
+      ++coarse_pending_;
+    } else {
+      push(overflow_, node);
+      ++overflow_pending_;
+    }
+  }
+
+  /// Sums and removes every event with time <= now_s. The cursor is
+  /// monotone: advancing to an earlier time only re-walks the current
+  /// bucket (still exact).
+  [[nodiscard]] std::int64_t advance(double now_s) {
+    if (fine_pending_ == 0 && coarse_pending_ == 0 &&
+        overflow_pending_ == 0) {
+      // Nothing can fire; skip even the bucket-index arithmetic. The
+      // cursor intentionally stays put — schedule() clamps past times into
+      // the cursor bucket and events carry exact timestamps, so a later
+      // advance() from the stale cursor returns exactly the same sums.
+      return 0;
+    }
+    std::int64_t fired = 0;
+    const std::int64_t target_idx = fine_index(now_s);
+    // Whole fine buckets strictly before the target: every event in bucket
+    // b has time < (b + 1) * resolution <= now, so no comparisons needed.
+    // Per-level pending counts let empty spans be skipped outright, so the
+    // cost of one advance is O(populated fine buckets crossed + coarse
+    // boundaries crossed while the coarse level holds events) — never a
+    // per-empty-bucket walk across a long idle gap.
+    while (cursor_idx_ < target_idx) {
+      if (fine_pending_ == 0 && coarse_pending_ == 0) {
+        // Only overflow (or nothing) remains: jump straight to the target
+        // and re-home whatever the move pulled into the coarse horizon.
+        cursor_idx_ = target_idx;
+        if (overflow_pending_ > 0) cascade();
+        break;
+      }
+      if (fine_pending_ == 0) {
+        // Fine window empty: skip to the next coarse boundary (or target).
+        const std::int64_t boundary =
+            (cursor_idx_ / kBuckets + 1) * kBuckets;
+        cursor_idx_ = boundary < target_idx ? boundary : target_idx;
+        if (cursor_idx_ % kBuckets == 0) cascade();
+        continue;
+      }
+      fired += drain_all(
+          fine_[static_cast<std::size_t>(cursor_idx_ % kBuckets)],
+          fine_pending_);
+      ++cursor_idx_;
+      if (cursor_idx_ % kBuckets == 0) cascade();
+    }
+    // The straddling bucket: exact per-event comparison.
+    fired += drain_due(
+        fine_[static_cast<std::size_t>(cursor_idx_ % kBuckets)], now_s,
+        fine_pending_);
+    return fired;
+  }
+
+  /// Sums and removes everything regardless of time (end-of-slot settle:
+  /// every registered launch has started).
+  [[nodiscard]] std::int64_t settle_all() {
+    std::int64_t fired = 0;
+    for (auto& head : fine_) fired += drain_all(head, fine_pending_);
+    for (auto& head : coarse_) fired += drain_all(head, coarse_pending_);
+    fired += drain_all(overflow_, overflow_pending_);
+    pool_.reclaim_all();
+    return fired;
+  }
+
+  /// Pre-carves node storage for `n` concurrently pending events (warmup
+  /// outside the measured region; no-op once capacity suffices).
+  void reserve(std::size_t n) { pool_.reserve(n); }
+
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::int64_t pending() const noexcept {
+    return fine_pending_ + coarse_pending_ + overflow_pending_;
+  }
+
+ private:
+  static constexpr std::int64_t kBuckets = 64;
+  static constexpr double kDefaultResolution = 1e-2;
+
+  struct Event {
+    double time_s = 0.0;
+    std::int64_t count = 0;
+  };
+
+  [[nodiscard]] std::int64_t fine_index(double time_s) const {
+    const double offset = (time_s - origin_s_) / resolution_s_;
+    if (offset <= 0.0) return 0;
+    // Clamp before the cast: a double beyond int64 range is UB to convert,
+    // and anything this far out lives in the overflow list regardless.
+    constexpr double kMaxIdx = 1e15;
+    return offset >= kMaxIdx ? static_cast<std::int64_t>(kMaxIdx)
+                             : static_cast<std::int64_t>(offset);
+  }
+
+  void push(std::int32_t& head, std::int32_t node) {
+    pool_.set_next(node, head);
+    head = node;
+  }
+
+  std::int64_t drain_all(std::int32_t& head, std::int64_t& level_pending) {
+    std::int64_t fired = 0;
+    while (head != kSlabNil) {
+      const std::int32_t node = head;
+      head = pool_.next_of(node);
+      fired += pool_[node].count;
+      pool_.release(node);
+      --level_pending;
+    }
+    return fired;
+  }
+
+  std::int64_t drain_due(std::int32_t& head, double now_s,
+                         std::int64_t& level_pending) {
+    std::int64_t fired = 0;
+    std::int32_t* link = &head;
+    while (*link != kSlabNil) {
+      const std::int32_t node = *link;
+      if (pool_[node].time_s <= now_s) {
+        fired += pool_[node].count;
+        *link = pool_.next_of(node);
+        pool_.release(node);
+        --level_pending;
+      } else {
+        link = &pool_.mutable_next(node);
+      }
+    }
+    return fired;
+  }
+
+  /// The fine window rolled over a coarse boundary: re-home the coarse
+  /// bucket now covered by the fine window, and pull overflow events whose
+  /// time entered the coarse horizon. Re-scheduling preserves exact times.
+  void cascade() {
+    std::int32_t moved = coarse_[static_cast<std::size_t>(
+        (cursor_idx_ / kBuckets) % kBuckets)];
+    coarse_[static_cast<std::size_t>((cursor_idx_ / kBuckets) % kBuckets)] =
+        kSlabNil;
+    reschedule_chain(moved);
+    const double coarse_horizon_s =
+        origin_s_ +
+        static_cast<double>((cursor_idx_ / kBuckets + kBuckets) * kBuckets) *
+            resolution_s_;
+    std::int32_t* link = &overflow_;
+    while (*link != kSlabNil) {
+      const std::int32_t node = *link;
+      if (pool_[node].time_s < coarse_horizon_s) {
+        *link = pool_.next_of(node);
+        const Event event = pool_[node];
+        pool_.release(node);
+        --overflow_pending_;
+        schedule(event.time_s, event.count);
+      } else {
+        link = &pool_.mutable_next(node);
+      }
+    }
+  }
+
+  /// Re-homes a detached coarse chain through schedule() (exact times are
+  /// preserved, so this never changes what an advance returns).
+  void reschedule_chain(std::int32_t head) {
+    while (head != kSlabNil) {
+      const std::int32_t node = head;
+      head = pool_.next_of(node);
+      const Event event = pool_[node];
+      pool_.release(node);
+      --coarse_pending_;
+      schedule(event.time_s, event.count);
+    }
+  }
+
+  double origin_s_ = 0.0;
+  double resolution_s_ = kDefaultResolution;
+  std::int64_t cursor_idx_ = 0;  ///< fine bucket index of the advance cursor
+  /// Per-level event counts; advance() skips spans whose levels are empty.
+  std::int64_t fine_pending_ = 0;
+  std::int64_t coarse_pending_ = 0;
+  std::int64_t overflow_pending_ = 0;
+  std::int32_t fine_[kBuckets];
+  std::int32_t coarse_[kBuckets];
+  std::int32_t overflow_ = kSlabNil;
+  SlabPool<Event> pool_;
+};
+
+}  // namespace birp::runtime

@@ -71,14 +71,17 @@ int AdaptiveBatcher::effective_target(int prior,
 BatchPlan AdaptiveBatcher::plan(int edge, int app, int variant,
                                 std::span<const ServeItem> candidates,
                                 int prior, int need, double cursor_s,
-                                double max_wait_s,
-                                bool more_may_arrive) const {
+                                double max_wait_s, bool more_may_arrive,
+                                std::vector<double>* avail_scratch) const {
   util::check(!candidates.empty(), "AdaptiveBatcher: no candidates");
   util::check(need >= 1, "AdaptiveBatcher: need at least one member");
   util::check(candidates.size() <= static_cast<std::size_t>(need),
               "AdaptiveBatcher: more candidates than the launch target");
 
-  std::vector<double> avails;
+  std::vector<double> local_avails;
+  std::vector<double>& avails =
+      avail_scratch != nullptr ? *avail_scratch : local_avails;
+  avails.clear();
   avails.reserve(candidates.size());
   for (const auto& item : candidates) avails.push_back(item.available_s);
 

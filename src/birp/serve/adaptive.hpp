@@ -118,11 +118,16 @@ class AdaptiveBatcher {
   ///   cursor_s        time the accelerator becomes free
   ///   max_wait_s      partial-batch timeout; negative = wait for full
   ///   more_may_arrive false when the job's request stream is exhausted
+  ///   avail_scratch   optional reusable buffer for the member-availability
+  ///                   working set; hot-path callers pass a persistent
+  ///                   vector so plan() allocates nothing in steady state
   /// Disabled: the returned seal is seal_batch's, field for field.
   [[nodiscard]] BatchPlan plan(int edge, int app, int variant,
                                std::span<const ServeItem> candidates,
                                int prior, int need, double cursor_s,
-                               double max_wait_s, bool more_may_arrive) const;
+                               double max_wait_s, bool more_may_arrive,
+                               std::vector<double>* avail_scratch =
+                                   nullptr) const;
 
  private:
   [[nodiscard]] std::size_t gamma_index(int edge, int app, int variant) const {

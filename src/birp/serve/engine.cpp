@@ -4,22 +4,11 @@
 #include <future>
 
 #include "birp/serve/batcher.hpp"
+#include "birp/util/alloc_count.hpp"
 #include "birp/util/check.hpp"
 #include "birp/util/rng.hpp"
 
 namespace birp::serve {
-namespace {
-
-/// One executable job on an edge: a (app, variant) deployment with its
-/// request count and kernel batch size (mirrors the simulator's Job).
-struct Job {
-  int app = 0;
-  int variant = 0;
-  std::int64_t served = 0;
-  int kernel = 1;
-};
-
-}  // namespace
 
 ServeEngine::ServeEngine(const device::ClusterSpec& cluster,
                          const workload::Trace& trace, ServeConfig config)
@@ -42,18 +31,65 @@ ServeEngine::ServeEngine(const device::ClusterSpec& cluster,
   if (config_.guard.any_enabled()) {
     guard_.emplace(cluster, config_.guard, config_.guard_predictor);
   }
+  const auto I = static_cast<std::size_t>(cluster.num_apps());
+  const auto K = static_cast<std::size_t>(cluster.num_devices());
+  shards_ = std::vector<EdgeShard>(K);
+  inputs_.resize(K);
+  cells_scratch_.resize(I * K);
+  cursor_scratch_.resize(I * K, 0);
+  imports_scratch_.resize(K);
+  orphan_scratch_.resize(I * K);
+
+  // Construction-time warmup: pre-carve every per-edge container to the
+  // trace's worst slot, so the hot path never allocates — not even while
+  // random burst timing nudges per-launch high-water marks around. An
+  // edge's slot stream (local + imports) is bounded by the slot's total
+  // demand; failover re-admissions can exceed it, in which case the grow-
+  // only containers absorb the difference once and go quiet again.
+  std::int64_t worst_slot = 0;
+  for (int t = 0; t < trace.slots(); ++t) {
+    worst_slot = std::max(worst_slot, trace.slot_total(t));
+  }
+  const auto per_edge = static_cast<std::size_t>(worst_slot);
+  const auto max_batch = static_cast<std::size_t>(sim::kMaxKernelBatch);
+  for (auto& shard : shards_) {
+    shard.queue.reserve(cluster.num_apps(), per_edge);
+    shard.outcome.records.reserve(per_edge);
+    shard.outcome.observations.reserve(per_edge);
+    shard.members.reserve(std::max(per_edge, max_batch));
+    shard.candidates.reserve(max_batch);
+    shard.avail_scratch.reserve(max_batch);
+    shard.jobs.reserve(I * static_cast<std::size_t>(
+                               cluster.zoo().max_variants()));
+    shard.gate_variant.reserve(I);
+    shard.gate_kernel.reserve(I);
+  }
 }
 
-std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
+bool ServeEngine::admission_gate_thunk(const void* ctx, const ServeItem& item,
+                                       std::int64_t buffered_ahead) {
+  const auto& gc = *static_cast<const GateContext*>(ctx);
+  const EdgeShard& shard = *gc.shard;
+  const int variant = shard.gate_variant[static_cast<std::size_t>(item.app)];
+  if (variant < 0) return true;  // no deployment: stranded path anyway
+  return gc.engine->guard_->admit(
+      gc.edge, item.app, variant,
+      shard.gate_kernel[static_cast<std::size_t>(item.app)], item.arrival_s,
+      item.available_s, shard.cursor_s, buffered_ahead);
+}
+
+void ServeEngine::build_edge_inputs(
     const std::vector<workload::Arrival>& arrivals,
     const sim::SlotDecision& decision,
-    const std::vector<double>& bandwidth_factors) const {
+    const std::vector<double>& bandwidth_factors) {
   const int I = cluster_.num_apps();
   const int K = cluster_.num_devices();
 
-  // Per-(app, origin) arrival lists, in arrival order.
-  std::vector<std::vector<ServeItem>> cells(
-      static_cast<std::size_t>(I) * static_cast<std::size_t>(K));
+  // Per-(app, origin) arrival lists, in arrival order. All containers here
+  // are persistent scratch: cleared, never shrunk, so the per-slot path
+  // stops allocating once every cell has seen its high-water arrival count.
+  auto& cells = cells_scratch_;
+  for (auto& list : cells) list.clear();
   const auto cell = [K](int i, int k) {
     return static_cast<std::size_t>(i) * static_cast<std::size_t>(K) +
            static_cast<std::size_t>(k);
@@ -75,11 +111,15 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
               });
   }
 
-  std::vector<EdgeInput> inputs(static_cast<std::size_t>(K));
+  for (auto& input : inputs_) {
+    input.stream.clear();
+    input.planned_drops.clear();
+  }
 
   // Serve-local portions: the earliest arrivals stay home; the repaired
   // decision guarantees serve_local + exports + drops == demand per cell.
-  std::vector<std::size_t> cursor(cells.size(), 0);
+  auto& cursor = cursor_scratch_;
+  std::fill(cursor.begin(), cursor.end(), 0);
   for (int i = 0; i < I; ++i) {
     for (int k = 0; k < K; ++k) {
       auto& list = cells[cell(i, k)];
@@ -91,7 +131,7 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
       serve_local = std::clamp<std::int64_t>(
           serve_local, 0, static_cast<std::int64_t>(list.size()));
       for (std::int64_t r = 0; r < serve_local; ++r) {
-        inputs[static_cast<std::size_t>(k)].stream.push_back(
+        inputs_[static_cast<std::size_t>(k)].stream.push_back(
             list[static_cast<std::size_t>(r)]);
       }
       cursor[cell(i, k)] = static_cast<std::size_t>(serve_local);
@@ -100,7 +140,8 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
 
   // Redistribution: flows consume the next arrivals of their source cell in
   // decision order; the serving edge sees them after the wireless transfer.
-  std::vector<std::vector<ServeItem>> imports(static_cast<std::size_t>(K));
+  auto& imports = imports_scratch_;
+  for (auto& in : imports) in.clear();
   for (const auto& flow : decision.flows) {
     if (flow.count <= 0 || flow.from == flow.to) continue;
     auto& list = cells[cell(flow.app, flow.from)];
@@ -130,7 +171,7 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
       item.available_s =
           std::max(item.arrival_s,
                    transfer_total_s * static_cast<double>(q + 1) / total);
-      inputs[static_cast<std::size_t>(k)].stream.push_back(item);
+      inputs_[static_cast<std::size_t>(k)].stream.push_back(item);
     }
   }
 
@@ -139,12 +180,12 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
     for (int k = 0; k < K; ++k) {
       const auto& list = cells[cell(i, k)];
       for (auto at = cursor[cell(i, k)]; at < list.size(); ++at) {
-        inputs[static_cast<std::size_t>(k)].planned_drops.push_back(list[at]);
+        inputs_[static_cast<std::size_t>(k)].planned_drops.push_back(list[at]);
       }
     }
   }
 
-  for (auto& input : inputs) {
+  for (auto& input : inputs_) {
     std::sort(input.stream.begin(), input.stream.end(),
               [](const ServeItem& a, const ServeItem& b) {
                 if (a.available_s != b.available_s)
@@ -154,14 +195,24 @@ std::vector<ServeEngine::EdgeInput> ServeEngine::build_edge_inputs(
                 return a.seq < b.seq;
               });
   }
-  return inputs;
 }
 
-ServeEngine::EdgeOutcome ServeEngine::execute_edge(
-    int k, const sim::SlotDecision& decision, int slot,
-    std::vector<ServeItem> stream, double straggler_factor) const {
+void ServeEngine::execute_edge(int k, const sim::SlotDecision& decision,
+                               int slot, const std::vector<ServeItem>& stream,
+                               double straggler_factor) {
   const double tau = cluster_.tau_s();
-  EdgeOutcome outcome;
+  EdgeShard& shard = shards_[static_cast<std::size_t>(k)];
+  EdgeOutcome& outcome = shard.outcome;
+  outcome.records.clear();
+  outcome.observations.clear();
+  outcome.seals.fill(0);
+  outcome.depth_stats = util::RunningStats{};
+  outcome.busy_s = 0.0;
+  outcome.loss = 0.0;
+  outcome.hot_allocs = 0;
+  // Thread-local allocation odometer for this edge's hot path; stays 0
+  // unless a BIRP_COUNT_ALLOCS hook is linked into the binary.
+  const std::int64_t allocs_before = util::alloc_counts().allocs;
 
   // Deterministic per-(slot, edge) noise stream — same recipe as the
   // simulator, so thread count can never change results.
@@ -170,7 +221,8 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
                                 (static_cast<std::uint64_t>(slot) * 1024 +
                                  static_cast<std::uint64_t>(k) + 1)));
 
-  std::vector<Job> jobs;
+  auto& jobs = shard.jobs;
+  jobs.clear();
   for (int i = 0; i < cluster_.num_apps(); ++i) {
     const int variants = cluster_.zoo().num_variants(i);
     for (int j = 0; j < variants; ++j) {
@@ -186,12 +238,11 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
                                 ? -1.0
                                 : config_.max_batch_wait_fraction * tau;
 
-  // Accelerator-free time on this edge: launches dispatched so far end at
-  // cursor_s, and the next one cannot start earlier. Declared ahead of the
-  // admission gate so the gate can fold the execution backlog into its
-  // sojourn prediction (admissions interleave with launches on this one
-  // worker, so the captured reference is always current and race-free).
-  double cursor_s = 0.0;
+  // Accelerator-free time on this edge. Lives in the shard so the admission
+  // gate can fold the execution backlog into its sojourn prediction
+  // (admissions interleave with launches on this one worker, so the read is
+  // always current and race-free).
+  shard.cursor_s = 0.0;
 
   // Deadline-aware admission: predict each arrival's sojourn against the
   // deployment the decision planned for its app on this edge (the variant
@@ -201,35 +252,34 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
   AdmissionGate gate;
   if (guard_.has_value() && guard_->config().admission.enabled) {
     const int I = cluster_.num_apps();
-    std::vector<int> gate_variant(static_cast<std::size_t>(I), -1);
-    std::vector<int> gate_kernel(static_cast<std::size_t>(I), 1);
+    shard.gate_variant.assign(static_cast<std::size_t>(I), -1);
+    shard.gate_kernel.assign(static_cast<std::size_t>(I), 1);
     for (int i = 0; i < I; ++i) {
       std::int64_t best = 0;
       for (int j = 0; j < cluster_.zoo().num_variants(i); ++j) {
         const auto served = decision.served(i, j, k);
         if (served > best) {
           best = served;
-          gate_variant[static_cast<std::size_t>(i)] = j;
-          gate_kernel[static_cast<std::size_t>(i)] =
+          shard.gate_variant[static_cast<std::size_t>(i)] = j;
+          shard.gate_kernel[static_cast<std::size_t>(i)] =
               std::max(1, decision.kernel(i, j, k));
         }
       }
     }
-    gate = [this, k, &cursor_s, gate_variant = std::move(gate_variant),
-            gate_kernel = std::move(gate_kernel)](
-               const ServeItem& item, std::int64_t buffered_ahead) {
-      const int variant = gate_variant[static_cast<std::size_t>(item.app)];
-      if (variant < 0) return true;  // no deployment: stranded path anyway
-      return guard_->admit(k, item.app, variant,
-                           gate_kernel[static_cast<std::size_t>(item.app)],
-                           item.arrival_s, item.available_s, cursor_s,
-                           buffered_ahead);
-    };
+    shard.gate_ctx = GateContext{this, &shard, k};
+    gate = AdmissionGate(&shard.gate_ctx, &ServeEngine::admission_gate_thunk);
   }
 
-  AdmissionQueue queue(cluster_.num_apps(), std::move(stream),
-                       config_.queue_capacity, config_.queue_policy,
-                       std::move(gate));
+  // Re-arm the persistent queue and stage this slot's stream. Staging is
+  // single-producer here (the stream is already merged and sorted); the
+  // MPSC ring exists for callers that stage from many threads. The wheel's
+  // resolution spreads one slot across ~64 fine buckets; it affects only
+  // wheel cost, never results.
+  auto& queue = shard.queue;
+  queue.reset(cluster_.num_apps(), config_.queue_capacity,
+              config_.queue_policy, gate, stream.size(), 0.0, tau / 64.0);
+  util::check(queue.offer_all(stream.data(), stream.size()),
+              "ServeEngine: staging ring overflow");
 
   for (const auto& job : jobs) {
     std::int64_t remaining = job.served;
@@ -237,7 +287,7 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
     const double slo_s = cluster_.zoo().app(job.app).slo_fraction * tau;
     while (remaining > 0) {
       queue.fill(job.app, 1);
-      const auto& fifo = queue.waiting(job.app);
+      const auto fifo = queue.waiting(job.app);  // live view
       if (fifo.empty()) break;  // stream eaten by backpressure drops
 
       // Launch target: the MILP decision's kernel is a prior the adaptive
@@ -251,7 +301,7 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
         queue.fill(job.app, static_cast<std::size_t>(need));
       } else {
         const double threshold =
-            std::max(cursor_s, fifo.front().available_s + max_wait_s);
+            std::max(shard.cursor_s, fifo.front().available_s + max_wait_s);
         queue.fill_until(job.app, static_cast<std::size_t>(need), threshold);
       }
       // Guard against planning a launch from a drained queue: when a slot
@@ -260,24 +310,25 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
       // seal_batch for an empty batch and trip its contract check.
       if (fifo.empty()) break;
 
-      std::vector<ServeItem> candidates;
+      auto& candidates = shard.candidates;
+      candidates.clear();
       const auto considered =
           std::min<std::size_t>(fifo.size(), static_cast<std::size_t>(need));
-      candidates.reserve(considered);
-      for (std::size_t m = 0; m < considered; ++m) {
-        candidates.push_back(fifo[m]);
+      std::size_t taken = 0;
+      for (auto it = fifo.begin(); taken < considered; ++it, ++taken) {
+        candidates.push_back(*it);
       }
       // More members can only come from requests still upstream in the
       // stream; everything already buffered is in `considered`.
       const bool more = queue.upstream(job.app) > 0;
-      const auto plan =
-          batcher_.plan(k, job.app, job.variant, candidates, job.kernel, need,
-                        cursor_s, max_wait_s, more);
+      const auto plan = batcher_.plan(k, job.app, job.variant, candidates,
+                                      job.kernel, need, shard.cursor_s,
+                                      max_wait_s, more, &shard.avail_scratch);
       const auto& seal = plan.seal;
       ++outcome.seals[static_cast<std::size_t>(plan.reason)];
 
-      const auto members =
-          queue.take(job.app, static_cast<std::size_t>(seal.count));
+      auto& members = shard.members;
+      queue.take_into(job.app, static_cast<std::size_t>(seal.count), members);
       queue.on_dispatch(seal.start_s, members.size());
 
       // Launch size: static-shape padding (MAX) bills the full kernel even
@@ -300,7 +351,7 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
       // The accelerator is serial: the next launch on this edge cannot start
       // before this one completes (batcher.hpp's cursor contract; the slot
       // simulator advances its cursor the same way).
-      cursor_s = completion_s;
+      shard.cursor_s = completion_s;
       outcome.busy_s += duration_s;
       outcome.loss += cluster_.zoo().variant(job.app, job.variant).loss *
                       static_cast<double>(seal.count);
@@ -361,14 +412,16 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
   // Stranded requests (stream larger than the decision's serve counts —
   // only possible on a malformed repair): shed like planned drops so every
   // arrival is accounted exactly once.
-  for (const auto& item : queue.drain_waiting()) {
+  queue.drain_waiting_into(shard.members);
+  for (const auto& item : shard.members) {
     RequestRecord record;
     record.item = item;
     record.outcome = Outcome::kPlannedDrop;
     record.served_on = k;
     outcome.records.push_back(record);
   }
-  for (const auto& item : queue.drain_unprocessed()) {
+  queue.drain_unprocessed_into(shard.members);
+  for (const auto& item : shard.members) {
     RequestRecord record;
     record.item = item;
     record.outcome = Outcome::kPlannedDrop;
@@ -376,7 +429,7 @@ ServeEngine::EdgeOutcome ServeEngine::execute_edge(
     outcome.records.push_back(record);
   }
   outcome.depth_stats = queue.depth_stats();
-  return outcome;
+  outcome.hot_allocs = util::alloc_counts().allocs - allocs_before;
 }
 
 SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
@@ -458,23 +511,21 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
           config_.fault_plan.bandwidth_factor(k, t);
     }
   }
-  auto inputs = build_edge_inputs(arrivals, result.decision,
-                                  bandwidth_factors);
+  build_edge_inputs(arrivals, result.decision, bandwidth_factors);
 
   // Orphans: a down edge loses its whole stream (nothing executes there) and
   // its region's planned drops (the region is dark, not shed); a live edge
   // loses the imports whose origin died (lost in transit). Attribution is by
   // origin cell, which is also where failover injects retries.
-  std::vector<std::vector<ServeItem>> orphan_items;
+  auto& orphan_items = orphan_scratch_;
   if (have_faults) {
-    orphan_items.assign(
-        static_cast<std::size_t>(I) * static_cast<std::size_t>(K), {});
+    for (auto& items : orphan_items) items.clear();
     const auto cell = [K](int i, int k) {
       return static_cast<std::size_t>(i) * static_cast<std::size_t>(K) +
              static_cast<std::size_t>(k);
     };
     for (int k = 0; k < K; ++k) {
-      auto& input = inputs[static_cast<std::size_t>(k)];
+      auto& input = inputs_[static_cast<std::size_t>(k)];
       if (!is_up(k)) {
         for (const auto& item : input.stream) {
           orphan_items[cell(item.app, item.origin)].push_back(item);
@@ -500,19 +551,18 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
     }
   }
 
-  // Execute the live edges concurrently; outcomes merge deterministically
-  // below. Down edges execute nothing this slot.
-  std::vector<std::future<EdgeOutcome>> futures(static_cast<std::size_t>(K));
+  // Execute the live edges concurrently, each into its own shard; outcomes
+  // merge deterministically below. Down edges execute nothing this slot.
+  // inputs_ is not touched again until every future has completed.
+  std::vector<std::future<void>> futures(static_cast<std::size_t>(K));
   for (int k = 0; k < K; ++k) {
     if (!is_up(k)) continue;
     const double straggler =
         have_faults ? config_.fault_plan.straggler_factor(k, t) : 1.0;
     futures[static_cast<std::size_t>(k)] =
-        pool_.submit([this, k, t, &result, &inputs, straggler] {
-          return execute_edge(
-              k, result.decision, t,
-              std::move(inputs[static_cast<std::size_t>(k)].stream),
-              straggler);
+        pool_.submit([this, k, t, &result, straggler] {
+          execute_edge(k, result.decision, t,
+                       inputs_[static_cast<std::size_t>(k)].stream, straggler);
         });
   }
 
@@ -539,7 +589,9 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
       metrics->record_edge_slot(k, is_up(k));
     }
     if (!is_up(k)) continue;  // dead edge: zero busy, no energy, no samples
-    EdgeOutcome outcome = futures[static_cast<std::size_t>(k)].get();
+    futures[static_cast<std::size_t>(k)].get();
+    const EdgeOutcome& outcome = shards_[static_cast<std::size_t>(k)].outcome;
+    result.hot_allocs += outcome.hot_allocs;
     result.feedback.busy_s[static_cast<std::size_t>(k)] = outcome.busy_s;
     result.feedback.observations.insert(result.feedback.observations.end(),
                                         outcome.observations.begin(),
@@ -561,6 +613,8 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
             metrics->record_request_waits(record.queue_wait_s() / tau,
                                           record.dispatch_wait_s() / tau,
                                           record.exec_s() / tau);
+            metrics->record_admit_to_launch(
+                (record.start_s - record.item.available_s) / tau);
           }
           break;
         case Outcome::kQueueDrop:
@@ -616,7 +670,7 @@ SlotServeResult ServeEngine::step(sim::Scheduler& scheduler,
 
   // Requests the decision shed at their origin (never routed anywhere).
   for (int k = 0; k < K; ++k) {
-    for (const auto& item : inputs[static_cast<std::size_t>(k)].planned_drops) {
+    for (const auto& item : inputs_[static_cast<std::size_t>(k)].planned_drops) {
       ++result.planned_drops;
       ++result.slo_failures;
       slot_loss += cluster_.zoo().worst_loss(item.app);

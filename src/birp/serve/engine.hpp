@@ -25,6 +25,15 @@
 // forked RNG streams and per-edge computation is sequential, so results
 // are bit-identical at any thread count.
 //
+// Hot-path layout (PR 10): every piece of per-edge working state — the
+// lock-free admission queue, batch scratch buffers, gate tables, and the
+// outcome accumulators — lives in a cache-line-aligned EdgeShard owned by
+// exactly one worker per slot. Shards persist across slots with grow-only
+// capacity, so steady-state serving performs zero heap allocations per
+// request on the admission→seal→launch path (asserted in serve_test via
+// the BIRP_COUNT_ALLOCS hook, tracked in BENCH_serve.json); cross-edge
+// workers never share a cache line or a lock.
+//
 // SLO semantics differ deliberately from the simulator: the simulator
 // checks completion within the slot (slot-relative), the engine checks each
 // request's end-to-end sojourn (arrival to completion) against
@@ -113,6 +122,11 @@ struct SlotServeResult {
   std::int64_t orphaned = 0;       ///< terminal losses to edge failures
   std::int64_t retried = 0;        ///< orphans re-admitted after backoff
   std::int64_t slo_failures = 0;
+  /// Heap allocations performed inside the per-edge hot path this slot
+  /// (thread-local operator-new counts; 0 unless a BIRP_COUNT_ALLOCS hook
+  /// is linked). Nonzero only while shards grow toward their high-water
+  /// capacity — steady state is 0.
+  std::int64_t hot_allocs = 0;
   /// Launches sealed this slot, bucketed by SealReason.
   std::array<std::int64_t, kNumSealReasons> seals{};
   /// All request records in deterministic order; only when keep_records.
@@ -156,18 +170,65 @@ class ServeEngine {
     util::RunningStats depth_stats;
     double busy_s = 0.0;
     double loss = 0.0;  ///< served-request loss only
+    /// operator-new calls on this edge's worker during execute_edge (0
+    /// without the BIRP_COUNT_ALLOCS hook; 0 in steady state with it).
+    std::int64_t hot_allocs = 0;
   };
 
-  /// `bandwidth_factors` scales each edge's wireless bandwidth for the
-  /// transfer schedule (empty = no degradation).
-  [[nodiscard]] std::vector<EdgeInput> build_edge_inputs(
-      const std::vector<workload::Arrival>& arrivals,
-      const sim::SlotDecision& decision,
-      const std::vector<double>& bandwidth_factors) const;
+  /// One executable job on an edge: a (app, variant) deployment with its
+  /// request count and kernel batch size (mirrors the simulator's Job).
+  struct Job {
+    int app = 0;
+    int variant = 0;
+    std::int64_t served = 0;
+    int kernel = 1;
+  };
 
-  [[nodiscard]] EdgeOutcome execute_edge(int k, const sim::SlotDecision& decision,
-                                         int slot, std::vector<ServeItem> stream,
-                                         double straggler_factor) const;
+  struct EdgeShard;
+
+  /// Context behind the non-owning admission gate: lives in the shard so
+  /// its address is stable for the queue's lifetime.
+  struct GateContext {
+    const ServeEngine* engine = nullptr;
+    const EdgeShard* shard = nullptr;
+    int edge = 0;
+  };
+
+  /// All per-edge working state, owned by exactly one worker per slot.
+  /// Cache-line aligned so neighboring edges' hot state never false-shares;
+  /// every container is grow-only, making steady-state slots allocation-
+  /// free on the admission→seal→launch path.
+  struct alignas(64) EdgeShard {
+    AdmissionQueue queue;
+    EdgeOutcome outcome;
+    std::vector<Job> jobs;
+    std::vector<ServeItem> members;     ///< take_into scratch per launch
+    std::vector<ServeItem> candidates;  ///< batcher.plan input scratch
+    std::vector<double> avail_scratch;  ///< batcher.plan working set
+    std::vector<int> gate_variant;      ///< per-app gate deployment table
+    std::vector<int> gate_kernel;
+    GateContext gate_ctx;
+    /// Accelerator-free time on this edge: launches dispatched so far end
+    /// here, and the next one cannot start earlier. Read by the admission
+    /// gate (execution backlog folds into its sojourn prediction).
+    double cursor_s = 0.0;
+  };
+
+  /// AdmissionGate trampoline into GuardController::admit.
+  static bool admission_gate_thunk(const void* ctx, const ServeItem& item,
+                                   std::int64_t buffered_ahead);
+
+  /// Fills inputs_ (reused across slots). `bandwidth_factors` scales each
+  /// edge's wireless bandwidth for the transfer schedule (empty = no
+  /// degradation).
+  void build_edge_inputs(const std::vector<workload::Arrival>& arrivals,
+                         const sim::SlotDecision& decision,
+                         const std::vector<double>& bandwidth_factors);
+
+  /// Serves one edge's slot into shards_[k].outcome (clearing it first).
+  void execute_edge(int k, const sim::SlotDecision& decision, int slot,
+                    const std::vector<ServeItem>& stream,
+                    double straggler_factor);
 
   const device::ClusterSpec& cluster_;
   const workload::Trace& trace_;
@@ -183,6 +244,15 @@ class ServeEngine {
   /// Overload protection; engaged only when a guard feature is enabled, so
   /// the default path stays byte-identical to the guard-free engine.
   std::optional<guard::GuardController> guard_;
+
+  /// Persistent per-edge hot-path state (one per device, reused per slot).
+  std::vector<EdgeShard> shards_;
+  /// Per-slot scratch for build_edge_inputs / step, reused across slots.
+  std::vector<EdgeInput> inputs_;
+  std::vector<std::vector<ServeItem>> cells_scratch_;
+  std::vector<std::size_t> cursor_scratch_;
+  std::vector<std::vector<ServeItem>> imports_scratch_;
+  std::vector<std::vector<ServeItem>> orphan_scratch_;
 };
 
 }  // namespace birp::serve

@@ -1,0 +1,199 @@
+#include "birp/serve/legacy_queue.hpp"
+
+#include <algorithm>
+
+#include "birp/util/check.hpp"
+
+namespace birp::serve {
+
+LegacyAdmissionQueue::LegacyAdmissionQueue(int apps,
+                                           std::vector<ServeItem> stream,
+                                           std::int64_t capacity,
+                                           QueuePolicy policy,
+                                           LegacyAdmissionGate gate)
+    : apps_(apps),
+      stream_(std::move(stream)),
+      upstream_(static_cast<std::size_t>(apps), 0),
+      capacity_(capacity),
+      policy_(policy),
+      gate_(std::move(gate)),
+      fifos_(static_cast<std::size_t>(apps)) {
+  util::check(apps > 0, "LegacyAdmissionQueue: need at least one app");
+  for (const auto& item : stream_) {
+    util::check(item.app >= 0 && item.app < apps_,
+                "LegacyAdmissionQueue: item app out of range");
+    ++upstream_[static_cast<std::size_t>(item.app)];
+  }
+}
+
+void LegacyAdmissionQueue::admit_next() {
+  util::check(next_ < stream_.size(),
+              "LegacyAdmissionQueue: stream exhausted");
+  const ServeItem item = stream_[next_++];
+  --upstream_[static_cast<std::size_t>(item.app)];
+
+  while (!departures_.empty() &&
+         departures_.top().first <= item.available_s) {
+    depth_ -= departures_.top().second;
+    departures_.pop();
+  }
+
+  if (gate_ &&
+      !gate_(item, static_cast<std::int64_t>(
+                       fifos_[static_cast<std::size_t>(item.app)].size()))) {
+    deadline_shed_.push_back(item);
+    sample_depth();
+    return;
+  }
+
+  if (capacity_ > 0 && depth_ >= capacity_) {
+    if (policy_ == QueuePolicy::kEvictOldest) {
+      int victim_app = -1;
+      for (int a = 0; a < apps_; ++a) {
+        const auto& fifo = fifos_[static_cast<std::size_t>(a)];
+        if (fifo.empty()) continue;
+        if (victim_app < 0 ||
+            fifo.front().available_s <
+                fifos_[static_cast<std::size_t>(victim_app)]
+                    .front()
+                    .available_s) {
+          victim_app = a;
+        }
+      }
+      if (victim_app >= 0) {
+        auto& fifo = fifos_[static_cast<std::size_t>(victim_app)];
+        dropped_.push_back(fifo.front());
+        fifo.pop_front();
+        --depth_;
+      } else {
+        dropped_.push_back(item);
+        sample_depth();
+        return;
+      }
+    } else {
+      dropped_.push_back(item);
+      sample_depth();
+      return;
+    }
+  }
+
+  fifos_[static_cast<std::size_t>(item.app)].push_back(item);
+  ++depth_;
+  sample_depth();
+}
+
+void LegacyAdmissionQueue::fill(int app, std::size_t want) {
+  const std::scoped_lock lock(mutex_);
+  auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  while (fifo.size() < want && upstream_[static_cast<std::size_t>(app)] > 0) {
+    admit_next();
+  }
+}
+
+void LegacyAdmissionQueue::fill_until(int app, std::size_t want,
+                                      double threshold_s) {
+  const std::scoped_lock lock(mutex_);
+  auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  while (fifo.size() < want && upstream_[static_cast<std::size_t>(app)] > 0 &&
+         next_ < stream_.size() &&
+         stream_[next_].available_s <= threshold_s) {
+    admit_next();
+  }
+}
+
+bool LegacyAdmissionQueue::exhausted(int app) const {
+  const std::scoped_lock lock(mutex_);
+  return fifos_[static_cast<std::size_t>(app)].empty() &&
+         upstream_[static_cast<std::size_t>(app)] == 0;
+}
+
+std::int64_t LegacyAdmissionQueue::upstream(int app) const {
+  const std::scoped_lock lock(mutex_);
+  return upstream_[static_cast<std::size_t>(app)];
+}
+
+std::vector<ServeItem> LegacyAdmissionQueue::waiting_snapshot(int app) const {
+  const std::scoped_lock lock(mutex_);
+  const auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  return {fifo.begin(), fifo.end()};
+}
+
+std::size_t LegacyAdmissionQueue::waiting_size(int app) const {
+  const std::scoped_lock lock(mutex_);
+  return fifos_[static_cast<std::size_t>(app)].size();
+}
+
+std::vector<ServeItem> LegacyAdmissionQueue::take(int app, std::size_t count) {
+  const std::scoped_lock lock(mutex_);
+  auto& fifo = fifos_[static_cast<std::size_t>(app)];
+  util::check(count <= fifo.size(),
+              "LegacyAdmissionQueue: take beyond waiting");
+  std::vector<ServeItem> taken(
+      fifo.begin(), fifo.begin() + static_cast<std::ptrdiff_t>(count));
+  fifo.erase(fifo.begin(), fifo.begin() + static_cast<std::ptrdiff_t>(count));
+  return taken;
+}
+
+void LegacyAdmissionQueue::on_dispatch(double start_s, std::size_t count) {
+  const std::scoped_lock lock(mutex_);
+  if (count == 0) return;
+  departures_.emplace(start_s, static_cast<std::int64_t>(count));
+}
+
+std::vector<ServeItem> LegacyAdmissionQueue::dropped_snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+std::vector<ServeItem> LegacyAdmissionQueue::deadline_shed_snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return deadline_shed_;
+}
+
+util::RunningStats LegacyAdmissionQueue::depth_stats_snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return depth_stats_;
+}
+
+std::int64_t LegacyAdmissionQueue::depth() const {
+  const std::scoped_lock lock(mutex_);
+  return depth_;
+}
+
+void LegacyAdmissionQueue::settle_departures() {
+  while (!departures_.empty()) {
+    depth_ -= departures_.top().second;
+    departures_.pop();
+  }
+  util::check(depth_ >= 0,
+              "LegacyAdmissionQueue: departures exceed admissions");
+}
+
+std::vector<ServeItem> LegacyAdmissionQueue::drain_unprocessed() {
+  const std::scoped_lock lock(mutex_);
+  settle_departures();
+  std::vector<ServeItem> rest(stream_.begin() +
+                                  static_cast<std::ptrdiff_t>(next_),
+                              stream_.end());
+  for (const auto& item : rest) {
+    --upstream_[static_cast<std::size_t>(item.app)];
+  }
+  next_ = stream_.size();
+  return rest;
+}
+
+std::vector<ServeItem> LegacyAdmissionQueue::drain_waiting() {
+  const std::scoped_lock lock(mutex_);
+  settle_departures();
+  std::vector<ServeItem> rest;
+  for (auto& fifo : fifos_) {
+    rest.insert(rest.end(), fifo.begin(), fifo.end());
+    depth_ -= static_cast<std::int64_t>(fifo.size());
+    fifo.clear();
+  }
+  util::check(depth_ == 0,
+              "LegacyAdmissionQueue: depth inconsistent after drain");
+  return rest;
+}
+
+}  // namespace birp::serve

@@ -1,24 +1,48 @@
-// Per-edge admission queue for the serving runtime.
+// Per-edge admission queue for the serving runtime — lock-free hot path.
 //
 // One edge's requests (local arrivals plus redistributed imports) form a
 // single chronological stream; the queue admits them in availability order
 // against a shared capacity on buffered-not-yet-dispatched requests,
 // applying the configured backpressure policy when full. Admitted requests
 // wait in per-application FIFOs until the batch assembler takes them;
-// dispatch events (launch starts) free their capacity at the right point in
-// time via a deferred-departure heap, so an admission decision at time T
-// sees exactly the requests buffered at T.
+// dispatch events (launch starts) free their capacity at the right point
+// in time, so an admission decision at time T sees exactly the requests
+// buffered at T.
 //
-// Everything here is sequential and deterministic: the engine runs one
-// AdmissionQueue per (slot, edge) on one worker thread.
+// The PR-10 rewrite keeps that contract and replaces every internal
+// container with a steady-state allocation-free, lock-free equivalent:
+//
+//   * the arrival stream is a bounded MPSC ring (runtime/mpsc_ring.hpp) —
+//     producers stage with offer() from any thread, the owning edge worker
+//     consumes without ever taking a lock;
+//   * waiting requests live in intrusive per-app FIFOs over a slab
+//     recycler (runtime/slab.hpp) — no per-request node allocation once
+//     the slab's high-water mark is reached;
+//   * deferred departures go through a hierarchical timer wheel
+//     (runtime/timer_wheel.hpp) instead of a binary heap — O(1) schedule,
+//     bucket-granular expiry with exact-time comparisons only at the
+//     boundary bucket;
+//   * the admission gate is a non-owning context+function-pointer pair,
+//     not a std::function — no type-erasure allocation per slot.
+//
+// reset() retains every capacity, so an engine reusing one queue per edge
+// across slots performs zero heap allocations per request in steady state
+// (asserted in serve_test with the BIRP_COUNT_ALLOCS hook).
+//
+// Determinism: the admission decision sequence is byte-identical to the
+// seed implementation (kept as serve/legacy_queue.hpp) for any staging
+// order equal to the seed's stream order — pinned by serve_test's
+// byte-identity suite.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "birp/runtime/mpsc_ring.hpp"
+#include "birp/runtime/slab.hpp"
+#include "birp/runtime/timer_wheel.hpp"
 #include "birp/serve/request.hpp"
 #include "birp/util/stats.hpp"
 
@@ -31,18 +55,72 @@ enum class QueuePolicy {
 };
 
 /// Deadline-aware admission verdict, consulted for each arrival before the
-/// capacity check. Receives the arrival and the count of same-app requests
-/// already buffered ahead of it; returning false sheds the request (it lands
-/// in deadline_shed(), not in dropped()). A null gate admits everything.
-using AdmissionGate =
-    std::function<bool(const ServeItem& item, std::int64_t buffered_ahead)>;
+/// capacity check. A non-owning (context, function-pointer) pair: the
+/// engine keeps the context alive for the queue's lifetime. Returning
+/// false sheds the request (it lands in deadline_shed(), not dropped()).
+/// Default-constructed gates admit everything.
+class AdmissionGate {
+ public:
+  using Fn = bool (*)(const void* ctx, const ServeItem& item,
+                      std::int64_t buffered_ahead);
+
+  AdmissionGate() = default;
+  AdmissionGate(const void* ctx, Fn fn) : ctx_(ctx), fn_(fn) {}
+
+  explicit operator bool() const noexcept { return fn_ != nullptr; }
+  bool operator()(const ServeItem& item, std::int64_t buffered_ahead) const {
+    return fn_(ctx_, item, buffered_ahead);
+  }
+
+ private:
+  const void* ctx_ = nullptr;
+  Fn fn_ = nullptr;
+};
 
 class AdmissionQueue {
  public:
-  /// `stream` must be sorted by (available_s, app, origin, seq).
-  /// `capacity` <= 0 means unbounded.
-  AdmissionQueue(int apps, std::vector<ServeItem> stream, std::int64_t capacity,
-                 QueuePolicy policy, AdmissionGate gate = nullptr);
+  /// An empty queue; reset() before use (the engine's reuse path).
+  AdmissionQueue() = default;
+
+  /// Convenience form (tests, one-shot callers): resets and stages the
+  /// whole stream. `stream` must be sorted by (available_s, app, origin,
+  /// seq). `capacity` <= 0 means unbounded.
+  AdmissionQueue(int apps, const std::vector<ServeItem>& stream,
+                 std::int64_t capacity, QueuePolicy policy,
+                 AdmissionGate gate = {});
+
+  /// Re-arms the queue for a new slot, retaining all storage so steady-
+  /// state reuse allocates nothing. `stream_capacity` sizes the staging
+  /// ring (at least the number of offers this slot will make);
+  /// `timer_origin_s`/`timer_resolution_s` anchor the departure wheel
+  /// (resolution affects performance only, never results).
+  void reset(int apps, std::int64_t capacity, QueuePolicy policy,
+             AdmissionGate gate, std::size_t stream_capacity,
+             double timer_origin_s = 0.0, double timer_resolution_s = 1e-2);
+
+  /// Stages one arrival. Safe from multiple producer threads concurrently
+  /// (the MPSC contract); consumption must not start until producers
+  /// quiesce. Items must collectively arrive in (available_s, app, origin,
+  /// seq) order for determinism — the engine stages from one thread in
+  /// sorted order. Returns false when the ring is full (size the ring via
+  /// reset()).
+  bool offer(const ServeItem& item);
+
+  /// Bulk stage: offers `count` items with one ring claim (one CAS) and
+  /// one upstream-counter update per app instead of per item — the
+  /// engine's staging path for a whole slot. Same concurrency contract as
+  /// offer(): safe from multiple producer threads, each producer's batch
+  /// keeps its internal order. Returns true when all `count` items were
+  /// staged; false when the ring ran out of room (the staged prefix
+  /// stays staged and is counted upstream — size the ring via reset()).
+  bool offer_all(const ServeItem* items, std::size_t count);
+
+  /// Pre-carves every internal pool, the per-app tables, and the staging
+  /// ring for `apps` apps and `items` offers, so a subsequent
+  /// reset()+offer()+fill() cycle up to that size never allocates. Call
+  /// while quiescent (construction-time warmup): the ring is
+  /// re-initialized. No-op once capacity suffices.
+  void reserve(int apps, std::size_t items);
 
   /// Processes arrivals chronologically until `app`'s FIFO holds `want`
   /// admitted requests or the stream runs out.
@@ -56,17 +134,66 @@ class AdmissionQueue {
   [[nodiscard]] bool exhausted(int app) const;
 
   /// Requests of `app` still unprocessed in the stream (not yet admitted
-  /// or dropped).
+  /// or dropped): items staged by producers minus items the consumer has
+  /// retired. Exact on the consumer thread once producers have quiesced
+  /// (the consumer-side count is a plain integer the consumer owns, so
+  /// retiring a request costs one increment, not an atomic RMW).
   [[nodiscard]] std::int64_t upstream(int app) const {
-    return upstream_[static_cast<std::size_t>(app)];
+    return produced_[static_cast<std::size_t>(app)].load(
+               std::memory_order_relaxed) -
+           consumed_[static_cast<std::size_t>(app)];
   }
 
+  /// Live, non-owning view of `app`'s waiting FIFO (oldest first). Reads
+  /// the queue's current state on every call, so a view taken before a
+  /// fill()/take() observes the mutation — same semantics as the deque
+  /// reference the seed queue returned.
+  class WaitingView {
+   public:
+    class Iterator {
+     public:
+      Iterator(const runtime::SlabPool<ServeItem>* pool, std::int32_t idx)
+          : pool_(pool), idx_(idx) {}
+      const ServeItem& operator*() const { return (*pool_)[idx_]; }
+      Iterator& operator++() {
+        idx_ = pool_->next_of(idx_);
+        return *this;
+      }
+      bool operator==(const Iterator& other) const noexcept {
+        return idx_ == other.idx_;
+      }
+
+     private:
+      const runtime::SlabPool<ServeItem>* pool_;
+      std::int32_t idx_;
+    };
+
+    [[nodiscard]] std::size_t size() const noexcept;
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+    [[nodiscard]] const ServeItem& front() const;
+    [[nodiscard]] Iterator begin() const;
+    [[nodiscard]] Iterator end() const;
+
+   private:
+    friend class AdmissionQueue;
+    WaitingView(const AdmissionQueue* queue, int app)
+        : queue_(queue), app_(app) {}
+    const AdmissionQueue* queue_;
+    int app_;
+  };
+
   /// Admitted requests of `app` waiting for batch assembly, oldest first.
-  [[nodiscard]] const std::deque<ServeItem>& waiting(int app) const;
+  [[nodiscard]] WaitingView waiting(int app) const {
+    return WaitingView(this, app);
+  }
 
   /// Removes the first `count` waiting requests of `app` (sealed into a
-  /// batch). Capacity is not released here — call on_dispatch with the
-  /// launch start so the departure lands at the right time.
+  /// batch) into `out` (cleared first; capacity retained across calls).
+  /// Capacity is not released here — call on_dispatch with the launch
+  /// start so the departure lands at the right time.
+  void take_into(int app, std::size_t count, std::vector<ServeItem>& out);
+
+  /// Allocating convenience wrapper over take_into (tests).
   [[nodiscard]] std::vector<ServeItem> take(int app, std::size_t count);
 
   /// Registers that `count` buffered requests leave the queue at `start_s`.
@@ -82,50 +209,71 @@ class AdmissionQueue {
     return deadline_shed_;
   }
 
-  /// Depth samples taken after every admission decision. Every decision path
-  /// (admit, bounce, evict-then-admit) contributes exactly one sample: the
-  /// buffered count after the decision.
+  /// Depth samples taken after every admission decision. Every decision
+  /// path (admit, bounce, evict-then-admit) contributes exactly one
+  /// sample: the buffered count after the decision.
   [[nodiscard]] const util::RunningStats& depth_stats() const noexcept {
     return depth_stats_;
   }
 
-  /// Requests currently occupying buffer capacity: admitted-and-waiting plus
-  /// taken-but-not-yet-departed (their launch has not started).
+  /// Requests currently occupying buffer capacity: admitted-and-waiting
+  /// plus taken-but-not-yet-departed (their launch has not started).
   [[nodiscard]] std::int64_t depth() const noexcept { return depth_; }
 
   /// Requests never processed (stream leftovers); drains the stream.
   /// Terminal: settles all pending departures first, so a fully drained
   /// queue reports depth() == waiting count (0 after drain_waiting too).
+  void drain_unprocessed_into(std::vector<ServeItem>& out);
   [[nodiscard]] std::vector<ServeItem> drain_unprocessed();
 
   /// Admitted requests still waiting across all apps. Terminal like
   /// drain_unprocessed(): settles pending departures before removing, so
   /// depth() drops to exactly the in-flight count released by those
   /// departures — never stale.
+  void drain_waiting_into(std::vector<ServeItem>& out);
   [[nodiscard]] std::vector<ServeItem> drain_waiting();
 
  private:
+  /// One app's intrusive FIFO over the shared slab.
+  struct Fifo {
+    std::int32_t head = runtime::kSlabNil;
+    std::int32_t tail = runtime::kSlabNil;
+    std::int64_t size = 0;
+  };
+
   void admit_next();
-  /// Applies every pending departure regardless of time (used by the drains:
-  /// end-of-slot means all registered launches have started).
+  /// Applies every pending departure regardless of time (used by the
+  /// drains: end-of-slot means all registered launches have started).
   void settle_departures();
-  /// One depth sample per admission decision (shared by all decision paths).
+  /// One depth sample per admission decision (shared by all paths).
   void sample_depth() { depth_stats_.add(static_cast<double>(depth_)); }
 
-  int apps_;
-  std::vector<ServeItem> stream_;
-  std::size_t next_ = 0;  ///< first unprocessed stream index
-  std::vector<std::int64_t> upstream_;  ///< per-app count still in stream
-  std::int64_t capacity_;
-  QueuePolicy policy_;
+  [[nodiscard]] Fifo& fifo(int app) {
+    return fifos_[static_cast<std::size_t>(app)];
+  }
+  [[nodiscard]] const Fifo& fifo(int app) const {
+    return fifos_[static_cast<std::size_t>(app)];
+  }
+  void push_fifo(int app, const ServeItem& item);
+  ServeItem pop_fifo(int app);
+
+  int apps_ = 0;
+  runtime::MpscRing<ServeItem> stream_;  ///< staged arrivals, FIFO
+  /// Per-app count staged into the stream. Atomic so offer() is MPSC-safe;
+  /// a raw array (not a vector) because atomics are neither copyable nor
+  /// movable; grown only when `apps` exceeds the high-water capacity.
+  std::unique_ptr<std::atomic<std::int64_t>[]> produced_;
+  std::size_t upstream_capacity_ = 0;
+  /// Per-app count the consumer retired from the stream; consumer-owned
+  /// plain integers (upstream(app) = produced - consumed).
+  std::vector<std::int64_t> consumed_;
+  std::int64_t capacity_ = 0;
+  QueuePolicy policy_ = QueuePolicy::kRejectNewest;
   AdmissionGate gate_;
   std::int64_t depth_ = 0;
-  std::vector<std::deque<ServeItem>> fifos_;
-  /// Deferred departures: (launch start, members), earliest first.
-  std::priority_queue<std::pair<double, std::int64_t>,
-                      std::vector<std::pair<double, std::int64_t>>,
-                      std::greater<>>
-      departures_;
+  std::vector<Fifo> fifos_;
+  runtime::SlabPool<ServeItem> pool_;  ///< backing store for all FIFOs
+  runtime::TimerWheel departures_;     ///< deferred capacity releases
   std::vector<ServeItem> dropped_;
   std::vector<ServeItem> deadline_shed_;
   util::RunningStats depth_stats_;

@@ -1,0 +1,36 @@
+#include "birp/util/alloc_count.hpp"
+
+#include <atomic>
+
+namespace birp::util {
+namespace detail {
+
+thread_local std::int64_t tl_allocs = 0;
+thread_local std::int64_t tl_frees = 0;
+thread_local std::int64_t tl_bytes = 0;
+
+namespace {
+std::atomic<bool> counting_active{false};
+}  // namespace
+
+void set_counting_active() noexcept {
+  counting_active.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+AllocCounts alloc_counts() noexcept {
+  return AllocCounts{detail::tl_allocs, detail::tl_frees, detail::tl_bytes};
+}
+
+void reset_alloc_counts() noexcept {
+  detail::tl_allocs = 0;
+  detail::tl_frees = 0;
+  detail::tl_bytes = 0;
+}
+
+bool alloc_counting_active() noexcept {
+  return detail::counting_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace birp::util

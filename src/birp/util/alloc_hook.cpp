@@ -1,0 +1,113 @@
+// Global operator new/delete replacement that counts into the thread-local
+// counters of util/alloc_count.hpp. Compiled ONLY into targets that opt in
+// (listed with ${BIRP_ALLOC_HOOK} in tests/CMakeLists.txt); without the
+// BIRP_COUNT_ALLOCS definition this translation unit is intentionally
+// empty, so accidentally listing it on a target changes nothing.
+//
+// Every replaceable form is provided so sized/aligned deletes never
+// mismatch a hooked new (which would trip ASan's alloc-dealloc-mismatch
+// checks). The underlying storage comes from malloc/free, which the
+// sanitizers intercept as usual — the hook composes with ASan/TSan.
+#ifdef BIRP_COUNT_ALLOCS
+
+#include <cstdlib>
+#include <new>
+
+#include "birp/util/alloc_count.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool hook_registered = [] {
+  birp::util::detail::set_counting_active();
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) noexcept {
+  birp::util::detail::note_alloc(size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) noexcept {
+  birp::util::detail::note_alloc(size);
+  const auto alignment = static_cast<std::size_t>(align);
+  // aligned_alloc requires size % alignment == 0; round up.
+  const std::size_t rounded =
+      size == 0 ? alignment : (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, align)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, align)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  birp::util::detail::note_free();
+  std::free(p);
+}
+
+#endif  // BIRP_COUNT_ALLOCS

@@ -12,22 +12,51 @@
 
 namespace birp::util {
 
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* message,
+                                             const std::source_location& loc) {
+  throw std::logic_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + message);
+}
+
+}  // namespace detail
+
 /// Throws std::logic_error with `message` (and call-site info) when
 /// `condition` is false. Use for API preconditions and internal invariants.
+///
+/// The message is a `const char*` on purpose: checks sit on hot paths (queue
+/// admissions, decision accessors), and a `const std::string&` parameter
+/// would heap-allocate a temporary from the literal on every call even when
+/// the condition holds. With this overload the string is built only inside
+/// the throw.
+inline void check(bool condition, const char* message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) [[unlikely]] {
+    detail::throw_check_failure(message, loc);
+  }
+}
+
+/// Overload for composed messages (callers that format context into the
+/// string). Literal messages bind to the `const char*` overload above.
 inline void check(bool condition, const std::string& message,
                   std::source_location loc = std::source_location::current()) {
-  if (!condition) {
-    throw std::logic_error(std::string(loc.file_name()) + ":" +
-                           std::to_string(loc.line()) + ": " + message);
+  if (!condition) [[unlikely]] {
+    detail::throw_check_failure(message.c_str(), loc);
   }
 }
 
 /// Unconditional failure, for unreachable branches.
 [[noreturn]] inline void fail(
+    const char* message,
+    std::source_location loc = std::source_location::current()) {
+  detail::throw_check_failure(message, loc);
+}
+
+[[noreturn]] inline void fail(
     const std::string& message,
     std::source_location loc = std::source_location::current()) {
-  throw std::logic_error(std::string(loc.file_name()) + ":" +
-                         std::to_string(loc.line()) + ": " + message);
+  detail::throw_check_failure(message.c_str(), loc);
 }
 
 }  // namespace birp::util

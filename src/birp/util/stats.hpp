@@ -11,7 +11,21 @@ namespace birp::util {
 /// min/max tracking. Suitable for long-running metric accumulation.
 class RunningStats {
  public:
-  void add(double value) noexcept;
+  /// Header-inline: add() sits on the serve hot path (one depth sample per
+  /// admission decision), where the cross-TU call overhead was measurable.
+  void add(double value) noexcept {
+    if (count_ == 0) {
+      min_ = value;
+      max_ = value;
+    } else {
+      min_ = value < min_ ? value : min_;
+      max_ = value > max_ ? value : max_;
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+  }
 
   /// Merges another accumulator (parallel reduction support).
   void merge(const RunningStats& other) noexcept;

@@ -2,6 +2,7 @@
 // queue, and the ServeEngine end to end.
 #include <algorithm>
 #include <cmath>
+#include <random>
 #include <sstream>
 #include <vector>
 
@@ -12,8 +13,10 @@
 #include "birp/serve/adaptive.hpp"
 #include "birp/serve/batcher.hpp"
 #include "birp/serve/engine.hpp"
+#include "birp/serve/legacy_queue.hpp"
 #include "birp/serve/queue.hpp"
 #include "birp/serve/request.hpp"
+#include "birp/util/alloc_count.hpp"
 #include "birp/sim/scheduler.hpp"
 #include "birp/sim/simulator.hpp"
 #include "birp/workload/arrivals.hpp"
@@ -760,6 +763,291 @@ TEST_F(ServeEngineFixture, FullyShedQueueNeverSealsAnEmptyBatch) {
   std::int64_t sealed = 0;
   for (const auto n : result.seals) sealed += n;
   EXPECT_EQ(sealed, 0);
+}
+
+// ------------------------------------------------- legacy byte-identity ----
+// The ring-backed AdmissionQueue must reproduce the seed implementation's
+// admit/shed/defer stream decision for decision. These tests drive the
+// kept-verbatim LegacyAdmissionQueue and the rewrite through identical
+// seeded op scripts and require every observable to match.
+
+void expect_same_items(const std::vector<ServeItem>& legacy,
+                       const std::vector<ServeItem>& ring,
+                       const std::string& what) {
+  ASSERT_EQ(legacy.size(), ring.size()) << what;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].app, ring[i].app) << what << " #" << i;
+    EXPECT_EQ(legacy[i].origin, ring[i].origin) << what << " #" << i;
+    EXPECT_EQ(legacy[i].seq, ring[i].seq) << what << " #" << i;
+    EXPECT_DOUBLE_EQ(legacy[i].arrival_s, ring[i].arrival_s)
+        << what << " #" << i;
+    EXPECT_DOUBLE_EQ(legacy[i].available_s, ring[i].available_s)
+        << what << " #" << i;
+  }
+}
+
+/// Seeded arrival stream, sorted by (available_s, app, origin, seq) as both
+/// queue contracts require.
+std::vector<ServeItem> seeded_stream(int apps, int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> when(0.0, 10.0);
+  std::vector<ServeItem> stream;
+  stream.reserve(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    ServeItem item;
+    item.app = static_cast<int>(rng() % static_cast<std::uint64_t>(apps));
+    item.origin = static_cast<int>(rng() % 3);
+    item.arrival_s = when(rng);
+    item.available_s = item.arrival_s;
+    stream.push_back(item);
+  }
+  std::sort(stream.begin(), stream.end(),
+            [](const ServeItem& a, const ServeItem& b) {
+              if (a.available_s != b.available_s)
+                return a.available_s < b.available_s;
+              if (a.app != b.app) return a.app < b.app;
+              return a.origin < b.origin;
+            });
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].seq = static_cast<std::int64_t>(i);
+  }
+  return stream;
+}
+
+/// Pure gate: shed when too much is buffered ahead or on a seq stripe. Both
+/// implementations call it with their own (item, buffered_ahead) pairs, so
+/// agreement here means the admission order itself agrees.
+bool stripe_gate(const ServeItem& item, std::int64_t buffered_ahead) {
+  return buffered_ahead <= 6 && item.seq % 5 != 4;
+}
+bool stripe_gate_thunk(const void*, const ServeItem& item,
+                       std::int64_t buffered_ahead) {
+  return stripe_gate(item, buffered_ahead);
+}
+
+void run_identity_script(std::int64_t capacity, QueuePolicy policy,
+                         bool gated, std::uint64_t seed) {
+  constexpr int kApps = 3;
+  const auto stream = seeded_stream(kApps, 240, seed);
+  LegacyAdmissionQueue legacy(kApps, stream, capacity, policy,
+                              gated ? LegacyAdmissionGate(stripe_gate)
+                                    : LegacyAdmissionGate(nullptr));
+  AdmissionQueue ring(kApps, stream, capacity, policy,
+                      gated ? AdmissionGate(nullptr, &stripe_gate_thunk)
+                            : AdmissionGate());
+  std::mt19937_64 rng(seed ^ 0x5c21f7);
+  double now_s = 0.0;
+  for (int op = 0; op < 400; ++op) {
+    const int app = static_cast<int>(rng() % kApps);
+    switch (rng() % 4) {
+      case 0: {
+        const auto want = static_cast<std::size_t>(rng() % 9);
+        legacy.fill(app, want);
+        ring.fill(app, want);
+        break;
+      }
+      case 1: {
+        const auto want = static_cast<std::size_t>(rng() % 9);
+        const double threshold =
+            now_s + static_cast<double>(rng() % 100) * 0.05;
+        legacy.fill_until(app, want, threshold);
+        ring.fill_until(app, want, threshold);
+        break;
+      }
+      case 2: {
+        const std::size_t waiting = legacy.waiting_size(app);
+        ASSERT_EQ(waiting, ring.waiting(app).size()) << "op " << op;
+        const std::size_t count =
+            std::min<std::size_t>(rng() % 7, waiting);
+        const auto taken_legacy = legacy.take(app, count);
+        const auto taken_ring = ring.take(app, count);
+        expect_same_items(taken_legacy, taken_ring, "take");
+        now_s += 0.1;
+        legacy.on_dispatch(now_s, taken_legacy.size());
+        ring.on_dispatch(now_s, taken_ring.size());
+        break;
+      }
+      default:
+        now_s += static_cast<double>(rng() % 20) * 0.02;
+        break;
+    }
+    ASSERT_EQ(legacy.depth(), ring.depth()) << "op " << op;
+    ASSERT_EQ(legacy.exhausted(app), ring.exhausted(app)) << "op " << op;
+    ASSERT_EQ(legacy.upstream(app), ring.upstream(app)) << "op " << op;
+  }
+  for (int app = 0; app < kApps; ++app) {
+    expect_same_items(legacy.waiting_snapshot(app),
+                      [&] {
+                        std::vector<ServeItem> out;
+                        for (const auto& item : ring.waiting(app))
+                          out.push_back(item);
+                        return out;
+                      }(),
+                      "waiting app " + std::to_string(app));
+  }
+  expect_same_items(legacy.dropped_snapshot(), ring.dropped(), "dropped");
+  expect_same_items(legacy.deadline_shed_snapshot(), ring.deadline_shed(),
+                    "deadline_shed");
+  const auto legacy_stats = legacy.depth_stats_snapshot();
+  const auto& ring_stats = ring.depth_stats();
+  EXPECT_EQ(legacy_stats.count(), ring_stats.count());
+  EXPECT_DOUBLE_EQ(legacy_stats.mean(), ring_stats.mean());
+  EXPECT_DOUBLE_EQ(legacy_stats.max(), ring_stats.max());
+  expect_same_items(legacy.drain_waiting(), ring.drain_waiting(),
+                    "drain_waiting");
+  expect_same_items(legacy.drain_unprocessed(), ring.drain_unprocessed(),
+                    "drain_unprocessed");
+  EXPECT_EQ(legacy.depth(), ring.depth());
+}
+
+TEST(LegacyByteIdentity, UnboundedQueueMatchesOnRandomScripts) {
+  for (const std::uint64_t seed : {0x1aced1ull, 0x2bull, 0x93fe21ull}) {
+    run_identity_script(0, QueuePolicy::kRejectNewest, false, seed);
+  }
+}
+
+TEST(LegacyByteIdentity, RejectNewestBackpressureMatches) {
+  for (const std::uint64_t seed : {0x41ull, 0xdecafull}) {
+    run_identity_script(5, QueuePolicy::kRejectNewest, false, seed);
+    run_identity_script(12, QueuePolicy::kRejectNewest, false, seed);
+  }
+}
+
+TEST(LegacyByteIdentity, EvictOldestBackpressureMatches) {
+  for (const std::uint64_t seed : {0x77ull, 0xbead5ull}) {
+    run_identity_script(5, QueuePolicy::kEvictOldest, false, seed);
+    run_identity_script(12, QueuePolicy::kEvictOldest, false, seed);
+  }
+}
+
+TEST(LegacyByteIdentity, AdmissionGateShedsIdenticalRequests) {
+  for (const std::uint64_t seed : {0x6a7e5ull, 0x100full}) {
+    run_identity_script(0, QueuePolicy::kRejectNewest, true, seed);
+    run_identity_script(8, QueuePolicy::kEvictOldest, true, seed);
+  }
+}
+
+// ------------------------------------------------------ hot-path allocs ----
+
+TEST_F(ServeEngineFixture, SteadyStateHotPathIsAllocationFree) {
+  // serve_test links the counting operator-new hook, so hot_allocs counts
+  // for real here. The engine pre-carves every per-edge container against
+  // the trace's worst slot at construction, so the admission -> batch ->
+  // launch path must never touch the heap — from the very first slot.
+  ASSERT_TRUE(util::alloc_counting_active());
+  const auto trace = uniform_trace(cluster_, 8, 12);
+  ServeConfig config;
+  config.threads = 2;
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  metrics::RunMetrics metrics;
+  for (int t = 0; t < trace.slots(); ++t) {
+    EXPECT_EQ(engine.step(scheduler, &metrics).hot_allocs, 0)
+        << "slot " << t;
+  }
+}
+
+TEST_F(ServeEngineFixture, AdaptiveSteadyStateStaysAllocationFree) {
+  // Same assertion with adaptive batching on: the batcher's availability
+  // scratch is engine-owned, so growth-mode planning is also alloc-free
+  // once warm.
+  ASSERT_TRUE(util::alloc_counting_active());
+  workload::Trace trace(12, cluster_.num_apps(), cluster_.num_devices());
+  for (int t = 0; t < trace.slots(); ++t) {
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        trace.set(t, i, k, t % 3 == 0 ? 28 : 3);
+      }
+    }
+  }
+  ServeConfig config;
+  config.threads = 1;
+  config.adaptive.enabled = true;
+  config.adaptive.growth_backlog_factor = 1.25;
+  config.adaptive.max_batch = 16;
+  ServeEngine engine(cluster_, trace, config);
+  LocalGreedyScheduler scheduler(cluster_);
+  metrics::RunMetrics metrics;
+  for (int t = 0; t < trace.slots(); ++t) {
+    EXPECT_EQ(engine.step(scheduler, &metrics).hot_allocs, 0)
+        << "slot " << t;
+  }
+}
+
+// --------------------------------------- threaded determinism, hard mode ----
+
+TEST_F(ServeEngineFixture, BitIdenticalAcrossThreadsWithFaultsAndGuard) {
+  // The sharded engine must stay bit-identical across thread counts even
+  // with every stateful subsystem engaged: fault injection (orphans,
+  // bandwidth stretch, stragglers), failover re-admission, and the guard's
+  // deadline-aware admission gate.
+  workload::Trace trace(6, cluster_.num_apps(), cluster_.num_devices());
+  for (int t = 0; t < trace.slots(); ++t) {
+    for (int i = 0; i < cluster_.num_apps(); ++i) {
+      for (int k = 0; k < cluster_.num_devices(); ++k) {
+        trace.set(t, i, k, t % 2 == 0 ? 20 : 6);
+      }
+    }
+  }
+  fault::FaultPlan plan;
+  plan.add_down(1, 1, 3);
+  plan.add_bandwidth(2, 0, 5, 0.5);
+  plan.add_straggler(0, 2, 6, 2.0);
+  const auto run = [&](int threads) {
+    ServeConfig config;
+    config.threads = threads;
+    config.keep_records = true;
+    config.fault_plan = plan;
+    config.failover.enabled = true;
+    config.failover.backoff_base_slots = 1;
+    config.guard.admission.enabled = true;
+    config.guard.admission.slack = 0.5;
+    LocalGreedyScheduler scheduler(cluster_);
+    ServeEngine engine(cluster_, trace, config);
+    metrics::RunMetrics metrics;
+    std::vector<SlotServeResult> results;
+    while (engine.current_slot() < trace.slots()) {
+      results.push_back(engine.step(scheduler, &metrics));
+    }
+    return std::make_pair(std::move(results), std::move(metrics));
+  };
+  const auto [r1, m1] = run(1);
+  const auto [r2, m2] = run(8);
+  ASSERT_EQ(r1.size(), r2.size());
+  std::int64_t orphaned = 0;
+  std::int64_t sheds = 0;
+  for (std::size_t t = 0; t < r1.size(); ++t) {
+    EXPECT_EQ(r1[t].served, r2[t].served) << "slot " << t;
+    EXPECT_EQ(r1[t].orphaned, r2[t].orphaned) << "slot " << t;
+    EXPECT_EQ(r1[t].retried, r2[t].retried) << "slot " << t;
+    EXPECT_EQ(r1[t].deadline_sheds, r2[t].deadline_sheds) << "slot " << t;
+    orphaned += r1[t].orphaned;
+    sheds += r1[t].deadline_sheds;
+    ASSERT_EQ(r1[t].records.size(), r2[t].records.size()) << "slot " << t;
+    for (std::size_t r = 0; r < r1[t].records.size(); ++r) {
+      const auto& a = r1[t].records[r];
+      const auto& b = r2[t].records[r];
+      EXPECT_EQ(a.item.seq, b.item.seq);
+      EXPECT_EQ(a.outcome, b.outcome);
+      EXPECT_EQ(a.served_on, b.served_on);
+      EXPECT_DOUBLE_EQ(a.start_s, b.start_s);
+      EXPECT_DOUBLE_EQ(a.completion_s, b.completion_s);
+    }
+  }
+  // The scenario actually exercises the fault paths it claims to.
+  EXPECT_GT(orphaned + m1.retries(), 0);
+  EXPECT_EQ(sheds, m1.deadline_shed());
+  EXPECT_EQ(m1.total_requests(), m2.total_requests());
+  EXPECT_EQ(m1.slo_failures(), m2.slo_failures());
+  EXPECT_EQ(m1.orphan_dropped(), m2.orphan_dropped());
+  EXPECT_EQ(m1.retries(), m2.retries());
+  EXPECT_EQ(m1.deadline_shed(), m2.deadline_shed());
+  EXPECT_DOUBLE_EQ(m1.total_loss(), m2.total_loss());
+  std::ostringstream csv1;
+  std::ostringstream csv2;
+  metrics::write_latency_csv(csv1, {{"faulted", &m1}});
+  metrics::write_latency_csv(csv2, {{"faulted", &m2}});
+  EXPECT_EQ(csv1.str(), csv2.str());
 }
 
 TEST_F(ServeEngineFixture, AdaptiveBeatsFixedOnSlotBoundaryBursts) {

@@ -1,11 +1,14 @@
 // Unit and property tests for birp::util.
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "birp/util/alloc_count.hpp"
 #include "birp/util/check.hpp"
 #include "birp/util/csv.hpp"
 #include "birp/util/ecdf.hpp"
@@ -489,6 +492,79 @@ TEST(TextTable, RendersAlignedRows) {
 TEST(TextTable, RejectsMismatchedRow) {
   TextTable table({"one", "two"});
   EXPECT_THROW(table.add_row({"only"}), std::logic_error);
+}
+
+// ---------------------------------------------------------- alloc count ----
+// util_test is built with alloc_hook.cpp and BIRP_COUNT_ALLOCS (see
+// tests/CMakeLists.txt), so the counters here actually count.
+
+TEST(AllocCount, HookIsActiveInThisBinary) {
+  EXPECT_TRUE(alloc_counting_active());
+}
+
+TEST(AllocCount, NewAndDeleteBumpTheCounters) {
+  const AllocCounts before = alloc_counts();
+  auto* p = new std::int64_t(42);
+  // The pointer must escape, or the compiler is allowed to elide the whole
+  // new/delete pair (and does, at -O2).
+  asm volatile("" : : "g"(p) : "memory");
+  const AllocCounts mid = alloc_counts();
+  delete p;
+  const AllocCounts after = alloc_counts();
+  EXPECT_GE(mid.allocs - before.allocs, 1);
+  EXPECT_GE(mid.bytes - before.bytes,
+            static_cast<std::int64_t>(sizeof(std::int64_t)));
+  EXPECT_GE(after.frees - mid.frees, 1);
+}
+
+TEST(AllocCount, VectorGrowthIsVisible) {
+  const AllocCounts before = alloc_counts();
+  std::vector<double> v;
+  v.reserve(1024);
+  const AllocCounts after = alloc_counts();
+  EXPECT_GE(after.allocs - before.allocs, 1);
+  EXPECT_GE(after.bytes - before.bytes,
+            static_cast<std::int64_t>(1024 * sizeof(double)));
+  // Reusing reserved capacity must not allocate — this is exactly the
+  // steady-state discipline the serve hot path relies on.
+  const AllocCounts filled_before = alloc_counts();
+  for (int i = 0; i < 1024; ++i) v.push_back(static_cast<double>(i));
+  v.clear();
+  for (int i = 0; i < 1024; ++i) v.push_back(static_cast<double>(i));
+  const AllocCounts filled_after = alloc_counts();
+  EXPECT_EQ(filled_after.allocs - filled_before.allocs, 0);
+}
+
+TEST(AllocCount, ResetZeroesThisThread) {
+  auto keep = std::make_unique<int>(7);  // ensure counters are nonzero
+  reset_alloc_counts();
+  const AllocCounts counts = alloc_counts();
+  EXPECT_EQ(counts.allocs, 0);
+  EXPECT_EQ(counts.frees, 0);
+  EXPECT_EQ(counts.bytes, 0);
+  keep.reset();
+  EXPECT_GE(alloc_counts().frees, 1);
+}
+
+TEST(AllocCount, CountersAreThreadLocal) {
+  const AllocCounts before = alloc_counts();
+  AllocCounts worker_delta;
+  std::thread worker([&worker_delta] {
+    const AllocCounts start = alloc_counts();
+    std::vector<std::unique_ptr<int>> owned;
+    for (int i = 0; i < 64; ++i) owned.push_back(std::make_unique<int>(i));
+    owned.clear();
+    const AllocCounts end = alloc_counts();
+    worker_delta.allocs = end.allocs - start.allocs;
+    worker_delta.frees = end.frees - start.frees;
+  });
+  worker.join();
+  const AllocCounts after = alloc_counts();
+  EXPECT_GE(worker_delta.allocs, 64);
+  EXPECT_GE(worker_delta.frees, 64);
+  // The worker's 64+ allocations must not leak into this thread's view;
+  // allow a little slack for the std::thread bookkeeping allocated here.
+  EXPECT_LT(after.allocs - before.allocs, 32);
 }
 
 }  // namespace
